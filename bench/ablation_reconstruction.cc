@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation (paper Section 4.3): reconstruction-buffer displacement.
+ * When STeMS tries to place an address in an occupied slot it
+ * searches up to two slots forward or backward; the paper reports
+ * 99% of addresses place within that window, 92% in their original
+ * location. This bench reports the measured displacement
+ * distribution per workload, plus a sweep of the search window.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/stems.hh"
+#include "sim/prefetch_sim.hh"
+#include "workloads/registry.hh"
+
+using namespace stems;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
+    std::cout << banner(
+        "Ablation: reconstruction displacement distribution",
+        records);
+
+    Table table({"workload", "placements", "in place", "|d|<=1",
+                 "|d|<=2", "dropped"});
+    for (auto &w : makeAllWorkloads()) {
+        Trace t = w->generate(42, records);
+        StemsParams p;
+        if (w->workloadClass() == WorkloadClass::kScientific)
+            p.streams.lookahead = 12;
+        StemsPrefetcher engine(p);
+        SimParams sp;
+        PrefetchSimulator sim(sp, &engine);
+        sim.run(t, t.size() / 2);
+
+        const Histogram &h = engine.reconstructor().displacements();
+        std::uint64_t placed = h.total();
+        std::uint64_t dropped = engine.reconstructor().dropped();
+        table.addRow(
+            {w->name(), std::to_string(placed),
+             fmtPct(ratio(h.count(0), placed)),
+             fmtPct(h.fractionWithin(1)), fmtPct(h.fractionWithin(2)),
+             fmtPct(ratio(dropped, placed + dropped))});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+
+    std::cout << "\nDisplacement-window sweep (oltp-db2):\n";
+    Table sweep({"window", "covered", "overpred", "dropped frac"});
+    {
+        auto w = makeWorkload("oltp-db2");
+        Trace t = w->generate(42, records);
+        SimParams sp;
+        PrefetchSimulator base(sp, nullptr);
+        base.run(t, t.size() / 2);
+        double denom = base.stats().offChipReads;
+        for (unsigned window : {0u, 1u, 2u, 4u, 8u}) {
+            StemsParams p;
+            p.reconstruction.displacementWindow = window;
+            StemsPrefetcher engine(p);
+            PrefetchSimulator sim(sp, &engine);
+            sim.run(t, t.size() / 2);
+            std::uint64_t placed =
+                engine.reconstructor().displacements().total();
+            std::uint64_t dropped = engine.reconstructor().dropped();
+            sweep.addRow(
+                {"+-" + std::to_string(window),
+                 fmtPct(sim.stats().covered() / denom),
+                 fmtPct(sim.stats().overpredictions / denom),
+                 fmtPct(ratio(dropped, placed + dropped))});
+            std::cout << "." << std::flush;
+        }
+    }
+    std::cout << "\n";
+    sweep.print(std::cout);
+
+    std::cout << "\nPaper reference (Section 4.3): searching at most "
+                 "two elements forward or\nbackward places 99% of "
+                 "addresses (92% in their original location).\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation (paper Section 4.3): RMOB sizing. Spatial filtering lets
+ * STeMS shrink its temporal buffer from TMS's 384K entries (2 MB) to
+ * 128K (1 MB); for workloads whose coverage requires capturing an
+ * entire iteration (the scientific codes) the reduction matters most.
+ * This bench sweeps the STeMS RMOB size and contrasts TMS's
+ * sensitivity to the same capacity.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/stems.hh"
+#include "prefetch/tms.hh"
+#include "sim/prefetch_sim.hh"
+#include "workloads/registry.hh"
+
+using namespace stems;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
+    std::cout << banner("Ablation: temporal buffer sizing", records);
+
+    Table table({"workload", "entries", "STeMS covered",
+                 "TMS covered"});
+    for (const char *name : {"em3d", "oltp-db2"}) {
+        auto w = makeWorkload(name);
+        bool scientific =
+            w->workloadClass() == WorkloadClass::kScientific;
+        Trace t = w->generate(42, records);
+        std::size_t warmup = t.size() / 2;
+
+        SimParams sp;
+        PrefetchSimulator base(sp, nullptr);
+        base.run(t, warmup);
+        double denom = base.stats().offChipReads;
+
+        for (std::size_t entries :
+             {16u * 1024u, 32u * 1024u, 64u * 1024u, 128u * 1024u,
+              384u * 1024u}) {
+            StemsParams p;
+            p.rmobEntries = entries;
+            if (scientific)
+                p.streams.lookahead = 12;
+            StemsPrefetcher stems_engine(p);
+            PrefetchSimulator stems_sim(sp, &stems_engine);
+            stems_sim.run(t, warmup);
+
+            TmsParams tp;
+            tp.bufferEntries = entries;
+            if (scientific)
+                tp.lookahead = 12;
+            TmsPrefetcher tms_engine(tp);
+            PrefetchSimulator tms_sim(sp, &tms_engine);
+            tms_sim.run(t, warmup);
+
+            table.addRow(
+                {entries == 16 * 1024 ? w->name() : "",
+                 std::to_string(entries / 1024) + "K",
+                 fmtPct(stems_sim.stats().covered() / denom),
+                 fmtPct(tms_sim.stats().covered() / denom)});
+            std::cout << "." << std::flush;
+        }
+        table.addSeparator();
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (Section 4.3): spatial filtering "
+                 "reduces the buffer from\n384K entries (TMS) to 128K "
+                 "(STeMS); for scientific access patterns the\n"
+                 "reduction can be even more significant.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: argument handling and
+ * common formatting.
+ *
+ * Every bench accepts an optional first argument overriding the trace
+ * length (records per workload), e.g. `fig9_streaming_comparison
+ * 500000` for a quick run.
+ */
+
+#ifndef STEMS_BENCH_BENCH_UTIL_HH
+#define STEMS_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+namespace stems {
+
+/** Parse the trace-length override (argv[1]); 0 keeps the default. */
+inline std::size_t
+traceRecordsArg(int argc, char **argv, std::size_t fallback)
+{
+    if (argc > 1) {
+        long v = std::atol(argv[1]);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+/** Standard bench banner. */
+inline std::string
+banner(const std::string &title, std::size_t records)
+{
+    return "=== " + title + " ===\n(traces: " +
+           std::to_string(records) +
+           " records/workload, seed 42, measurement after 50% "
+           "warmup)\n";
+}
+
+} // namespace stems
+
+#endif // STEMS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 10 — performance improvement of TMS, SMS and STeMS over the
+ * baseline system (which includes the Table 1 stride prefetcher).
+ *
+ * Paper shape: across the commercial workloads STeMS improves on the
+ * stride baseline by ~31% and on TMS/SMS by ~18%/~3%; OLTP gains
+ * little from SMS despite its coverage, DSS gains nothing from TMS,
+ * and TMS accelerates em3d/sparse by 4x or more with STeMS between
+ * TMS and SMS.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+using namespace stems;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.traceRecords = traceRecordsArg(argc, argv, 1'500'000);
+    cfg.enableTiming = true;
+    std::cout << banner("Figure 10: speedup over the stride baseline",
+                        cfg.traceRecords);
+
+    const std::vector<std::string> engines = {"tms", "sms", "stems"};
+    ExperimentRunner runner(cfg);
+
+    Table table({"workload", "base IPC", "TMS", "SMS", "STeMS"});
+    // Geometric means over the commercial workloads, as the paper's
+    // summary numbers aggregate.
+    double log_speedup[3] = {};
+    double log_stems_vs[3] = {}; // vs stride, sms, tms
+    int commercial = 0;
+
+    for (auto &r : runner.runSuite(engines)) {
+        const EngineResult *tms = r.find("tms");
+        const EngineResult *sms = r.find("sms");
+        const EngineResult *stems_r = r.find("stems");
+        table.addRow({r.workload, fmtDouble(r.baselineIpc, 2),
+                      fmtPct(tms->speedup - 1.0),
+                      fmtPct(sms->speedup - 1.0),
+                      fmtPct(stems_r->speedup - 1.0)});
+        if (r.workloadClass != WorkloadClass::kScientific) {
+            log_speedup[0] += std::log(tms->speedup);
+            log_speedup[1] += std::log(sms->speedup);
+            log_speedup[2] += std::log(stems_r->speedup);
+            log_stems_vs[0] += std::log(stems_r->speedup);
+            log_stems_vs[1] +=
+                std::log(stems_r->speedup / sms->speedup);
+            log_stems_vs[2] +=
+                std::log(stems_r->speedup / tms->speedup);
+            ++commercial;
+        }
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    table.addSeparator();
+    table.addRow({"gmean (commercial)", "",
+                  fmtPct(std::exp(log_speedup[0] / commercial) - 1),
+                  fmtPct(std::exp(log_speedup[1] / commercial) - 1),
+                  fmtPct(std::exp(log_speedup[2] / commercial) - 1)});
+    table.print(std::cout);
+
+    std::cout << "\nSTeMS improvement (gmean over commercial "
+                 "workloads):\n";
+    std::cout << "  over stride baseline : "
+              << fmtPct(std::exp(log_stems_vs[0] / commercial) - 1)
+              << "  (paper: 31%)\n";
+    std::cout << "  over SMS             : "
+              << fmtPct(std::exp(log_stems_vs[1] / commercial) - 1)
+              << "  (paper: 3%)\n";
+    std::cout << "  over TMS             : "
+              << fmtPct(std::exp(log_stems_vs[2] / commercial) - 1)
+              << "  (paper: 18%)\n";
+    return 0;
+}

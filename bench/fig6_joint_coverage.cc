@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 6 — joint analysis of temporal and spatial memory streaming:
+ * each off-chip read miss classified as predictable by both oracles,
+ * only one, or neither.
+ *
+ * Paper shape: OLTP and web show all four classes (OLTP biased
+ * temporal, web biased spatial) with 34-38% unpredictable; DSS shows
+ * near-zero temporal and >60% spatial-only; scientific workloads are
+ * temporally near-perfect.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/coverage.hh"
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "workloads/registry.hh"
+
+using namespace stems;
+
+int
+main(int argc, char **argv)
+{
+    std::size_t records = traceRecordsArg(argc, argv, 1'500'000);
+    std::cout << banner("Figure 6: joint TMS/SMS predictability",
+                        records);
+
+    Table table({"workload", "misses", "both", "TMS only",
+                 "SMS only", "neither", "T", "S", "joint"});
+    JointCoverage sum;
+    for (auto &w : makeAllWorkloads()) {
+        Trace t = w->generate(42, records);
+        JointCoverageAnalyzer a;
+        a.run(t, t.size() / 2);
+        const JointCoverage &jc = a.result();
+        sum.both += jc.both;
+        sum.tmsOnly += jc.tmsOnly;
+        sum.smsOnly += jc.smsOnly;
+        sum.neither += jc.neither;
+        table.addRow({w->name(), std::to_string(jc.total()),
+                      fmtPct(ratio(jc.both, jc.total())),
+                      fmtPct(ratio(jc.tmsOnly, jc.total())),
+                      fmtPct(ratio(jc.smsOnly, jc.total())),
+                      fmtPct(ratio(jc.neither, jc.total())),
+                      fmtPct(jc.temporalFraction()),
+                      fmtPct(jc.spatialFraction()),
+                      fmtPct(jc.jointFraction())});
+    }
+    table.addSeparator();
+    table.addRow({"mean", std::to_string(sum.total()),
+                  fmtPct(ratio(sum.both, sum.total())),
+                  fmtPct(ratio(sum.tmsOnly, sum.total())),
+                  fmtPct(ratio(sum.smsOnly, sum.total())),
+                  fmtPct(ratio(sum.neither, sum.total())),
+                  fmtPct(sum.temporalFraction()),
+                  fmtPct(sum.spatialFraction()),
+                  fmtPct(sum.jointFraction())});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (Section 1): on average 32% "
+                 "temporal, 54% spatial,\n70% joint; 34-38% of "
+                 "OLTP/web misses unpredictable by either.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 7 — temporal repetition of miss addresses and spatial
+ * triggers, via Sequitur grammar inference.
+ *
+ * For each workload the off-chip read-miss sequence ("All_Addrs") and
+ * its spatial-trigger subsequence ("Triggers") are compressed with
+ * Sequitur; each miss is classified as non-repetitive, new (first
+ * occurrence of a repeated sequence), head (first element of later
+ * occurrences), or opportunity (the coverable remainder).
+ *
+ * Paper shape: ~45% opportunity for all misses, ~47% for triggers;
+ * triggers 5-15% lower than all-misses in OLTP/web, the opposite in
+ * DSS.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/coverage.hh"
+#include "analysis/sequitur.hh"
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "workloads/registry.hh"
+
+using namespace stems;
+
+namespace {
+
+Sequitur::Classification
+classifySequence(const std::vector<Addr> &seq, std::size_t cap)
+{
+    Sequitur s;
+    std::size_t n = std::min(seq.size(), cap);
+    for (std::size_t i = 0; i < n; ++i)
+        s.append(blockNumber(seq[i]));
+    return s.classify();
+}
+
+std::vector<std::string>
+row(const std::string &label, const Sequitur::Classification &c)
+{
+    return {label, std::to_string(c.total()),
+            fmtPct(ratio(c.opportunity, c.total())),
+            fmtPct(ratio(c.head, c.total())),
+            fmtPct(ratio(c.newFirst, c.total())),
+            fmtPct(ratio(c.nonRepetitive, c.total()))};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t records = traceRecordsArg(argc, argv, 1'200'000);
+    // Sequitur grammars keep every symbol live: cap the analyzed
+    // sequence length to bound memory.
+    constexpr std::size_t kSymbolCap = 400'000;
+
+    std::cout << banner(
+        "Figure 7: Sequitur repetition, all misses vs triggers",
+        records);
+
+    Table table({"sequence", "symbols", "opportunity", "head", "new",
+                 "non-rep"});
+    for (auto &w : makeAllWorkloads()) {
+        Trace t = w->generate(42, records);
+        MissSequences seqs = extractMissSequences(t);
+        table.addRow(row(w->name() + " All_Addrs",
+                         classifySequence(seqs.allMisses,
+                                          kSymbolCap)));
+        table.addRow(row(w->name() + " Triggers",
+                         classifySequence(seqs.triggers,
+                                          kSymbolCap)));
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (Section 1): 47% of "
+                 "region-granularity misses recur in\nrepetitive "
+                 "sequences, similar to the 45% repetition of all "
+                 "misses.\n";
+    return 0;
+}

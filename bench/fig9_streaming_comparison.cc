@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 9 — comparison of temporal, spatial and spatio-temporal
+ * memory streaming: covered, uncovered and overpredicted off-chip
+ * read misses, normalized to the no-prefetch baseline.
+ *
+ * Paper shape: STeMS matches or exceeds the better of TMS/SMS in
+ * every commercial workload (8% more than the best in OLTP/web, for
+ * 50-56% coverage), matches SMS in DSS, and falls between SMS and TMS
+ * in the scientific codes; STeMS predicts on average 62% of misses
+ * and overpredicts 29%.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+
+using namespace stems;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.traceRecords = traceRecordsArg(argc, argv, 1'500'000);
+    cfg.enableTiming = false;
+    std::cout << banner(
+        "Figure 9: TMS vs SMS vs STeMS coverage/overprediction",
+        cfg.traceRecords);
+
+    const std::vector<std::string> engines = {"tms", "sms", "stems"};
+    ExperimentRunner runner(cfg);
+
+    Table table({"workload", "base misses", "engine", "covered",
+                 "uncovered", "overpred"});
+    double cov_sum[3] = {}, over_sum[3] = {};
+    int n = 0;
+    for (auto r : runner.runSuite(engines)) {
+        bool first = true;
+        for (std::size_t i = 0; i < engines.size(); ++i) {
+            const EngineResult *e = r.find(engines[i]);
+            table.addRow(
+                {first ? r.workload : "",
+                 first ? std::to_string(r.baselineMisses) : "",
+                 engines[i], fmtPct(e->coverage),
+                 fmtPct(e->uncovered), fmtPct(e->overprediction)});
+            cov_sum[i] += e->coverage;
+            over_sum[i] += e->overprediction;
+            first = false;
+        }
+        table.addSeparator();
+        ++n;
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n";
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+        table.addRow({"mean", "", engines[i],
+                      fmtPct(cov_sum[i] / n), "",
+                      fmtPct(over_sum[i] / n)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference (Sections 1 and 5.5): STeMS "
+                 "covers on average 62% of\noff-chip read misses and "
+                 "overpredicts 29%; coverage is equal to or higher\n"
+                 "than the better of TMS/SMS on every commercial "
+                 "workload.\n";
+    return 0;
+}

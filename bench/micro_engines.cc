@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Engine micro-costs (google-benchmark): per-event training and
+ * prediction throughput of each engine plus the analysis substrates.
+ * These document the simulation cost of the repository, not a result
+ * from the paper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/sequitur.hh"
+#include "common/rng.hh"
+#include "core/stems.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stride.hh"
+#include "prefetch/tms.hh"
+
+namespace stems {
+namespace {
+
+void
+BM_StrideTrain(benchmark::State &state)
+{
+    StridePrefetcher engine;
+    std::vector<PrefetchRequest> sink;
+    Rng rng(1);
+    Addr a = 0x100000;
+    for (auto _ : state) {
+        a += kBlockBytes;
+        engine.onL1Access(a, 0x400, false);
+        engine.drainRequests(sink);
+        sink.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StrideTrain);
+
+void
+BM_SmsTrainAndPredict(benchmark::State &state)
+{
+    SmsPrefetcher engine;
+    std::vector<PrefetchRequest> sink;
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr region = (Addr{1} << 32) +
+                      Addr(rng.below(1 << 16)) * kRegionBytes;
+        for (unsigned off : {0u, 3u, 9u})
+            engine.onL1Access(addrFromRegionOffset(region, off),
+                              0x500 + off * 4, false);
+        engine.onL1BlockRemoved(region);
+        engine.drainRequests(sink);
+        sink.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_SmsTrainAndPredict);
+
+void
+BM_TmsMissEvent(benchmark::State &state)
+{
+    TmsPrefetcher engine;
+    std::vector<PrefetchRequest> sink;
+    std::uint64_t seq = 0;
+    Rng rng(3);
+    for (auto _ : state) {
+        Addr a = (Addr{1} << 33) +
+                 Addr(rng.below(1 << 18)) * kBlockBytes;
+        engine.onOffChipRead({a, 0x40, seq++, false, -1});
+        engine.drainRequests(sink);
+        sink.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TmsMissEvent);
+
+void
+BM_StemsMissEvent(benchmark::State &state)
+{
+    StemsPrefetcher engine;
+    std::vector<PrefetchRequest> sink;
+    std::uint64_t seq = 0;
+    Rng rng(4);
+    for (auto _ : state) {
+        Addr a = (Addr{1} << 34) +
+                 Addr(rng.below(1 << 18)) * kBlockBytes;
+        engine.onOffChipRead({a, 0x40, seq++, false, -1});
+        engine.drainRequests(sink);
+        sink.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StemsMissEvent);
+
+void
+BM_StemsReconstruction(benchmark::State &state)
+{
+    // A trained RMOB/PST pair; measure windowed reconstruction.
+    PatternSequenceTable pst;
+    RegionMissOrderBuffer rmob(64 * 1024);
+    Rng rng(5);
+    for (int i = 0; i < 4096; ++i) {
+        Addr region = (Addr{1} << 35) + Addr(i) * kRegionBytes;
+        std::uint16_t pc = 0x40;
+        rmob.append(region, pc, 3);
+        std::vector<SpatialElement> seq = {{3, 0}, {9, 1}, {14, 0}};
+        std::uint64_t idx = stemsPatternIndex(pc, 0);
+        pst.train(idx, seq, (1u << 3) | (1u << 9) | (1u << 14));
+    }
+    Reconstructor recon(rmob, pst);
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        auto w = recon.reconstruct(pos % 4000);
+        benchmark::DoNotOptimize(w.sequence.data());
+        pos += 17;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StemsReconstruction);
+
+void
+BM_SequiturAppend(benchmark::State &state)
+{
+    Sequitur s;
+    Rng rng(6);
+    for (auto _ : state)
+        s.append(rng.below(4096));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequiturAppend);
+
+} // namespace
+} // namespace stems
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's Figure 2 motivating example: a non-clustered database
+ * index scan. Pages are scattered through the buffer pool (temporal
+ * behaviour: the page order repeats), and accesses within each page
+ * repeat (spatial behaviour: page ID, lock bits, slot indices, data).
+ *
+ * This example builds exactly that access pattern by hand with the
+ * public trace API, runs STeMS on it, and shows the RMOB/PST division
+ * of labour: triggers stream temporally, intra-page accesses are
+ * filtered from the RMOB and reconstructed spatially.
+ *
+ * Run: ./build/examples/database_scan
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/stems.hh"
+#include "sim/prefetch_sim.hh"
+#include "workloads/workload.hh"
+
+using namespace stems;
+
+int
+main()
+{
+    // --- Build the scan by hand ------------------------------------
+    // A table of 3000 pages, allocated wherever the buffer pool had
+    // room (so page addresses have no spatial relationship).
+    Rng rng(7);
+    PageAllocator pool(rng.fork(1), 1 << 20);
+    std::vector<Addr> pages;
+    for (int i = 0; i < 3000; ++i)
+        pages.push_back(pool.alloc());
+
+    // Every page shares the same layout: page ID (block 0), lock
+    // bits (block 1), slot indices (block 4), then two data blocks.
+    const std::vector<unsigned> layout = {0, 1, 4, 9, 10};
+    const Pc scan_pc = 0x2000;
+
+    TraceBuilder b;
+    auto scan_table = [&]() {
+        b.breakChain();
+        for (Addr page : pages) {
+            bool first = true;
+            std::size_t trigger = 0;
+            for (unsigned off : layout) {
+                if (first) {
+                    trigger = b.size();
+                    // The next page's address came from the index:
+                    // a pointer chase.
+                    b.read(addrFromRegionOffset(page, off),
+                           scan_pc + off * 4, 2, true);
+                    first = false;
+                } else {
+                    b.readWithProducer(
+                        addrFromRegionOffset(page, off),
+                        scan_pc + off * 4, 2, trigger);
+                }
+            }
+        }
+    };
+    // Three scans of the same index: the first trains, the rest
+    // stream.
+    for (int s = 0; s < 3; ++s)
+        scan_table();
+    Trace trace = b.take();
+
+    // --- Run STeMS over it ------------------------------------------
+    StemsPrefetcher engine;
+    SimParams params; // Table 1 hierarchy
+    PrefetchSimulator sim(params, &engine);
+    // Measure the second and third scans (the first is compulsory).
+    sim.run(trace, trace.size() / 3);
+    const SimStats &s = sim.stats();
+
+    std::printf("Figure 2 scan: %zu pages x %zu blocks, 3 scans\n\n",
+                pages.size(), layout.size());
+    std::printf("off-chip read events : %llu\n",
+                static_cast<unsigned long long>(
+                    s.offChipReadEvents()));
+    std::printf("covered by STeMS     : %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(s.covered()),
+                100.0 * s.covered() / s.offChipReadEvents());
+    std::printf("RMOB appends         : %llu (triggers + spatial "
+                "misses)\n",
+                static_cast<unsigned long long>(
+                    engine.rmob().frontier()));
+    std::printf("spatially filtered   : %llu misses never entered "
+                "the RMOB\n",
+                static_cast<unsigned long long>(
+                    engine.filteredMisses()));
+    std::printf("patterns in PST      : %zu\n",
+                engine.pst().trainedPatterns());
+    std::printf("\nThe temporal sequence records only one entry per "
+                "page; the other four\nblocks per page are "
+                "reconstructed from the pattern sequence table.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "analysis/correlation.hh"
+
+namespace stems {
+
+CorrelationAnalyzer::CorrelationAnalyzer(std::size_t l1_bytes,
+                                         std::size_t l1_ways)
+    : l1_("corr-l1", l1_bytes, l1_ways)
+{
+    tracker_.setTerminateCallback(
+        [this](const Generation &g) { onGenerationEnd(g); });
+}
+
+void
+CorrelationAnalyzer::step(const MemRecord &r)
+{
+    if (r.isInvalidate()) {
+        if (l1_.invalidate(r.vaddr))
+            tracker_.blockRemoved(r.vaddr);
+        return;
+    }
+
+    tracker_.access(r.vaddr, r.pc);
+    if (!l1_.access(r.vaddr)) {
+        auto victim = l1_.insert(blockAlign(r.vaddr));
+        if (victim)
+            tracker_.blockRemoved(victim->addr);
+    }
+}
+
+void
+CorrelationAnalyzer::run(const Trace &trace)
+{
+    for (const MemRecord &r : trace)
+        step(r);
+    finish();
+}
+
+void
+CorrelationAnalyzer::finish()
+{
+    tracker_.flush();
+}
+
+void
+CorrelationAnalyzer::onGenerationEnd(const Generation &g)
+{
+    auto it = prior_.find(g.index);
+    if (it == prior_.end()) {
+        ++cold_;
+        prior_.emplace(g.index, g.sequence);
+        return;
+    }
+
+    const std::vector<std::uint8_t> &old = it->second;
+
+    // Position of each offset in the prior sequence (-1 if absent).
+    int pos[kBlocksPerRegion];
+    for (unsigned i = 0; i < kBlocksPerRegion; ++i)
+        pos[i] = -1;
+    for (std::size_t i = 0; i < old.size(); ++i)
+        pos[old[i]] = static_cast<int>(i);
+
+    for (std::size_t i = 0; i + 1 < g.sequence.size(); ++i) {
+        int p1 = pos[g.sequence[i]];
+        int p2 = pos[g.sequence[i + 1]];
+        if (p1 < 0 || p2 < 0) {
+            ++unmatched_;
+            continue;
+        }
+        distances_.add(p2 - p1);
+    }
+
+    it->second = g.sequence;
+}
+
+double
+CorrelationAnalyzer::fractionWithinWindow(std::int64_t window) const
+{
+    return distances_.fractionBetween(-window, window);
+}
+
+} // namespace stems

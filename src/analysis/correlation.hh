@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Intra-generation correlation-distance analysis (paper Figure 8).
+ *
+ * For each terminating spatial generation, the access sequence is
+ * compared against the previous occurrence of the same generation
+ * (identified by its spatial lookup index). For every pair of
+ * consecutive offsets in the new sequence, the correlation distance is
+ * the separation of those two offsets in the prior sequence: +1 means
+ * perfect repetition; anything else is a reordering.
+ */
+
+#ifndef STEMS_ANALYSIS_CORRELATION_HH
+#define STEMS_ANALYSIS_CORRELATION_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/generations.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "trace/trace.hh"
+
+namespace stems {
+
+/**
+ * Computes the Figure 8 correlation-distance distribution for a trace.
+ */
+class CorrelationAnalyzer
+{
+  public:
+    /** Construct with the L1 geometry that delimits generations. */
+    explicit CorrelationAnalyzer(std::size_t l1_bytes = 64 * 1024,
+                                 std::size_t l1_ways = 2);
+
+    /** Feed one trace record. */
+    void step(const MemRecord &r);
+
+    /** Run a whole trace and terminate outstanding generations. */
+    void run(const Trace &trace);
+
+    /** Terminate all active generations (end of input). */
+    void finish();
+
+    /** Distance histogram (bucket +1 = perfect repetition). */
+    const Histogram &distances() const { return distances_; }
+
+    /**
+     * Fraction of consecutive-access pairs whose distance lies in
+     * [-window, +window]. The paper reports windows of 2 and 4.
+     */
+    double fractionWithinWindow(std::int64_t window) const;
+
+    /** Pairs whose offsets were absent from the prior sequence. */
+    std::uint64_t unmatchedPairs() const { return unmatched_; }
+
+    /** Generations with no prior occurrence of their index. */
+    std::uint64_t coldGenerations() const { return cold_; }
+
+  private:
+    void onGenerationEnd(const Generation &g);
+
+    Cache l1_;
+    GenerationTracker tracker_;
+    Histogram distances_;
+    std::uint64_t unmatched_ = 0;
+    std::uint64_t cold_ = 0;
+    /** Last observed sequence per spatial lookup index. */
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        prior_;
+};
+
+} // namespace stems
+
+#endif // STEMS_ANALYSIS_CORRELATION_HH

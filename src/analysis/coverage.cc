@@ -1,0 +1,177 @@
+#include "analysis/coverage.hh"
+
+#include "common/stats.hh"
+
+namespace stems {
+
+namespace {
+
+/** splitmix64 finalizer: strong 64-bit mixing. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Hash a (predecessor, successor) miss pair into one key. */
+std::uint64_t
+pairKey(Addr prev, Addr cur)
+{
+    return mix64(blockNumber(prev)) ^
+           (mix64(blockNumber(cur)) * 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace
+
+double
+JointCoverage::temporalFraction() const
+{
+    return ratio(both + tmsOnly, total());
+}
+
+double
+JointCoverage::spatialFraction() const
+{
+    return ratio(both + smsOnly, total());
+}
+
+double
+JointCoverage::jointFraction() const
+{
+    return ratio(both + tmsOnly + smsOnly, total());
+}
+
+JointCoverageAnalyzer::JointCoverageAnalyzer(
+    const HierarchyParams &params, unsigned temporal_window)
+    : hier_(params), window_(temporal_window == 0 ? 1 : temporal_window)
+{
+    hier_.setL1EvictCallback(
+        [this](Addr a) { tracker_.blockRemoved(a); });
+    tracker_.setTerminateCallback(
+        [this](const Generation &g) { onGenerationEnd(g); });
+}
+
+void
+JointCoverageAnalyzer::onGenerationEnd(const Generation &g)
+{
+    patterns_[g.index] = g.accessedMask;
+    genSnapshot_.erase(g.regionBase);
+}
+
+void
+JointCoverageAnalyzer::step(const MemRecord &r)
+{
+    if (r.isInvalidate()) {
+        hier_.invalidate(r.vaddr);
+        return;
+    }
+
+    auto gen = tracker_.access(r.vaddr, r.pc);
+    if (gen.wasTrigger) {
+        auto it = patterns_.find(gen.generation->index);
+        genSnapshot_[gen.generation->regionBase] =
+            it == patterns_.end() ? 0 : it->second;
+    }
+
+    if (hier_.accessL1(r.vaddr))
+        return;
+    auto l2 = hier_.accessL2(r.vaddr);
+    if (l2.hit) {
+        hier_.fillL1(r.vaddr);
+        return;
+    }
+    hier_.fill(r.vaddr);
+
+    if (!r.isRead())
+        return;
+
+    // Off-chip read miss: classify.
+    Addr block = blockAlign(r.vaddr);
+
+    bool temporal = false;
+    for (Addr prev : recentMisses_) {
+        if (pairsSeen_.count(pairKey(prev, block)) > 0) {
+            temporal = true;
+            break;
+        }
+    }
+
+    bool spatial = false;
+    if (!gen.wasTrigger) {
+        auto it = genSnapshot_.find(regionBase(block));
+        if (it != genSnapshot_.end())
+            spatial = (it->second >> regionOffset(block)) & 1u;
+    }
+
+    if (measuring_) {
+        if (temporal && spatial)
+            ++result_.both;
+        else if (temporal)
+            ++result_.tmsOnly;
+        else if (spatial)
+            ++result_.smsOnly;
+        else
+            ++result_.neither;
+    }
+
+    // Train: this miss is a windowed successor of each recent miss.
+    for (Addr prev : recentMisses_)
+        pairsSeen_.insert(pairKey(prev, block));
+    if (recentMisses_.size() < window_) {
+        recentMisses_.push_back(block);
+    } else {
+        recentMisses_[recentPos_] = block;
+        recentPos_ = (recentPos_ + 1) % window_;
+    }
+}
+
+void
+JointCoverageAnalyzer::run(const Trace &trace,
+                           std::size_t warmup_records)
+{
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i == warmup_records)
+            setMeasuring(true);
+        else if (i == 0 && warmup_records > 0)
+            setMeasuring(false);
+        step(trace[i]);
+    }
+}
+
+MissSequences
+extractMissSequences(const Trace &trace, const HierarchyParams &params)
+{
+    MissSequences out;
+    Hierarchy hier(params);
+    GenerationTracker tracker;
+    hier.setL1EvictCallback(
+        [&tracker](Addr a) { tracker.blockRemoved(a); });
+
+    for (const MemRecord &r : trace) {
+        if (r.isInvalidate()) {
+            hier.invalidate(r.vaddr);
+            continue;
+        }
+        auto gen = tracker.access(r.vaddr, r.pc);
+        if (hier.accessL1(r.vaddr))
+            continue;
+        auto l2 = hier.accessL2(r.vaddr);
+        if (l2.hit) {
+            hier.fillL1(r.vaddr);
+            continue;
+        }
+        hier.fill(r.vaddr);
+        if (!r.isRead())
+            continue;
+        Addr block = blockAlign(r.vaddr);
+        out.allMisses.push_back(block);
+        if (gen.wasTrigger)
+            out.triggers.push_back(block);
+    }
+    return out;
+}
+
+} // namespace stems

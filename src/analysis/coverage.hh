@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Joint temporal/spatial predictability classification (paper
+ * Figure 6) and miss-sequence extraction (input to the Figure 7
+ * Sequitur study).
+ *
+ * Both analyses work on *off-chip read misses*, the metric used
+ * throughout the paper's evaluation. Predictability is judged by
+ * idealized (unbounded-table) oracles:
+ *
+ *  - temporal: the miss follows one of the last W misses in a
+ *    previously observed windowed (predecessor, successor) miss pair.
+ *    The window (default 4, the paper's reordering-window scale from
+ *    Section 5.4) models a streaming engine's tolerance to interleaved
+ *    unrelated misses and small reorderings -- a strict
+ *    consecutive-pair oracle would understate what TMS streams
+ *    actually cover;
+ *  - spatial: the miss's block offset was part of the pattern recorded
+ *    the last time this generation's lookup index (PC+offset) was
+ *    observed, and the miss is not itself the generation trigger — the
+ *    idealization of SMS.
+ */
+
+#ifndef STEMS_ANALYSIS_COVERAGE_HH
+#define STEMS_ANALYSIS_COVERAGE_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/generations.hh"
+#include "mem/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace stems {
+
+/** Figure 6 result: off-chip read misses by predictability class. */
+struct JointCoverage
+{
+    std::uint64_t both = 0;
+    std::uint64_t tmsOnly = 0;
+    std::uint64_t smsOnly = 0;
+    std::uint64_t neither = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return both + tmsOnly + smsOnly + neither;
+    }
+
+    /** Fraction predictable temporally (both + tmsOnly). */
+    double temporalFraction() const;
+
+    /** Fraction predictable spatially (both + smsOnly). */
+    double spatialFraction() const;
+
+    /** Fraction predictable by at least one technique. */
+    double jointFraction() const;
+};
+
+/**
+ * Streams a trace through an L1/L2 model and classifies every off-chip
+ * read miss.
+ */
+class JointCoverageAnalyzer
+{
+  public:
+    /**
+     * @param params           cache geometry delimiting misses.
+     * @param temporal_window  lookback window of the temporal oracle.
+     */
+    explicit JointCoverageAnalyzer(const HierarchyParams &params = {},
+                                   unsigned temporal_window = 4);
+
+    /** Feed one trace record. */
+    void step(const MemRecord &r);
+
+    /**
+     * Run a whole trace.
+     *
+     * @param warmup_records  records used to warm caches and oracle
+     *                        state without being counted (the paper
+     *                        measures from warmed checkpoints).
+     */
+    void run(const Trace &trace, std::size_t warmup_records = 0);
+
+    /** Classification counts so far. */
+    const JointCoverage &result() const { return result_; }
+
+    /** Enable/disable counting (training continues regardless). */
+    void setMeasuring(bool on) { measuring_ = on; }
+
+  private:
+    void onGenerationEnd(const Generation &g);
+
+    Hierarchy hier_;
+    GenerationTracker tracker_;
+    JointCoverage result_;
+    bool measuring_ = true;
+    unsigned window_;
+
+    // Temporal oracle state.
+    std::vector<Addr> recentMisses_; ///< ring of the last W misses
+    std::size_t recentPos_ = 0;
+    std::unordered_set<std::uint64_t> pairsSeen_;
+
+    // Spatial oracle state.
+    std::unordered_map<std::uint64_t, std::uint32_t> patterns_;
+    std::unordered_map<Addr, std::uint32_t> genSnapshot_;
+};
+
+/** Off-chip read-miss sequence plus its spatial-trigger subsequence. */
+struct MissSequences
+{
+    /** Block addresses of all off-chip read misses, in order. */
+    std::vector<Addr> allMisses;
+    /** The subset of allMisses that were generation triggers. */
+    std::vector<Addr> triggers;
+};
+
+/**
+ * Extract the off-chip read-miss sequence and the trigger subsequence
+ * for a trace (input to the Figure 7 repetition study).
+ */
+MissSequences extractMissSequences(const Trace &trace,
+                                   const HierarchyParams &params = {});
+
+} // namespace stems
+
+#endif // STEMS_ANALYSIS_COVERAGE_HH

@@ -1,0 +1,83 @@
+#include "analysis/generations.hh"
+
+namespace stems {
+
+GenerationTracker::AccessResult
+GenerationTracker::access(Addr a, Pc pc)
+{
+    AccessResult res;
+    Addr base = regionBase(a);
+    unsigned offset = regionOffset(a);
+
+    auto it = active_.find(base);
+    if (it == active_.end()) {
+        Generation g;
+        g.regionBase = base;
+        g.triggerPc = pc;
+        g.triggerOffset = offset;
+        g.index = spatialPatternIndex(pc, offset);
+        g.sequence.push_back(static_cast<std::uint8_t>(offset));
+        g.accessedMask = 1u << offset;
+        auto [ins, ok] = active_.emplace(base, std::move(g));
+        (void)ok;
+        res.wasTrigger = true;
+        res.firstTouchOfBlock = true;
+        res.generation = &ins->second;
+        return res;
+    }
+
+    Generation &g = it->second;
+    if (!g.accessed(offset)) {
+        g.sequence.push_back(static_cast<std::uint8_t>(offset));
+        g.accessedMask |= 1u << offset;
+        res.firstTouchOfBlock = true;
+    }
+    res.generation = &g;
+    return res;
+}
+
+void
+GenerationTracker::blockRemoved(Addr a)
+{
+    Addr base = regionBase(a);
+    auto it = active_.find(base);
+    if (it == active_.end())
+        return;
+    if (it->second.accessed(regionOffset(a)))
+        terminate(base);
+}
+
+void
+GenerationTracker::terminate(Addr region_base)
+{
+    auto it = active_.find(region_base);
+    if (it == active_.end())
+        return;
+    Generation g = std::move(it->second);
+    active_.erase(it);
+    ++terminated_;
+    if (onTerminate_)
+        onTerminate_(g);
+}
+
+void
+GenerationTracker::flush()
+{
+    // Drain deterministically: collect keys first because the callback
+    // may inspect tracker state.
+    std::vector<Addr> keys;
+    keys.reserve(active_.size());
+    for (const auto &[base, g] : active_)
+        keys.push_back(base);
+    for (Addr base : keys)
+        terminate(base);
+}
+
+const Generation *
+GenerationTracker::activeGeneration(Addr a) const
+{
+    auto it = active_.find(regionBase(a));
+    return it == active_.end() ? nullptr : &it->second;
+}
+
+} // namespace stems

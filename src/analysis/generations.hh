@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Spatial-generation tracking (unbounded, for analysis passes).
+ *
+ * A spatial generation (paper Section 2.4) begins with the first
+ * (trigger) access to an inactive 2 KB region and ends when one of the
+ * blocks accessed during the generation is evicted or invalidated from
+ * the L1. This tracker is the analysis-side counterpart of the
+ * hardware AGT: it has unbounded capacity and exists to delimit
+ * generations for the Figure 6/7/8 characterization studies.
+ *
+ * The tracker is cache-agnostic: the caller drives it with access and
+ * eviction/invalidation notifications from whatever L1 model it runs.
+ */
+
+#ifndef STEMS_ANALYSIS_GENERATIONS_HH
+#define STEMS_ANALYSIS_GENERATIONS_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stems {
+
+/** SMS-style pattern index: trigger PC combined with trigger offset. */
+constexpr std::uint64_t
+spatialPatternIndex(Pc pc, unsigned trigger_offset)
+{
+    return (pc << 5) ^ trigger_offset;
+}
+
+/**
+ * One active (or just-terminated) spatial generation.
+ */
+struct Generation
+{
+    Addr regionBase = 0;          ///< 2 KB region base address
+    std::uint64_t index = 0;      ///< spatialPatternIndex of trigger
+    Pc triggerPc = 0;             ///< PC of the trigger access
+    unsigned triggerOffset = 0;   ///< block offset of the trigger
+    /** Block offsets in first-access order (each appears once). */
+    std::vector<std::uint8_t> sequence;
+    /** Bitmask over the 32 offsets accessed during the generation. */
+    std::uint32_t accessedMask = 0;
+
+    bool
+    accessed(unsigned offset) const
+    {
+        return (accessedMask >> offset) & 1u;
+    }
+};
+
+/**
+ * Tracks the set of active generations.
+ */
+class GenerationTracker
+{
+  public:
+    /** Invoked with each generation as it terminates. */
+    using TerminateCallback = std::function<void(const Generation &)>;
+
+    /** Register the termination observer (may be null). */
+    void
+    setTerminateCallback(TerminateCallback cb)
+    {
+        onTerminate_ = std::move(cb);
+    }
+
+    /** Result of notifying a demand access. */
+    struct AccessResult
+    {
+        bool wasTrigger = false;      ///< access started a generation
+        bool firstTouchOfBlock = false; ///< block's first access in gen
+        const Generation *generation = nullptr;
+    };
+
+    /**
+     * Notify a demand access (read or write).
+     */
+    AccessResult access(Addr a, Pc pc);
+
+    /**
+     * Notify that a block left the L1 (eviction or invalidation).
+     * Terminates the block's generation when the block was accessed
+     * during it.
+     */
+    void blockRemoved(Addr a);
+
+    /** Terminate every active generation (end of trace). */
+    void flush();
+
+    /** Active generation covering an address, or nullptr. */
+    const Generation *activeGeneration(Addr a) const;
+
+    /** Number of currently active generations. */
+    std::size_t activeCount() const { return active_.size(); }
+
+    /** Total generations terminated so far. */
+    std::uint64_t terminated() const { return terminated_; }
+
+  private:
+    void terminate(Addr region_base);
+
+    std::unordered_map<Addr, Generation> active_; ///< key: region base
+    TerminateCallback onTerminate_;
+    std::uint64_t terminated_ = 0;
+};
+
+} // namespace stems
+
+#endif // STEMS_ANALYSIS_GENERATIONS_HH

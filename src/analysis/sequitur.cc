@@ -1,0 +1,455 @@
+#include "analysis/sequitur.hh"
+
+#include "common/log.hh"
+
+namespace stems {
+
+Sequitur::Sequitur()
+{
+    root_ = newRule();
+    // The root rule does not participate in utility accounting.
+    rules_.erase(root_);
+}
+
+Sequitur::~Sequitur()
+{
+    auto free_rule_storage = [](Rule *r) {
+        Sym *s = r->guard->next;
+        while (s != r->guard) {
+            Sym *next = s->next;
+            delete s;
+            s = next;
+        }
+        delete r->guard;
+        delete r;
+    };
+    for (Rule *r : rules_)
+        free_rule_storage(r);
+    free_rule_storage(root_);
+}
+
+std::uint64_t
+Sequitur::code(const Sym *s)
+{
+    // Terminals and nonterminals must never collide: terminals encode
+    // as even numbers, rule references as odd.
+    if (s->rule)
+        return (static_cast<std::uint64_t>(s->rule->id) << 1) | 1;
+    return s->value << 1;
+}
+
+Sequitur::DigramKey
+Sequitur::key(const Sym *a)
+{
+    return {code(a), code(a->next)};
+}
+
+Sequitur::Rule *
+Sequitur::newRule()
+{
+    Rule *r = new Rule;
+    r->id = nextRuleId_++;
+    r->useCount = 0;
+    r->guard = new Sym;
+    r->guard->guard = true;
+    r->guard->owner = r;
+    r->guard->next = r->guard;
+    r->guard->prev = r->guard;
+    rules_.insert(r);
+    return r;
+}
+
+Sequitur::Sym *
+Sequitur::newTerminal(std::uint64_t value)
+{
+    Sym *s = new Sym;
+    s->value = value;
+    liveSyms_.insert(s);
+    return s;
+}
+
+Sequitur::Sym *
+Sequitur::newNonterminal(Rule *r)
+{
+    Sym *s = new Sym;
+    s->rule = r;
+    ++r->useCount;
+    liveSyms_.insert(s);
+    return s;
+}
+
+void
+Sequitur::freeSym(Sym *s)
+{
+    if (s->rule) {
+        if (s->rule->useCount == 0)
+            panic("sequitur: rule use count underflow");
+        --s->rule->useCount;
+    }
+    liveSyms_.erase(s);
+    delete s;
+}
+
+void
+Sequitur::join(Sym *a, Sym *b)
+{
+    a->next = b;
+    b->prev = a;
+}
+
+void
+Sequitur::insertAfter(Sym *pos, Sym *s)
+{
+    join(s, pos->next);
+    join(pos, s);
+}
+
+bool
+Sequitur::removeDigramEntry(Sym *a)
+{
+    if (a->guard || a->next->guard)
+        return false;
+    auto it = index_.find(key(a));
+    if (it != index_.end() && it->second == a) {
+        index_.erase(it);
+        return true;
+    }
+    return false;
+}
+
+void
+Sequitur::scrubDigram(Sym *a)
+{
+    // The digram (a, a->next) is about to die. If it owned the index
+    // entry for its type, an *overlapping* twin occurrence (runs like
+    // "x x x" index only their first digram) may survive unindexed;
+    // requeue both potential twins so they regain index coverage.
+    if (removeDigramEntry(a)) {
+        queueCheck(a->prev); // left twin: (a->prev, a)
+        queueCheck(a->next); // right twin: (a->next, a->next->next)
+    }
+}
+
+void
+Sequitur::unlinkAndFree(Sym *s)
+{
+    // Both digrams touching s die with it; scrub their index entries
+    // eagerly so the index never holds a pointer to freed storage.
+    scrubDigram(s->prev);
+    scrubDigram(s);
+    join(s->prev, s->next);
+    freeSym(s);
+}
+
+void
+Sequitur::append(std::uint64_t value)
+{
+    ++inputLength_;
+    ++valueCounts_[value];
+    Sym *s = newTerminal(value);
+    insertAfter(root_->guard->prev, s);
+    queueCheck(s->prev);
+    drainChecks();
+}
+
+void
+Sequitur::queueCheck(Sym *a)
+{
+    if (a != nullptr && !a->guard)
+        pending_.push_back(a);
+}
+
+void
+Sequitur::drainChecks()
+{
+    while (!pending_.empty()) {
+        Sym *a = pending_.back();
+        pending_.pop_back();
+        // A queued symbol may have been rewritten away; its digram
+        // died with it, and any digram created by that rewrite was
+        // queued by the rewrite itself.
+        if (!liveSyms_.count(a))
+            continue;
+        checkDigram(a);
+    }
+}
+
+void
+Sequitur::checkDigram(Sym *a)
+{
+    if (a == nullptr || a->guard || a->next->guard)
+        return;
+
+    DigramKey k = key(a);
+    auto it = index_.find(k);
+    if (it == index_.end()) {
+        index_.emplace(k, a);
+        return;
+    }
+
+    Sym *found = it->second;
+    if (found == a)
+        return;
+    if (found->next == a || a->next == found) {
+        // Overlapping occurrence (e.g. "aaa"): leave as is.
+        return;
+    }
+
+    match(a, found);
+}
+
+void
+Sequitur::match(Sym *fresh, Sym *found)
+{
+    Rule *r = nullptr;
+
+    if (found->prev->guard && found->next->next->guard) {
+        // The found occurrence is a complete rule body: reuse it.
+        r = found->prev->owner;
+        substitute(fresh, r);
+    } else {
+        // Form a new rule from a copy of the digram.
+        r = newRule();
+        Sym *c1 = fresh->rule ? newNonterminal(fresh->rule)
+                              : newTerminal(fresh->value);
+        Sym *c2 = fresh->next->rule
+                      ? newNonterminal(fresh->next->rule)
+                      : newTerminal(fresh->next->value);
+        insertAfter(r->guard, c1);
+        insertAfter(c1, c2);
+        substitute(found, r);
+        substitute(fresh, r);
+        index_[key(r->first())] = r->first();
+    }
+
+    // Rule utility: the substitutions above may have consumed the
+    // second-to-last reference of a sub-rule appearing in r's body.
+    // Expansions are local splices (their boundary digram checks are
+    // deferred), so both body edges can be handled here safely.
+    Sym *f = r->first();
+    if (f->rule && f->rule->useCount == 1)
+        expandUnderusedRule(f);
+    Sym *l = r->last();
+    if (l->rule && l->rule->useCount == 1)
+        expandUnderusedRule(l);
+}
+
+Sequitur::Sym *
+Sequitur::substitute(Sym *first, Rule *r)
+{
+    Sym *prev = first->prev;
+    unlinkAndFree(first->next);
+    unlinkAndFree(first);
+    Sym *n = newNonterminal(r);
+    insertAfter(prev, n);
+    // LIFO: the (prev, n) digram is examined before (n, next); if the
+    // former rewrites n away, the latter's job is dropped by the
+    // liveness filter.
+    queueCheck(n);
+    queueCheck(prev);
+    return n;
+}
+
+void
+Sequitur::expandUnderusedRule(Sym *s)
+{
+    Rule *q = s->rule;
+    if (q == nullptr || q->useCount != 1)
+        panic("sequitur: expanding a rule that is not underused");
+
+    Sym *left = s->prev;
+    Sym *right = s->next;
+    Sym *f = q->first();
+    Sym *l = q->last();
+
+    // Digrams touching s die; scrub their entries.
+    scrubDigram(left);
+    scrubDigram(s);
+
+    // Splice q's body in place of s.
+    join(left, f);
+    join(l, right);
+
+    // Retire the rule: its body now belongs to the containing rule.
+    rules_.erase(q);
+    s->rule = nullptr; // consume the final use without deuse recursion
+    liveSyms_.erase(s);
+    delete s;
+    delete q->guard;
+    delete q;
+
+    // The splice created (left, f) and (l, right); queue both for
+    // proper uniqueness handling (a blind index write here would
+    // orphan any existing occurrence of the same digram).
+    queueCheck(l);
+    queueCheck(left);
+}
+
+std::size_t
+Sequitur::ruleCount() const
+{
+    return rules_.size();
+}
+
+std::uint64_t
+Sequitur::expandedLength(const Rule *r) const
+{
+    std::uint64_t len = 0;
+    for (const Sym *s = r->guard->next; s != r->guard; s = s->next) {
+        if (s->rule) {
+            auto it = lengthMemo_.find(s->rule);
+            if (it != lengthMemo_.end()) {
+                len += it->second;
+            } else {
+                std::uint64_t sub = expandedLength(s->rule);
+                lengthMemo_.emplace(s->rule, sub);
+                len += sub;
+            }
+        } else {
+            ++len;
+        }
+    }
+    return len;
+}
+
+void
+Sequitur::expandInto(const Rule *r, std::vector<std::uint64_t> &out) const
+{
+    for (const Sym *s = r->guard->next; s != r->guard; s = s->next) {
+        if (s->rule)
+            expandInto(s->rule, out);
+        else
+            out.push_back(s->value);
+    }
+}
+
+std::vector<std::uint64_t>
+Sequitur::expand() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(inputLength_));
+    expandInto(root_, out);
+    return out;
+}
+
+bool
+Sequitur::checkInvariants() const
+{
+    return invariantViolation().empty();
+}
+
+std::string
+Sequitur::invariantViolation() const
+{
+    // Digram uniqueness: collect every digram occurrence in every rule
+    // body; two non-overlapping occurrences of the same digram violate
+    // the invariant.
+    std::unordered_map<DigramKey, std::vector<const Sym *>, DigramHash>
+        occurrences;
+
+    auto scan_rule = [&](const Rule *r) {
+        for (const Sym *s = r->guard->next; s != r->guard;
+             s = s->next) {
+            if (!s->next->guard)
+                occurrences[key(s)].push_back(s);
+        }
+    };
+    scan_rule(root_);
+    for (const Rule *r : rules_)
+        scan_rule(r);
+
+    for (const auto &[k, occs] : occurrences) {
+        for (std::size_t i = 0; i < occs.size(); ++i) {
+            for (std::size_t j = i + 1; j < occs.size(); ++j) {
+                const Sym *a = occs[i];
+                const Sym *b = occs[j];
+                if (a->next != b && b->next != a) {
+                    auto where = [&](const Sym *s) {
+                        std::string ctx = "[prev=";
+                        ctx += s->prev->guard
+                                   ? "G"
+                                   : std::to_string(code(s->prev));
+                        ctx += " next2=";
+                        ctx += s->next->next->guard
+                                   ? "G"
+                                   : std::to_string(
+                                         code(s->next->next));
+                        auto idx = index_.find(k);
+                        ctx += idx == index_.end()
+                                   ? " noidx"
+                                   : (idx->second == s ? " IDX"
+                                                       : " other");
+                        return ctx + "]";
+                    };
+                    return "duplicate digram (" +
+                           std::to_string(k.first) + "," +
+                           std::to_string(k.second) + ") " +
+                           where(a) + " vs " + where(b);
+                }
+            }
+        }
+    }
+
+    // Rule utility: every non-root rule referenced at least twice, and
+    // stored use counts must match actual reference counts.
+    std::unordered_map<const Rule *, std::uint32_t> refs;
+    auto count_refs = [&](const Rule *r) {
+        for (const Sym *s = r->guard->next; s != r->guard; s = s->next)
+            if (s->rule)
+                ++refs[s->rule];
+    };
+    count_refs(root_);
+    for (const Rule *r : rules_)
+        count_refs(r);
+
+    for (const Rule *r : rules_) {
+        auto it = refs.find(r);
+        std::uint32_t actual = it == refs.end() ? 0 : it->second;
+        if (actual < 2) {
+            return "rule " + std::to_string(r->id) + " used " +
+                   std::to_string(actual) + " time(s)";
+        }
+        if (actual != r->useCount) {
+            return "rule " + std::to_string(r->id) +
+                   " use count mismatch: stored " +
+                   std::to_string(r->useCount) + ", actual " +
+                   std::to_string(actual);
+        }
+    }
+    return "";
+}
+
+Sequitur::Classification
+Sequitur::classify() const
+{
+    lengthMemo_.clear();
+    Classification c;
+    std::unordered_set<const Rule *> seen_rules;
+    std::unordered_set<std::uint64_t> seen_values;
+
+    for (const Sym *s = root_->guard->next; s != root_->guard;
+         s = s->next) {
+        if (s->rule) {
+            std::uint64_t len = expandedLength(s->rule);
+            if (seen_rules.insert(s->rule).second) {
+                c.newFirst += len;
+            } else {
+                c.head += 1;
+                c.opportunity += len - 1;
+            }
+        } else {
+            auto it = valueCounts_.find(s->value);
+            std::uint64_t total =
+                it == valueCounts_.end() ? 0 : it->second;
+            if (total <= 1)
+                c.nonRepetitive += 1;
+            else if (seen_values.insert(s->value).second)
+                c.newFirst += 1;
+            else
+                c.head += 1;
+        }
+    }
+    return c;
+}
+
+} // namespace stems

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Sequitur hierarchical grammar inference (Nevill-Manning & Witten,
+ * JAIR 1997).
+ *
+ * The paper (Section 5.3) uses Sequitur to quantify temporal repetition
+ * in miss-address sequences: the grammar's production rules correspond
+ * to distinct repetitive subsequences. This is a from-scratch,
+ * linear-time implementation maintaining the two Sequitur invariants:
+ *
+ *  - digram uniqueness: no pair of adjacent symbols appears more than
+ *    once in the grammar;
+ *  - rule utility: every rule (except the root) is referenced at least
+ *    twice.
+ *
+ * On top of the grammar we implement the paper's Figure 7 miss
+ * classification: each input symbol is attributed to one of
+ * {non-repetitive, new, head, opportunity}.
+ */
+
+#ifndef STEMS_ANALYSIS_SEQUITUR_HH
+#define STEMS_ANALYSIS_SEQUITUR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace stems {
+
+/**
+ * Incremental Sequitur grammar over 64-bit symbols.
+ */
+class Sequitur
+{
+  public:
+    Sequitur();
+    ~Sequitur();
+
+    Sequitur(const Sequitur &) = delete;
+    Sequitur &operator=(const Sequitur &) = delete;
+
+    /** Append one input symbol, maintaining the grammar invariants. */
+    void append(std::uint64_t value);
+
+    /** Number of input symbols appended so far. */
+    std::uint64_t inputLength() const { return inputLength_; }
+
+    /** Number of production rules, excluding the root. */
+    std::size_t ruleCount() const;
+
+    /**
+     * Expand the grammar back into the input sequence.
+     *
+     * Primarily a correctness oracle for tests: the expansion must
+     * equal the appended input exactly.
+     */
+    std::vector<std::uint64_t> expand() const;
+
+    /**
+     * Verify the two Sequitur invariants by brute force.
+     *
+     * @return true when no digram repeats and every non-root rule is
+     *         used at least twice.
+     */
+    bool checkInvariants() const;
+
+    /**
+     * Brute-force invariant check with diagnostics.
+     *
+     * @return an empty string when the invariants hold, otherwise a
+     *         description of the first violation found.
+     */
+    std::string invariantViolation() const;
+
+    /**
+     * Figure 7 miss classification (counts over the input symbols).
+     *
+     * Categories, following Section 5.3:
+     *  - nonRepetitive: symbols not belonging to any repeated
+     *    subsequence and whose value never recurs;
+     *  - newFirst: symbols in the first occurrence of a repeated
+     *    subsequence (the occurrence that trains a predictor);
+     *  - head: the leading symbol of each subsequent occurrence (the
+     *    miss that locates the stream; not itself predictable);
+     *  - opportunity: the non-head symbols of subsequent occurrences
+     *    (the misses a temporal streaming engine can cover).
+     */
+    struct Classification
+    {
+        std::uint64_t nonRepetitive = 0;
+        std::uint64_t newFirst = 0;
+        std::uint64_t head = 0;
+        std::uint64_t opportunity = 0;
+
+        std::uint64_t
+        total() const
+        {
+            return nonRepetitive + newFirst + head + opportunity;
+        }
+    };
+
+    /** Classify the input symbols (see Classification). */
+    Classification classify() const;
+
+  private:
+    struct Rule;
+
+    struct Sym
+    {
+        Sym *next = nullptr;
+        Sym *prev = nullptr;
+        std::uint64_t value = 0; ///< terminal payload
+        Rule *rule = nullptr;    ///< non-null: nonterminal reference
+        bool guard = false;      ///< rule's sentinel node
+        Rule *owner = nullptr;   ///< for guards: the owning rule
+    };
+
+    struct Rule
+    {
+        std::uint32_t id = 0;
+        std::uint32_t useCount = 0;
+        Sym *guard = nullptr;
+
+        Sym *first() const { return guard->next; }
+        Sym *last() const { return guard->prev; }
+    };
+
+    using DigramKey = std::pair<std::uint64_t, std::uint64_t>;
+
+    struct DigramHash
+    {
+        std::size_t
+        operator()(const DigramKey &k) const
+        {
+            std::uint64_t h = k.first * 0x9e3779b97f4a7c15ULL;
+            h ^= k.second + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                 (h >> 2);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    static std::uint64_t code(const Sym *s);
+    static DigramKey key(const Sym *a);
+
+    Rule *newRule();
+    void freeRule(Rule *r);
+    Sym *newTerminal(std::uint64_t value);
+    Sym *newNonterminal(Rule *r);
+    void freeSym(Sym *s);
+
+    static void join(Sym *a, Sym *b);
+    void insertAfter(Sym *pos, Sym *s);
+
+    /**
+     * Remove the index entry for the digram starting at a when the
+     * entry points at this occurrence. @return true when erased.
+     */
+    bool removeDigramEntry(Sym *a);
+
+    /**
+     * Scrub a dying digram's index entry and requeue any surviving
+     * overlap twins (see implementation comment).
+     */
+    void scrubDigram(Sym *a);
+
+    void unlinkAndFree(Sym *s);
+
+    /**
+     * Queue the digram starting at a for a (deferred) uniqueness
+     * check. Deferral avoids re-entrant rewrites: jobs are validated
+     * against the live-symbol set when they are drained, so a rewrite
+     * can never act on freed storage.
+     */
+    void queueCheck(Sym *a);
+
+    /** Drain the pending digram checks until the grammar is stable. */
+    void drainChecks();
+
+    /** Enforce digram uniqueness for one digram (called by drain). */
+    void checkDigram(Sym *a);
+
+    void match(Sym *fresh, Sym *found);
+    Sym *substitute(Sym *first, Rule *r);
+    void expandUnderusedRule(Sym *nonterminal);
+
+    std::uint64_t expandedLength(const Rule *r) const;
+    void expandInto(const Rule *r,
+                    std::vector<std::uint64_t> &out) const;
+
+    Rule *root_ = nullptr;
+    std::uint32_t nextRuleId_ = 0;
+    std::uint64_t inputLength_ = 0;
+    std::unordered_map<DigramKey, Sym *, DigramHash> index_;
+    std::unordered_set<Rule *> rules_;
+    std::unordered_map<std::uint64_t, std::uint64_t> valueCounts_;
+    mutable std::unordered_map<const Rule *, std::uint64_t> lengthMemo_;
+
+    /** LIFO of digram-check jobs (symbol = first of the digram). */
+    std::vector<Sym *> pending_;
+    /** Live non-guard symbols; validates queued jobs. */
+    std::unordered_set<Sym *> liveSyms_;
+};
+
+} // namespace stems
+
+#endif // STEMS_ANALYSIS_SEQUITUR_HH

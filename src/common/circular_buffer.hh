@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fixed-capacity circular buffer with monotonically increasing logical
+ * positions.
+ *
+ * This is the storage discipline behind both the TMS miss-order buffer
+ * and the STeMS region miss-order buffer (RMOB): entries are appended
+ * forever, old entries are overwritten once capacity wraps, and
+ * consumers address entries by their *logical* append position so that a
+ * stale position can be detected (it has been overwritten) rather than
+ * silently aliasing onto newer data.
+ */
+
+#ifndef STEMS_COMMON_CIRCULAR_BUFFER_HH
+#define STEMS_COMMON_CIRCULAR_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace stems {
+
+/**
+ * Append-only circular buffer addressed by logical position.
+ *
+ * @tparam T  entry type; must be copyable.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    /** Logical position of an appended entry (0 for the first append). */
+    using Position = std::uint64_t;
+
+    /** Construct with a fixed capacity (> 0). */
+    explicit CircularBuffer(std::size_t capacity)
+        : storage_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    /**
+     * Append an entry, overwriting the oldest once full.
+     *
+     * @return the logical position assigned to the entry.
+     */
+    Position
+    append(const T &entry)
+    {
+        storage_[static_cast<std::size_t>(next_ % storage_.size())] =
+            entry;
+        return next_++;
+    }
+
+    /** Total number of entries ever appended. */
+    Position size() const { return next_; }
+
+    /** Fixed capacity. */
+    std::size_t capacity() const { return storage_.size(); }
+
+    /** Number of entries currently live (not yet overwritten). */
+    std::size_t
+    live() const
+    {
+        return next_ < storage_.size()
+            ? static_cast<std::size_t>(next_)
+            : storage_.size();
+    }
+
+    /** Oldest logical position still resident. */
+    Position
+    oldest() const
+    {
+        return next_ < storage_.size() ? 0 : next_ - storage_.size();
+    }
+
+    /** True when the position is still resident (not overwritten). */
+    bool
+    contains(Position pos) const
+    {
+        return pos < next_ && pos >= oldest();
+    }
+
+    /**
+     * Fetch the entry at a logical position.
+     *
+     * @return std::nullopt when the position was overwritten or has not
+     *         been written yet.
+     */
+    std::optional<T>
+    at(Position pos) const
+    {
+        if (!contains(pos))
+            return std::nullopt;
+        return storage_[static_cast<std::size_t>(pos % storage_.size())];
+    }
+
+  private:
+    std::vector<T> storage_;
+    Position next_ = 0;
+};
+
+} // namespace stems
+
+#endif // STEMS_COMMON_CIRCULAR_BUFFER_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal error-reporting helpers, following the gem5 fatal/panic
+ * distinction: fatal() for user/configuration errors, panic() for
+ * internal invariant violations.
+ */
+
+#ifndef STEMS_COMMON_LOG_HH
+#define STEMS_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stems {
+
+/** Abort on an internal invariant violation (a bug in this library). */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit on a user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace stems
+
+#endif // STEMS_COMMON_LOG_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Set-associative, LRU-replaced lookup table.
+ *
+ * The finite predictor structures in this repository (SMS PHT, STeMS
+ * PST, AGT, stride table) are all bounded set-associative tables with
+ * LRU replacement; this template captures that discipline once.
+ */
+
+#ifndef STEMS_COMMON_LRU_TABLE_HH
+#define STEMS_COMMON_LRU_TABLE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace stems {
+
+/**
+ * A set-associative table mapping a 64-bit key to a value, with
+ * per-set LRU replacement.
+ *
+ * @tparam V  value type; must be default-constructible.
+ */
+template <typename V>
+class LruTable
+{
+  public:
+    /**
+     * Construct a table.
+     *
+     * @param entries  total entry count (rounded up to a multiple of
+     *                 the associativity).
+     * @param ways     associativity (> 0).
+     */
+    LruTable(std::size_t entries, std::size_t ways)
+        : ways_(ways)
+    {
+        assert(ways > 0 && entries > 0);
+        sets_ = (entries + ways - 1) / ways;
+        slots_.resize(sets_ * ways_);
+    }
+
+    /**
+     * Find a value, promoting it to MRU on hit.
+     *
+     * @return pointer to the value, or nullptr on miss.
+     */
+    V *
+    find(std::uint64_t key)
+    {
+        Slot *s = findSlot(key);
+        if (!s)
+            return nullptr;
+        touch(*s);
+        return &s->value;
+    }
+
+    /** Find without updating recency. @return nullptr on miss. */
+    const V *
+    peek(std::uint64_t key) const
+    {
+        const Slot *s = findSlot(key);
+        return s ? &s->value : nullptr;
+    }
+
+    /**
+     * Find or insert (default-constructed) a value; promotes to MRU.
+     *
+     * When insertion evicts a valid victim, the optional callback is
+     * invoked with the victim's key and value before it is destroyed.
+     *
+     * @return reference to the (possibly new) value.
+     */
+    V &
+    findOrInsert(std::uint64_t key,
+                 const std::function<void(std::uint64_t, V &)>
+                     &on_evict = nullptr)
+    {
+        if (V *v = find(key))
+            return *v;
+        Slot &victim = victimSlot(key);
+        if (victim.valid && on_evict)
+            on_evict(victim.key, victim.value);
+        victim.valid = true;
+        victim.key = key;
+        victim.value = V();
+        touch(victim);
+        return victim.value;
+    }
+
+    /** Remove an entry if present. @return true when removed. */
+    bool
+    erase(std::uint64_t key)
+    {
+        Slot *s = findSlot(key);
+        if (!s)
+            return false;
+        s->valid = false;
+        return true;
+    }
+
+    /** Number of valid entries across all sets. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Slot &s : slots_)
+            if (s.valid)
+                ++n;
+        return n;
+    }
+
+    /** Total capacity. */
+    std::size_t capacity() const { return sets_ * ways_; }
+
+    /**
+     * Visit every valid entry (key, value).
+     */
+    void
+    forEach(const std::function<void(std::uint64_t, V &)> &fn)
+    {
+        for (Slot &s : slots_)
+            if (s.valid)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lru = 0;
+        V value{};
+    };
+
+    std::size_t setIndex(std::uint64_t key) const
+    {
+        // Multiplicative hash spreads structured keys (PC+offset
+        // concatenations) across sets.
+        return static_cast<std::size_t>(
+            (key * 0x9e3779b97f4a7c15ULL) >> 32) % sets_;
+    }
+
+    Slot *
+    findSlot(std::uint64_t key)
+    {
+        std::size_t base = setIndex(key) * ways_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Slot &s = slots_[base + w];
+            if (s.valid && s.key == key)
+                return &s;
+        }
+        return nullptr;
+    }
+
+    const Slot *
+    findSlot(std::uint64_t key) const
+    {
+        std::size_t base = setIndex(key) * ways_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            const Slot &s = slots_[base + w];
+            if (s.valid && s.key == key)
+                return &s;
+        }
+        return nullptr;
+    }
+
+    Slot &
+    victimSlot(std::uint64_t key)
+    {
+        std::size_t base = setIndex(key) * ways_;
+        Slot *victim = &slots_[base];
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Slot &s = slots_[base + w];
+            if (!s.valid)
+                return s;
+            if (s.lru < victim->lru)
+                victim = &s;
+        }
+        return *victim;
+    }
+
+    void touch(Slot &s) { s.lru = ++clock_; }
+
+    std::size_t ways_;
+    std::size_t sets_ = 0;
+    std::uint64_t clock_ = 0;
+    std::vector<Slot> slots_;
+};
+
+} // namespace stems
+
+#endif // STEMS_COMMON_LRU_TABLE_HH

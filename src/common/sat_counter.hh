@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Saturating counter, the hysteresis element used by the SMS/STeMS
+ * pattern tables (paper Section 4.3: 2-bit counters per block).
+ */
+
+#ifndef STEMS_COMMON_SAT_COUNTER_HH
+#define STEMS_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+namespace stems {
+
+/**
+ * An N-bit saturating counter.
+ *
+ * Counts in [0, 2^bits - 1]. The prediction threshold convention used
+ * throughout this repository: a counter predicts "taken" when its value
+ * is in the upper half of the range (e.g., >= 2 for a 2-bit counter).
+ */
+class SatCounter
+{
+  public:
+    /** Construct with a bit width and an initial value. */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : max_((1u << bits) - 1),
+          value_(initial > max_ ? max_ : initial)
+    {}
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to a specific value (clamped). */
+    void set(unsigned v) { value_ = v > max_ ? max_ : v; }
+
+    /** Current value. */
+    unsigned value() const { return value_; }
+
+    /** Maximum representable value. */
+    unsigned max() const { return max_; }
+
+    /** True when the counter is in the predicting (upper) half. */
+    bool predicts() const { return value_ > max_ / 2; }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t value_;
+};
+
+} // namespace stems
+
+#endif // STEMS_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,94 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace stems {
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+std::string
+fmtPct(double fraction, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtX(double v, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*fx", decimals, v);
+    return buf;
+}
+
+void
+Histogram::add(std::int64_t bucket, std::uint64_t count)
+{
+    buckets_[bucket] += count;
+    total_ += count;
+    weightedSum_ += bucket * static_cast<std::int64_t>(count);
+}
+
+std::uint64_t
+Histogram::count(std::int64_t bucket) const
+{
+    auto it = buckets_.find(bucket);
+    return it == buckets_.end() ? 0 : it->second;
+}
+
+double
+Histogram::fractionBetween(std::int64_t lo, std::int64_t hi) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t n = 0;
+    for (auto it = buckets_.lower_bound(lo);
+         it != buckets_.end() && it->first <= hi; ++it) {
+        n += it->second;
+    }
+    return ratio(n, total_);
+}
+
+double
+Histogram::fractionWithin(std::int64_t window) const
+{
+    return fractionBetween(-window, window);
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0
+        ? 0.0
+        : static_cast<double>(weightedSum_) /
+              static_cast<double>(total_);
+}
+
+std::int64_t
+Histogram::minBucket() const
+{
+    return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+std::int64_t
+Histogram::maxBucket() const
+{
+    return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+} // namespace stems

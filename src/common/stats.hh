@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small statistics toolkit: counters, signed-bucket histograms and
+ * formatting helpers used by the analysis modules and the benchmark
+ * harnesses.
+ */
+
+#ifndef STEMS_COMMON_STATS_HH
+#define STEMS_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace stems {
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+double ratio(std::uint64_t num, std::uint64_t den);
+
+/** Format a fraction as a percentage string, e.g. "62.1%". */
+std::string fmtPct(double fraction, int decimals = 1);
+
+/** Format a double with a fixed number of decimals. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a speedup multiplier, e.g. "1.31x". */
+std::string fmtX(double v, int decimals = 2);
+
+/**
+ * Histogram over signed integer buckets.
+ *
+ * Used for correlation-distance distributions (paper Figure 8) and
+ * reconstruction-displacement statistics (paper Section 4.3).
+ */
+class Histogram
+{
+  public:
+    /** Record one sample of the given bucket value. */
+    void add(std::int64_t bucket, std::uint64_t count = 1);
+
+    /** Samples recorded in one bucket. */
+    std::uint64_t count(std::int64_t bucket) const;
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in [lo, hi] (inclusive). */
+    double fractionBetween(std::int64_t lo, std::int64_t hi) const;
+
+    /** Fraction of samples with |bucket| <= window. */
+    double fractionWithin(std::int64_t window) const;
+
+    /** Mean bucket value. */
+    double mean() const;
+
+    /** Smallest recorded bucket (0 when empty). */
+    std::int64_t minBucket() const;
+
+    /** Largest recorded bucket (0 when empty). */
+    std::int64_t maxBucket() const;
+
+    /** Read-only access to the underlying buckets. */
+    const std::map<std::int64_t, std::uint64_t> &
+    buckets() const
+    {
+        return buckets_;
+    }
+
+  private:
+    std::map<std::int64_t, std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    std::int64_t weightedSum_ = 0;
+};
+
+} // namespace stems
+
+#endif // STEMS_COMMON_STATS_HH

@@ -1,0 +1,92 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace stems {
+
+namespace {
+
+/** Sentinel cell content marking a separator row. */
+const std::string kSeparator = "\x01--";
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_sep = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| ";
+            if (c == 0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    print_sep();
+    print_row(headers_);
+    print_sep();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            print_sep();
+        else
+            print_row(row);
+    }
+    print_sep();
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace stems

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print
+ * figure/table rows in the same layout as the paper's plots.
+ */
+
+#ifndef STEMS_COMMON_TABLE_HH
+#define STEMS_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stems {
+
+/**
+ * A simple left-aligned-first-column, right-aligned-rest ASCII table.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace stems
+
+#endif // STEMS_COMMON_TABLE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental types and address-geometry helpers shared by every module.
+ *
+ * The memory system models 64-byte cache blocks grouped into 2 KB spatial
+ * regions (32 blocks per region), matching the configuration used
+ * throughout the STeMS paper (Somogyi et al., ISCA 2009, Section 2.4 and
+ * Table 1).
+ */
+
+#ifndef STEMS_COMMON_TYPES_HH
+#define STEMS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace stems {
+
+/** Byte address in the modelled (physical) address space. */
+using Addr = std::uint64_t;
+
+/** Program counter of a memory instruction. */
+using Pc = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycles = std::uint64_t;
+
+/** Log2 of the cache-block size (64 B blocks). */
+inline constexpr unsigned kBlockShift = 6;
+
+/** Cache-block size in bytes. */
+inline constexpr Addr kBlockBytes = Addr{1} << kBlockShift;
+
+/** Log2 of the spatial-region size (2 KB regions). */
+inline constexpr unsigned kRegionShift = 11;
+
+/** Spatial-region size in bytes. */
+inline constexpr Addr kRegionBytes = Addr{1} << kRegionShift;
+
+/** Number of cache blocks in a spatial region (32). */
+inline constexpr unsigned kBlocksPerRegion =
+    1u << (kRegionShift - kBlockShift);
+
+/** Strip the block offset, yielding the block-aligned address. */
+constexpr Addr blockAlign(Addr a) { return a & ~(kBlockBytes - 1); }
+
+/** Block number (address divided by the block size). */
+constexpr Addr blockNumber(Addr a) { return a >> kBlockShift; }
+
+/** Strip the region offset, yielding the region-aligned base address. */
+constexpr Addr regionBase(Addr a) { return a & ~(kRegionBytes - 1); }
+
+/** Region number (address divided by the region size). */
+constexpr Addr regionNumber(Addr a) { return a >> kRegionShift; }
+
+/**
+ * Block offset of an address within its spatial region, in blocks.
+ *
+ * @return a value in [0, kBlocksPerRegion).
+ */
+constexpr unsigned
+regionOffset(Addr a)
+{
+    return static_cast<unsigned>((a >> kBlockShift) &
+                                 (kBlocksPerRegion - 1));
+}
+
+/** Rebuild a block address from a region base and a block offset. */
+constexpr Addr
+addrFromRegionOffset(Addr region_base, unsigned offset)
+{
+    return region_base + (Addr{offset} << kBlockShift);
+}
+
+} // namespace stems
+
+#endif // STEMS_COMMON_TYPES_HH

@@ -1,0 +1,44 @@
+#include "core/agt.hh"
+
+namespace stems {
+
+StemsAgt::StemsAgt(StemsAgtParams params)
+    : table_(params.entries, params.entries)
+{
+}
+
+StemsGeneration *
+StemsAgt::find(Addr region_base)
+{
+    return table_.find(regionNumber(region_base));
+}
+
+StemsGeneration &
+StemsAgt::open(Addr region_base)
+{
+    StemsGeneration &gen = table_.findOrInsert(
+        regionNumber(region_base),
+        [this](std::uint64_t, StemsGeneration &victim) {
+            if (onEnd_)
+                onEnd_(victim);
+        });
+    gen = StemsGeneration{};
+    gen.regionBase = regionBase(region_base);
+    return gen;
+}
+
+void
+StemsAgt::blockRemoved(Addr a)
+{
+    StemsGeneration *gen = find(regionBase(a));
+    if (gen == nullptr)
+        return;
+    if (gen->accessed(regionOffset(a))) {
+        StemsGeneration finished = *gen;
+        table_.erase(regionNumber(regionBase(a)));
+        if (onEnd_)
+            onEnd_(finished);
+    }
+}
+
+} // namespace stems

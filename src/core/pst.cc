@@ -1,0 +1,85 @@
+#include "core/pst.hh"
+
+#include <algorithm>
+
+namespace stems {
+
+PatternSequenceTable::PatternSequenceTable(PstParams params)
+    : params_(params), table_(params.entries, params.ways)
+{
+}
+
+void
+PatternSequenceTable::train(
+    std::uint64_t index, const std::vector<SpatialElement> &sequence,
+    std::uint32_t access_mask)
+{
+    Entry &e = table_.findOrInsert(index);
+
+    std::uint8_t position = 0;
+    for (const SpatialElement &el : sequence) {
+        unsigned off = el.offset % kBlocksPerRegion;
+        access_mask |= 1u << off;
+        // The most recent occurrence defines order and delta (recent
+        // history predicts best, Section 2.1).
+        e.delta[off] = el.delta;
+        e.order[off] = position++;
+    }
+    for (unsigned off = 0; off < kBlocksPerRegion; ++off) {
+        if ((access_mask >> off) & 1u) {
+            if (e.counter[off] < 3)
+                ++e.counter[off];
+        } else if (e.counter[off] > 0) {
+            --e.counter[off];
+        }
+    }
+}
+
+bool
+PatternSequenceTable::lookup(std::uint64_t index,
+                             std::vector<SpatialElement> &out) const
+{
+    const Entry *e = table_.peek(index);
+    if (e == nullptr)
+        return false;
+
+    struct Item
+    {
+        std::uint8_t order;
+        SpatialElement element;
+    };
+    Item items[kBlocksPerRegion];
+    unsigned n = 0;
+    for (unsigned off = 0; off < kBlocksPerRegion; ++off) {
+        if (e->counter[off] >= params_.predictThreshold) {
+            items[n].order = e->order[off];
+            items[n].element.offset = static_cast<std::uint8_t>(off);
+            items[n].element.delta = e->delta[off];
+            ++n;
+        }
+    }
+    std::sort(items, items + n, [](const Item &a, const Item &b) {
+        if (a.order != b.order)
+            return a.order < b.order;
+        return a.element.offset < b.element.offset;
+    });
+    out.clear();
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(items[i].element);
+    return true;
+}
+
+std::uint32_t
+PatternSequenceTable::predictedMask(std::uint64_t index) const
+{
+    const Entry *e = table_.peek(index);
+    if (e == nullptr)
+        return 0;
+    std::uint32_t mask = 0;
+    for (unsigned off = 0; off < kBlocksPerRegion; ++off)
+        if (e->counter[off] >= params_.predictThreshold)
+            mask |= 1u << off;
+    return mask;
+}
+
+} // namespace stems

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pattern Sequence Table (PST) — paper Sections 4.1 and 4.3.
+ *
+ * Where SMS's history table stores a bit vector per pattern, the PST
+ * stores the *sequence* of accesses within a spatial region: for each
+ * of the 32 blocks, a 2-bit saturating counter (hysteresis over
+ * stable vs unstable offsets), the block's position in the access
+ * order, and its reconstruction delta — the number of global misses
+ * interleaved between the previous access to this region and this
+ * one. A spatial sequence costs 32 x 10 bits = 40 bytes, so a 16K
+ * entry PST (640 KB) lives in main memory (paper Section 4.3).
+ */
+
+#ifndef STEMS_CORE_PST_HH
+#define STEMS_CORE_PST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/lru_table.hh"
+#include "common/types.hh"
+
+namespace stems {
+
+/**
+ * STeMS pattern index: the 16-bit PC stored in RMOB/AGT entries
+ * combined with the block offset (the SMS "PC+offset" index).
+ */
+constexpr std::uint64_t
+stemsPatternIndex(std::uint16_t pc16, unsigned offset)
+{
+    return (std::uint64_t{pc16} << 5) ^ offset;
+}
+
+/** Truncate a full PC to the 16 bits STeMS stores (Section 4.3). */
+constexpr std::uint16_t pc16Of(Pc pc)
+{
+    return static_cast<std::uint16_t>(pc & 0xffff);
+}
+
+/** One element of a spatial sequence (offset in access order). */
+struct SpatialElement
+{
+    std::uint8_t offset = 0; ///< block offset within the region
+    /** Global misses strictly between the previous access to this
+     *  region (in this generation) and this access. */
+    std::uint8_t delta = 0;
+};
+
+/** PST configuration (paper defaults). */
+struct PstParams
+{
+    std::size_t entries = 16384;
+    std::size_t ways = 8;
+    /// Counter value required to predict an offset.
+    unsigned predictThreshold = 2;
+};
+
+/**
+ * The pattern sequence table.
+ */
+class PatternSequenceTable
+{
+  public:
+    explicit PatternSequenceTable(PstParams params = {});
+
+    /**
+     * Train with a finished generation.
+     *
+     * @param index        stemsPatternIndex of the generation's
+     *                     trigger.
+     * @param sequence     non-trigger misses in first-access order
+     *                     (defines order and deltas).
+     * @param access_mask  every offset touched during the generation
+     *                     (defines the counter updates; includes the
+     *                     sequence offsets and cache-resident blocks).
+     */
+    void train(std::uint64_t index,
+               const std::vector<SpatialElement> &sequence,
+               std::uint32_t access_mask);
+
+    /**
+     * Predicted sequence for an index: elements whose counters meet
+     * the threshold, in stored access order.
+     *
+     * @return true when the index had an entry (even if no element
+     *         currently predicts).
+     */
+    bool lookup(std::uint64_t index,
+                std::vector<SpatialElement> &out) const;
+
+    /**
+     * Bitmask of offsets currently predicted for an index (used to
+     * filter spatially-predictable misses out of the RMOB).
+     */
+    std::uint32_t predictedMask(std::uint64_t index) const;
+
+    /** Number of trained patterns (diagnostics). */
+    std::size_t trainedPatterns() const { return table_.occupancy(); }
+
+  private:
+    /** Per-index storage: 2-bit counter, delta, order per block. */
+    struct Entry
+    {
+        std::uint8_t counter[kBlocksPerRegion] = {};
+        std::uint8_t delta[kBlocksPerRegion] = {};
+        std::uint8_t order[kBlocksPerRegion] = {};
+    };
+
+    PstParams params_;
+    LruTable<Entry> table_;
+};
+
+} // namespace stems
+
+#endif // STEMS_CORE_PST_HH

@@ -1,0 +1,123 @@
+#include "core/reconstruction.hh"
+
+namespace stems {
+
+Reconstructor::Reconstructor(const RegionMissOrderBuffer &rmob,
+                             const PatternSequenceTable &pst,
+                             ReconstructionParams params)
+    : rmob_(rmob), pst_(pst), params_(params)
+{
+}
+
+bool
+Reconstructor::place(std::vector<Addr> &slots, std::size_t slot,
+                     Addr a)
+{
+    if (slot >= slots.size())
+        return false;
+    if (slots[slot] == 0) {
+        slots[slot] = a;
+        displacements_.add(0);
+        return true;
+    }
+    // Occupied: search adjacent slots, nearest first, forward before
+    // backward (paper Section 4.3).
+    for (unsigned d = 1; d <= params_.displacementWindow; ++d) {
+        if (slot + d < slots.size() && slots[slot + d] == 0) {
+            slots[slot + d] = a;
+            displacements_.add(static_cast<std::int64_t>(d));
+            return true;
+        }
+        if (slot >= d && slots[slot - d] == 0) {
+            slots[slot - d] = a;
+            displacements_.add(-static_cast<std::int64_t>(d));
+            return true;
+        }
+    }
+    ++dropped_;
+    return false;
+}
+
+void
+Reconstructor::expandSpatial(
+    std::vector<Addr> &slots, std::size_t trigger_slot,
+    const RmobEntry &entry,
+    const std::function<void(Addr, std::uint64_t)> &note_region)
+{
+    std::uint64_t index =
+        stemsPatternIndex(entry.pc16, regionOffset(entry.addr));
+    if (!pst_.lookup(index, lookupScratch_))
+        return;
+    Addr region = regionBase(entry.addr);
+    if (note_region)
+        note_region(region, index);
+
+    std::size_t cursor = trigger_slot;
+    for (const SpatialElement &el : lookupScratch_) {
+        cursor += el.delta + 1;
+        if (cursor >= slots.size() + params_.displacementWindow)
+            break;
+        place(slots, cursor,
+              addrFromRegionOffset(region, el.offset));
+    }
+}
+
+Reconstructor::Window
+Reconstructor::reconstruct(
+    RegionMissOrderBuffer::Position start_pos,
+    const std::function<void(Addr, std::uint64_t)> &note_region)
+{
+    Window w;
+    auto head = rmob_.at(start_pos);
+    if (!head.has_value()) {
+        w.nextPos = start_pos;
+        return w;
+    }
+    ++windows_;
+    w.valid = true;
+
+    std::vector<Addr> slots(params_.bufferSlots, 0);
+    slots[0] = head->addr;
+
+    // Phase one (paper Figure 5, step two): lay down the temporal
+    // backbone — every RMOB entry at its delta-directed slot. Doing
+    // this before any spatial expansion guarantees mispredicted
+    // spatial sequences can displace predictions, never the recorded
+    // miss order itself.
+    struct Placed
+    {
+        RmobEntry entry;
+        std::size_t slot;
+    };
+    std::vector<Placed> backbone;
+    backbone.push_back({*head, 0});
+
+    std::size_t cursor = 0;
+    RegionMissOrderBuffer::Position pos = start_pos + 1;
+    while (true) {
+        auto e = rmob_.at(pos);
+        if (!e.has_value())
+            break; // overwritten or caught up with the frontier
+        std::size_t next_cursor = cursor + e->delta + 1;
+        if (next_cursor >= slots.size())
+            break; // window full; resume here next time
+        cursor = next_cursor;
+        place(slots, cursor, e->addr);
+        backbone.push_back({*e, cursor});
+        ++pos;
+    }
+    w.nextPos = pos;
+
+    // Phase two (Figure 5, step three): expand each backbone entry's
+    // spatial sequence around its trigger slot.
+    for (const Placed &p : backbone)
+        expandSpatial(slots, p.slot, p.entry, note_region);
+
+    w.sequence.reserve(params_.bufferSlots / 4);
+    for (Addr a : slots)
+        if (a != 0)
+            w.sequence.push_back(a);
+    return w;
+}
+
+} // namespace stems

@@ -1,0 +1,41 @@
+#include "core/rmob.hh"
+
+namespace stems {
+
+RegionMissOrderBuffer::RegionMissOrderBuffer(std::size_t entries)
+    : buffer_(entries)
+{
+}
+
+RegionMissOrderBuffer::Position
+RegionMissOrderBuffer::append(Addr block_addr, std::uint16_t pc16,
+                              unsigned delta)
+{
+    RmobEntry e;
+    e.addr = blockAlign(block_addr);
+    e.pc16 = pc16;
+    e.delta = static_cast<std::uint8_t>(delta > 255 ? 255 : delta);
+    Position pos = buffer_.append(e);
+    index_[e.addr] = pos;
+    return pos;
+}
+
+std::optional<RmobEntry>
+RegionMissOrderBuffer::at(Position pos) const
+{
+    return buffer_.at(pos);
+}
+
+std::optional<RegionMissOrderBuffer::Position>
+RegionMissOrderBuffer::lookup(Addr block_addr) const
+{
+    auto it = index_.find(blockAlign(block_addr));
+    if (it == index_.end())
+        return std::nullopt;
+    auto entry = buffer_.at(it->second);
+    if (!entry.has_value() || entry->addr != blockAlign(block_addr))
+        return std::nullopt; // overwritten: stale index entry
+    return it->second;
+}
+
+} // namespace stems

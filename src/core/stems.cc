@@ -1,0 +1,231 @@
+#include "core/stems.hh"
+
+namespace stems {
+
+namespace {
+
+/** Misses strictly between two sequence numbers, clamped to 8 bits. */
+std::uint8_t
+gapDelta(std::uint64_t cur_seq, std::uint64_t prev_seq)
+{
+    if (cur_seq <= prev_seq + 1)
+        return 0;
+    std::uint64_t gap = cur_seq - prev_seq - 1;
+    return static_cast<std::uint8_t>(gap > 255 ? 255 : gap);
+}
+
+} // namespace
+
+StemsPrefetcher::StemsPrefetcher(StemsParams params)
+    : params_(params),
+      agt_(params.agt),
+      pst_(params.pst),
+      rmob_(params.rmobEntries),
+      recon_(rmob_, pst_, params.reconstruction),
+      streams_(params.streams),
+      reconIndex_(params.reconIndexEntries, 8)
+{
+    agt_.setEndCallback(
+        [this](const StemsGeneration &gen) { onGenerationEnd(gen); });
+}
+
+void
+StemsPrefetcher::onGenerationEnd(const StemsGeneration &gen)
+{
+    pst_.train(gen.index, gen.sequence, gen.accessMask);
+}
+
+void
+StemsPrefetcher::onL1Access(Addr a, Pc pc, bool l1_hit)
+{
+    (void)pc;
+    (void)l1_hit;
+    // L1 accesses to an active generation's region keep its access
+    // footprint complete: a block satisfied by the caches must not
+    // erode the pattern counters (Section 4.3's hysteresis).
+    if (StemsGeneration *gen = agt_.find(regionBase(a)))
+        gen->accessMask |= 1u << regionOffset(a);
+}
+
+void
+StemsPrefetcher::noteReconstructedRegion(Addr region,
+                                         std::uint64_t index)
+{
+    reconIndex_.findOrInsert(regionNumber(region)) = index;
+}
+
+void
+StemsPrefetcher::startTemporalStream(
+    RegionMissOrderBuffer::Position pos)
+{
+    auto note = [this](Addr region, std::uint64_t index) {
+        noteReconstructedRegion(region, index);
+    };
+
+    Reconstructor::Window w = recon_.reconstruct(pos, note);
+    if (!w.valid || w.sequence.size() <= 1)
+        return; // nothing predicted beyond the initiating miss
+
+    // Slot 0 is the current demand miss itself; stream what follows.
+    std::vector<Addr> initial(w.sequence.begin() + 1,
+                              w.sequence.end());
+
+    auto resume_pos =
+        std::make_shared<RegionMissOrderBuffer::Position>(w.nextPos);
+    auto refill = [this, resume_pos,
+                   note](std::deque<Addr> &pending) {
+        Reconstructor::Window more =
+            recon_.reconstruct(*resume_pos, note);
+        if (!more.valid)
+            return;
+        *resume_pos = more.nextPos;
+        pending.insert(pending.end(), more.sequence.begin(),
+                       more.sequence.end());
+    };
+
+    streams_.allocate(std::move(initial), std::move(refill));
+}
+
+void
+StemsPrefetcher::maybeStartSpatialOnlyStream(
+    const StemsGeneration &gen, bool trigger_covered)
+{
+    // Reconstruction already placed this region with the right
+    // index: the temporal stream will cover it.
+    const std::uint64_t *assumed =
+        reconIndex_.find(regionNumber(gen.regionBase));
+    if (assumed != nullptr && *assumed == gen.index)
+        return;
+
+    // A covered trigger whose region reconstruction expanded under a
+    // *different* index falls through to the spatial-only correction
+    // below; an unexpanded region (no PST entry at the recorded
+    // index) needs the spatial stream regardless of coverage.
+    (void)trigger_covered;
+
+    if (!pst_.lookup(gen.index, lookupScratch_) ||
+        lookupScratch_.empty()) {
+        return;
+    }
+
+    std::vector<Addr> addrs;
+    addrs.reserve(lookupScratch_.size());
+    for (const SpatialElement &el : lookupScratch_) {
+        if (el.offset == gen.triggerOffset)
+            continue;
+        addrs.push_back(
+            addrFromRegionOffset(gen.regionBase, el.offset));
+    }
+    if (addrs.empty())
+        return;
+
+    ++spatialOnlyStreams_;
+    // Spatial-only streams trust the pattern immediately (the delta
+    // information is ignored, Section 4.2).
+    streams_.allocate(std::move(addrs), nullptr,
+                      /*confirmed=*/true);
+}
+
+void
+StemsPrefetcher::onOffChipRead(const OffChipRead &ev)
+{
+    Addr block = blockAlign(ev.addr);
+    Addr region = regionBase(block);
+    unsigned offset = regionOffset(block);
+    std::uint16_t pc16 = pc16Of(ev.pc);
+
+    // Locate the previous occurrence before this miss is recorded.
+    auto prev = rmob_.lookup(block);
+
+    // --- Training and RMOB filtering (Section 4.1) ---------------
+
+    auto append_rmob = [&]() {
+        unsigned delta =
+            haveLastAppend_ ? gapDelta(ev.seq, lastAppendSeq_) : 0;
+        rmob_.append(block, pc16, delta);
+        lastAppendSeq_ = ev.seq;
+        haveLastAppend_ = true;
+    };
+
+    StemsGeneration *gen = agt_.find(region);
+    bool was_trigger = (gen == nullptr);
+    if (was_trigger) {
+        StemsGeneration &g = agt_.open(region);
+        g.triggerPc16 = pc16;
+        g.triggerOffset = static_cast<std::uint8_t>(offset);
+        g.index = stemsPatternIndex(pc16, offset);
+        g.mask = 1u << offset;
+        g.accessMask = 1u << offset;
+        g.lastSeq = ev.seq;
+        g.predictedMask = pst_.predictedMask(g.index);
+        append_rmob(); // triggers are always recorded
+    } else {
+        if (!gen->accessed(offset)) {
+            gen->sequence.push_back(
+                {static_cast<std::uint8_t>(offset),
+                 gapDelta(ev.seq, gen->lastSeq)});
+            gen->mask |= 1u << offset;
+        }
+        gen->lastSeq = ev.seq;
+        if ((gen->predictedMask >> offset) & 1u) {
+            // Spatially predicted: filtered out of the RMOB; it
+            // contributes to the next entry's delta instead.
+            ++filtered_;
+        } else {
+            append_rmob(); // spatial miss
+        }
+    }
+
+    // --- Streaming (Section 4.2) ----------------------------------
+
+    if (!ev.covered && !streams_.resync(block) && prev.has_value())
+        startTemporalStream(*prev);
+
+    if (was_trigger) {
+        // Spatial-only stream check, after any reconstruction this
+        // very miss performed has noted its regions.
+        if (StemsGeneration *g = agt_.find(region))
+            maybeStartSpatialOnlyStream(*g, ev.covered);
+    }
+}
+
+void
+StemsPrefetcher::onL1BlockRemoved(Addr a)
+{
+    agt_.blockRemoved(a);
+}
+
+void
+StemsPrefetcher::onInvalidate(Addr a)
+{
+    agt_.blockRemoved(a);
+}
+
+void
+StemsPrefetcher::onPrefetchHit(Addr a, int stream_id)
+{
+    (void)a;
+    streams_.onHit(stream_id);
+}
+
+void
+StemsPrefetcher::onPrefetchDrop(Addr a, int stream_id)
+{
+    (void)a;
+    streams_.onDrop(stream_id);
+}
+
+void
+StemsPrefetcher::onPrefetchFiltered(Addr a, int stream_id)
+{
+    (void)a;
+    streams_.onFiltered(stream_id);
+}
+
+void
+StemsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
+{
+    streams_.drainRequests(out);
+}
+
+} // namespace stems

@@ -1,0 +1,170 @@
+#include "core/stream.hh"
+
+namespace stems {
+
+StreamQueueSet::StreamQueueSet(StreamParams params)
+    : params_(params), streams_(params.numStreams)
+{
+}
+
+void
+StreamQueueSet::maybeRefill(Stream &s)
+{
+    if (s.exhausted || !s.refill)
+        return;
+    if (s.pending.size() >= params_.refillLowWater)
+        return;
+    std::size_t before = s.pending.size();
+    s.refill(s.pending);
+    if (s.pending.size() == before)
+        s.exhausted = true;
+}
+
+void
+StreamQueueSet::issueFrom(Stream &s, int id)
+{
+    maybeRefill(s);
+    unsigned target = s.confirmed ? params_.lookahead : 1;
+    while (s.inFlight < static_cast<int>(target) &&
+           globalInFlight_ <
+               static_cast<int>(params_.maxGlobalInFlight) &&
+           !s.pending.empty()) {
+        PrefetchRequest req;
+        req.addr = blockAlign(s.pending.front());
+        req.streamId = id;
+        req.sink = PrefetchSink::kBuffer;
+        pendingReqs_.push_back(req);
+        s.pending.pop_front();
+        ++s.inFlight;
+        ++globalInFlight_;
+        maybeRefill(s);
+    }
+}
+
+StreamQueueSet::Stream *
+StreamQueueSet::decodeId(int stream_id, std::size_t *index_out)
+{
+    if (stream_id < 0)
+        return nullptr;
+    std::size_t index = static_cast<std::uint32_t>(stream_id) & 0xF;
+    std::uint32_t generation =
+        static_cast<std::uint32_t>(stream_id) >> 4;
+    if (index >= streams_.size())
+        return nullptr;
+    Stream &s = streams_[index];
+    if (!s.active || s.generation != generation)
+        return nullptr; // the queue was reallocated since
+    if (index_out)
+        *index_out = index;
+    return &s;
+}
+
+int
+StreamQueueSet::allocate(std::vector<Addr> initial, RefillFn refill,
+                         bool confirmed)
+{
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (!streams_[i].active) {
+            victim = i;
+            break;
+        }
+        if (streams_[i].lru < streams_[victim].lru)
+            victim = i;
+    }
+
+    Stream &s = streams_[victim];
+    // Reclaim the victim's outstanding budget (see TMS counterpart).
+    globalInFlight_ -= s.inFlight;
+    if (globalInFlight_ < 0)
+        globalInFlight_ = 0;
+    std::uint32_t generation = s.generation + 1;
+    s = Stream{};
+    s.generation = generation;
+    s.active = true;
+    s.confirmed = confirmed;
+    s.pending.assign(initial.begin(), initial.end());
+    s.refill = std::move(refill);
+    s.lru = ++clock_;
+    ++allocated_;
+    int id = encodeId(victim, s.generation);
+    issueFrom(s, id);
+    return id;
+}
+
+bool
+StreamQueueSet::resync(Addr a)
+{
+    Addr block = blockAlign(a);
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
+        if (!s.active)
+            continue;
+        std::size_t window =
+            std::min(params_.resyncWindow, s.pending.size());
+        for (std::size_t k = 0; k < window; ++k) {
+            if (blockAlign(s.pending[k]) == block) {
+                s.pending.erase(s.pending.begin(),
+                                s.pending.begin() + k + 1);
+                s.confirmed = true;
+                s.lru = ++clock_;
+                issueFrom(s, encodeId(i, s.generation));
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+StreamQueueSet::onHit(int stream_id)
+{
+    Stream *s = decodeId(stream_id);
+    if (!s)
+        return; // stale stream: its budget was reclaimed at realloc
+    if (s->inFlight > 0) {
+        --s->inFlight;
+        if (globalInFlight_ > 0)
+            --globalInFlight_;
+    }
+    s->confirmed = true;
+    s->lru = ++clock_;
+    issueFrom(*s, stream_id);
+}
+
+void
+StreamQueueSet::onDrop(int stream_id)
+{
+    // Evicted-unused: release the slot; do not push further (eviction
+    // feedback would livelock the SVB).
+    Stream *s = decodeId(stream_id);
+    if (s && s->inFlight > 0) {
+        --s->inFlight;
+        if (globalInFlight_ > 0)
+            --globalInFlight_;
+    }
+}
+
+void
+StreamQueueSet::onFiltered(int stream_id)
+{
+    Stream *s = decodeId(stream_id);
+    if (!s)
+        return;
+    if (s->inFlight > 0) {
+        --s->inFlight;
+        if (globalInFlight_ > 0)
+            --globalInFlight_;
+        // The block was already resident: stream past it.
+        issueFrom(*s, stream_id);
+    }
+}
+
+void
+StreamQueueSet::drainRequests(std::vector<PrefetchRequest> &out)
+{
+    out.insert(out.end(), pendingReqs_.begin(), pendingReqs_.end());
+    pendingReqs_.clear();
+}
+
+} // namespace stems

@@ -1,0 +1,128 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace stems {
+
+Cache::Cache(std::string name, std::size_t size_bytes, std::size_t ways)
+    : name_(std::move(name)), ways_(ways)
+{
+    if (ways == 0 || size_bytes == 0)
+        fatal("cache " + name_ + ": zero size or associativity");
+    std::size_t blocks = size_bytes / kBlockBytes;
+    if (blocks % ways != 0)
+        fatal("cache " + name_ + ": size not divisible by ways");
+    sets_ = blocks / ways;
+    lines_.resize(blocks);
+}
+
+Cache::Line *
+Cache::findLine(Addr a)
+{
+    Addr tag = blockNumber(a);
+    std::size_t base = setIndex(a) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr a) const
+{
+    Addr tag = blockNumber(a);
+    std::size_t base = setIndex(a) * ways_;
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const Line &l = lines_[base + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+bool
+Cache::access(Addr a)
+{
+    ++accesses_;
+    Line *l = findLine(a);
+    if (!l) {
+        ++misses_;
+        return false;
+    }
+    l->lru = ++clock_;
+    l->referenced = true;
+    return true;
+}
+
+bool
+Cache::contains(Addr a) const
+{
+    return findLine(a) != nullptr;
+}
+
+std::optional<Cache::Victim>
+Cache::insert(Addr a, bool prefetched)
+{
+    Line *l = findLine(a);
+    if (l) {
+        // Refill of a resident block: refresh recency only.
+        l->lru = ++clock_;
+        return std::nullopt;
+    }
+
+    std::size_t base = setIndex(a) * ways_;
+    Line *victim = &lines_[base];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        Line &cand = lines_[base + w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (cand.lru < victim->lru)
+            victim = &cand;
+    }
+
+    std::optional<Victim> displaced;
+    if (victim->valid) {
+        displaced = Victim{victim->tag << kBlockShift,
+                           victim->prefetched, victim->referenced};
+    }
+    victim->valid = true;
+    victim->tag = blockNumber(a);
+    victim->lru = ++clock_;
+    victim->prefetched = prefetched;
+    victim->referenced = false;
+    return displaced;
+}
+
+std::optional<Cache::Victim>
+Cache::invalidate(Addr a)
+{
+    Line *l = findLine(a);
+    if (!l)
+        return std::nullopt;
+    Victim v{l->tag << kBlockShift, l->prefetched, l->referenced};
+    l->valid = false;
+    return v;
+}
+
+bool
+Cache::isPrefetchedUnreferenced(Addr a) const
+{
+    const Line *l = findLine(a);
+    return l && l->prefetched && !l->referenced;
+}
+
+std::size_t
+Cache::unreferencedPrefetches() const
+{
+    std::size_t n = 0;
+    for (const Line &l : lines_)
+        if (l.valid && l.prefetched && !l.referenced)
+            ++n;
+    return n;
+}
+
+} // namespace stems

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, prefetch tagging
+ * and eviction/invalidation callbacks.
+ *
+ * This is a functional (hit/miss) model: it tracks tags and metadata,
+ * not data. Timing is layered on separately by src/sim/timing.
+ */
+
+#ifndef STEMS_MEM_CACHE_HH
+#define STEMS_MEM_CACHE_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stems {
+
+/**
+ * A single-level, set-associative, LRU-replaced cache of 64 B blocks.
+ */
+class Cache
+{
+  public:
+    /** Information about a block displaced by an insertion. */
+    struct Victim
+    {
+        Addr addr = 0;        ///< block-aligned address evicted
+        bool prefetched = false; ///< block was filled by a prefetch
+        bool referenced = false; ///< block was demand-referenced
+    };
+
+    /**
+     * Construct a cache.
+     *
+     * @param name        label used in statistics output.
+     * @param size_bytes  total capacity; must be a multiple of the
+     *                    block size times the associativity.
+     * @param ways        associativity.
+     */
+    Cache(std::string name, std::size_t size_bytes, std::size_t ways);
+
+    /**
+     * Demand lookup. Promotes the block to MRU and marks it referenced
+     * on hit. Does not allocate.
+     *
+     * @return true on hit.
+     */
+    bool access(Addr a);
+
+    /** Non-destructive presence check (no LRU update). */
+    bool contains(Addr a) const;
+
+    /**
+     * Insert a block (fill). Evicts the set's LRU block when needed.
+     *
+     * @param a           address of the block to fill.
+     * @param prefetched  mark the block as a prefetch fill.
+     * @return the displaced victim, if any.
+     */
+    std::optional<Victim> insert(Addr a, bool prefetched = false);
+
+    /**
+     * Invalidate a block if present.
+     *
+     * @return metadata of the invalidated block, if it was present.
+     */
+    std::optional<Victim> invalidate(Addr a);
+
+    /**
+     * True when the block is present, was filled by a prefetch, and
+     * has not yet been demand-referenced.
+     */
+    bool isPrefetchedUnreferenced(Addr a) const;
+
+    /**
+     * Number of resident blocks filled by prefetches and never
+     * demand-referenced (end-of-run overprediction sweep).
+     */
+    std::size_t unreferencedPrefetches() const;
+
+    /** Number of sets. */
+    std::size_t numSets() const { return sets_; }
+
+    /** Associativity. */
+    std::size_t numWays() const { return ways_; }
+
+    /** Name given at construction. */
+    const std::string &name() const { return name_; }
+
+    /** Demand accesses observed. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Demand misses observed. */
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0; ///< block number
+        std::uint64_t lru = 0;
+        bool prefetched = false;
+        bool referenced = false;
+    };
+
+    std::size_t setIndex(Addr a) const
+    {
+        return static_cast<std::size_t>(blockNumber(a)) % sets_;
+    }
+
+    Line *findLine(Addr a);
+    const Line *findLine(Addr a) const;
+
+    std::string name_;
+    std::size_t ways_;
+    std::size_t sets_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace stems
+
+#endif // STEMS_MEM_CACHE_HH

@@ -1,0 +1,119 @@
+#include "mem/svb.hh"
+
+#include "common/log.hh"
+
+namespace stems {
+
+StreamedValueBuffer::StreamedValueBuffer(std::size_t capacity)
+    : slots_(capacity)
+{
+    if (capacity == 0)
+        fatal("SVB capacity must be > 0");
+}
+
+StreamedValueBuffer::Slot *
+StreamedValueBuffer::findSlot(Addr a)
+{
+    Addr key = blockAlign(a);
+    for (Slot &s : slots_)
+        if (s.valid && s.entry.addr == key)
+            return &s;
+    return nullptr;
+}
+
+const StreamedValueBuffer::Slot *
+StreamedValueBuffer::findSlot(Addr a) const
+{
+    Addr key = blockAlign(a);
+    for (const Slot &s : slots_)
+        if (s.valid && s.entry.addr == key)
+            return &s;
+    return nullptr;
+}
+
+std::optional<StreamedValueBuffer::Entry>
+StreamedValueBuffer::insert(const Entry &e)
+{
+    Entry norm = e;
+    norm.addr = blockAlign(e.addr);
+
+    if (Slot *resident = findSlot(norm.addr)) {
+        resident->entry = norm;
+        resident->lru = ++clock_;
+        return std::nullopt;
+    }
+
+    Slot *victim = nullptr;
+    for (Slot &s : slots_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (!victim || s.lru < victim->lru)
+            victim = &s;
+    }
+
+    std::optional<Entry> displaced;
+    if (victim->valid)
+        displaced = victim->entry;
+    victim->valid = true;
+    victim->entry = norm;
+    victim->lru = ++clock_;
+    return displaced;
+}
+
+std::optional<StreamedValueBuffer::Entry>
+StreamedValueBuffer::consume(Addr a)
+{
+    Slot *s = findSlot(a);
+    if (!s)
+        return std::nullopt;
+    s->valid = false;
+    return s->entry;
+}
+
+bool
+StreamedValueBuffer::contains(Addr a) const
+{
+    return findSlot(a) != nullptr;
+}
+
+std::optional<StreamedValueBuffer::Entry>
+StreamedValueBuffer::invalidate(Addr a)
+{
+    return consume(a);
+}
+
+std::optional<StreamedValueBuffer::Entry>
+StreamedValueBuffer::consumeAny()
+{
+    for (Slot &s : slots_) {
+        if (s.valid) {
+            s.valid = false;
+            return s.entry;
+        }
+    }
+    return std::nullopt;
+}
+
+std::size_t
+StreamedValueBuffer::occupancy() const
+{
+    std::size_t n = 0;
+    for (const Slot &s : slots_)
+        if (s.valid)
+            ++n;
+    return n;
+}
+
+std::size_t
+StreamedValueBuffer::occupancyForStream(int stream_id) const
+{
+    std::size_t n = 0;
+    for (const Slot &s : slots_)
+        if (s.valid && s.entry.streamId == stream_id)
+            ++n;
+    return n;
+}
+
+} // namespace stems

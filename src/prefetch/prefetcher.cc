@@ -1,0 +1,7 @@
+#include "prefetch/prefetcher.hh"
+
+namespace stems {
+
+// Anchor the vtable in one translation unit.
+
+} // namespace stems

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The prefetch-engine interface.
+ *
+ * Engines observe the memory system through training hooks invoked by
+ * the prefetch simulator (src/sim/prefetch_sim) and emit prefetch
+ * requests, which the simulator materializes into either the streamed
+ * value buffer (stream-based engines: stride, TMS, STeMS) or the L2
+ * with a prefetch tag (SMS).
+ *
+ * The "off-chip read" event stream deserves a note: it contains every
+ * demand read that missed both cache levels, *including* those
+ * satisfied by a prefetched block. This is the baseline-system miss
+ * order — the sequence temporal engines record and reconstruct — so
+ * sequence numbering must not change when coverage improves.
+ */
+
+#ifndef STEMS_PREFETCH_PREFETCHER_HH
+#define STEMS_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stems {
+
+/** Where a prefetched block should be placed. */
+enum class PrefetchSink : std::uint8_t
+{
+    kBuffer = 0, ///< the engine's streamed value buffer
+    kL2 = 1,     ///< the L2, tagged as a prefetch (SMS-style)
+};
+
+/** One block an engine wants fetched. */
+struct PrefetchRequest
+{
+    Addr addr = 0;
+    int streamId = -1; ///< owning stream queue (buffer sink only)
+    PrefetchSink sink = PrefetchSink::kBuffer;
+};
+
+/** An off-chip demand read, as seen by the engines. */
+struct OffChipRead
+{
+    Addr addr = 0;
+    Pc pc = 0;
+    /** Position in the off-chip read sequence (baseline miss order). */
+    std::uint64_t seq = 0;
+    /** True when a prefetched block satisfied the read. */
+    bool covered = false;
+    /** Owning stream of the covering block (-1 when not covered). */
+    int streamId = -1;
+};
+
+/**
+ * Base class for all prefetch engines.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Engine name for reports ("stride", "tms", "sms", "stems"). */
+    virtual std::string name() const = 0;
+
+    /** Capacity of the prefetch buffer this engine wants. */
+    virtual std::size_t bufferCapacity() const { return 64; }
+
+    /** Every demand L1 access (read or write), with its hit status. */
+    virtual void
+    onL1Access(Addr a, Pc pc, bool l1_hit)
+    {
+        (void)a;
+        (void)pc;
+        (void)l1_hit;
+    }
+
+    /** A block left the L1 (eviction or invalidation). */
+    virtual void onL1BlockRemoved(Addr a) { (void)a; }
+
+    /** An off-chip demand read (see file comment). */
+    virtual void onOffChipRead(const OffChipRead &ev) { (void)ev; }
+
+    /** A prefetched block was consumed by a demand access. */
+    virtual void
+    onPrefetchHit(Addr a, int stream_id)
+    {
+        (void)a;
+        (void)stream_id;
+    }
+
+    /** A prefetched block was discarded without ever being used. */
+    virtual void
+    onPrefetchDrop(Addr a, int stream_id)
+    {
+        (void)a;
+        (void)stream_id;
+    }
+
+    /**
+     * A prefetch request was filtered as redundant (the block was
+     * already cached or buffered). Unlike a drop, this is a benign
+     * completion: streams should keep issuing past it.
+     */
+    virtual void
+    onPrefetchFiltered(Addr a, int stream_id)
+    {
+        (void)a;
+        (void)stream_id;
+    }
+
+    /** A coherence invalidation arrived for a block. */
+    virtual void onInvalidate(Addr a) { (void)a; }
+
+    /**
+     * Move this engine's pending prefetch requests into out.
+     * Called by the simulator after each record's notifications.
+     */
+    virtual void drainRequests(std::vector<PrefetchRequest> &out) = 0;
+};
+
+} // namespace stems
+
+#endif // STEMS_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,63 @@
+#include "prefetch/stride.hh"
+
+namespace stems {
+
+StridePrefetcher::StridePrefetcher(StrideParams params)
+    : params_(params),
+      table_(params.tableEntries, params.tableEntries)
+{
+}
+
+void
+StridePrefetcher::onL1Access(Addr a, Pc pc, bool l1_hit)
+{
+    (void)l1_hit; // the table trains on all accesses
+
+    Entry &e = table_.findOrInsert(pc);
+    Addr block = blockNumber(a);
+
+    if (!e.valid) {
+        e.valid = true;
+        e.lastBlock = block;
+        e.stride = 0;
+        e.confidence.set(0);
+        return;
+    }
+
+    std::int64_t stride =
+        static_cast<std::int64_t>(block) -
+        static_cast<std::int64_t>(e.lastBlock);
+    if (stride == 0)
+        return; // same block: no training signal
+
+    if (stride == e.stride) {
+        e.confidence.increment();
+    } else {
+        e.confidence.decrement();
+        if (e.confidence.value() == 0)
+            e.stride = stride;
+    }
+    e.lastBlock = block;
+
+    if (e.confidence.predicts() && e.stride != 0) {
+        for (unsigned k = 1; k <= params_.degree; ++k) {
+            std::int64_t target =
+                static_cast<std::int64_t>(block) + e.stride * k;
+            if (target <= 0)
+                continue;
+            PrefetchRequest req;
+            req.addr = static_cast<Addr>(target) << kBlockShift;
+            req.sink = PrefetchSink::kBuffer;
+            pending_.push_back(req);
+        }
+    }
+}
+
+void
+StridePrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
+{
+    out.insert(out.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+}
+
+} // namespace stems

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher — the baseline system's prefetcher
+ * (paper Table 1: 32-entry buffer, max 16 distinct strides).
+ *
+ * Classic reference-prediction-table design (Jouppi 1990; Sherwood et
+ * al. 2000): per load PC, track the last block touched and the
+ * inter-access stride; once the stride repeats (2-bit confidence),
+ * fetch the next blocks ahead of the demand stream.
+ */
+
+#ifndef STEMS_PREFETCH_STRIDE_HH
+#define STEMS_PREFETCH_STRIDE_HH
+
+#include "common/lru_table.hh"
+#include "common/sat_counter.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace stems {
+
+/** Stride prefetcher configuration. */
+struct StrideParams
+{
+    /// Distinct PC-indexed stride entries (Table 1: 16).
+    std::size_t tableEntries = 16;
+    /// Prefetch buffer entries (Table 1: 32).
+    std::size_t bufferEntries = 32;
+    /// Blocks fetched ahead per confident prediction.
+    unsigned degree = 2;
+};
+
+/**
+ * The baseline stride prefetcher.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(StrideParams params = {});
+
+    std::string name() const override { return "stride"; }
+
+    std::size_t
+    bufferCapacity() const override
+    {
+        return params_.bufferEntries;
+    }
+
+    void onL1Access(Addr a, Pc pc, bool l1_hit) override;
+
+    void drainRequests(std::vector<PrefetchRequest> &out) override;
+
+  private:
+    struct Entry
+    {
+        Addr lastBlock = 0;     ///< block number of last access
+        std::int64_t stride = 0; ///< blocks between accesses
+        SatCounter confidence{2, 0};
+        bool valid = false;
+    };
+
+    StrideParams params_;
+    LruTable<Entry> table_;
+    std::vector<PrefetchRequest> pending_;
+};
+
+} // namespace stems
+
+#endif // STEMS_PREFETCH_STRIDE_HH

@@ -1,0 +1,203 @@
+#include "prefetch/tms.hh"
+
+namespace stems {
+
+TmsPrefetcher::TmsPrefetcher(TmsParams params)
+    : params_(params),
+      buffer_(params.bufferEntries),
+      streams_(params.numStreams)
+{
+}
+
+void
+TmsPrefetcher::refill(Stream &s)
+{
+    while (s.pending.size() < params_.refillChunk) {
+        auto entry = buffer_.at(s.nextPos);
+        if (!entry.has_value())
+            break; // overwritten or caught up with the append frontier
+        s.pending.push_back(*entry);
+        ++s.nextPos;
+    }
+}
+
+void
+TmsPrefetcher::issueFrom(Stream &s, int id)
+{
+    unsigned target = s.confirmed ? params_.lookahead : 1;
+    while (s.inFlight < static_cast<int>(target) &&
+           globalInFlight_ <
+               static_cast<int>(params_.maxGlobalInFlight) &&
+           !s.pending.empty()) {
+        PrefetchRequest req;
+        req.addr = blockAlign(s.pending.front());
+        req.streamId = id;
+        req.sink = PrefetchSink::kBuffer;
+        pending_.push_back(req);
+        s.pending.pop_front();
+        ++s.inFlight;
+        ++globalInFlight_;
+    }
+    if (s.pending.size() < params_.refillLowWater)
+        refill(s);
+}
+
+bool
+TmsPrefetcher::tryResync(Addr a)
+{
+    Addr block = blockAlign(a);
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        Stream &s = streams_[i];
+        if (!s.active)
+            continue;
+        std::size_t window =
+            std::min(params_.resyncWindow, s.pending.size());
+        for (std::size_t k = 0; k < window; ++k) {
+            if (blockAlign(s.pending[k]) == block) {
+                // The stream was right but had not issued this block
+                // yet: skip past it and stream on with confidence.
+                s.pending.erase(s.pending.begin(),
+                                s.pending.begin() + k + 1);
+                s.confirmed = true;
+                s.lru = ++clock_;
+                issueFrom(s, encodeId(i, s.generation));
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+TmsPrefetcher::Stream *
+TmsPrefetcher::decodeId(int stream_id)
+{
+    if (stream_id < 0)
+        return nullptr;
+    std::size_t index = static_cast<std::uint32_t>(stream_id) & 0xF;
+    std::uint32_t generation =
+        static_cast<std::uint32_t>(stream_id) >> 4;
+    if (index >= streams_.size())
+        return nullptr;
+    Stream &s = streams_[index];
+    if (!s.active || s.generation != generation)
+        return nullptr;
+    return &s;
+}
+
+void
+TmsPrefetcher::startStream(Addr a, Position prev_pos)
+{
+    (void)a;
+    // Victimize an inactive stream if possible, else the LRU one.
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (!streams_[i].active) {
+            victim = i;
+            break;
+        }
+        if (streams_[i].lru < streams_[victim].lru)
+            victim = i;
+    }
+    Stream &s = streams_[victim];
+    // Reclaim the victim's outstanding budget: its buffered blocks
+    // are no longer protected and will age out of the SVB.
+    globalInFlight_ -= s.inFlight;
+    if (globalInFlight_ < 0)
+        globalInFlight_ = 0;
+    std::uint32_t generation = s.generation + 1;
+    s = Stream{};
+    s.generation = generation;
+    s.active = true;
+    s.nextPos = prev_pos + 1;
+    s.lru = ++clock_;
+    ++streamsStarted_;
+    refill(s);
+    issueFrom(s, encodeId(victim, s.generation));
+}
+
+void
+TmsPrefetcher::onOffChipRead(const OffChipRead &ev)
+{
+    Addr block = blockAlign(ev.addr);
+
+    // Locate the previous occurrence before recording this one.
+    Position prev_pos = 0;
+    bool have_prev = false;
+    if (auto it = index_.find(block); it != index_.end()) {
+        auto prev = buffer_.at(it->second);
+        if (prev.has_value() && blockAlign(*prev) == block) {
+            prev_pos = it->second;
+            have_prev = true;
+        }
+    }
+
+    // Record the miss and update the index.
+    index_[block] = buffer_.append(block);
+
+    if (ev.covered)
+        return; // the owning stream advances via onPrefetchHit
+
+    // Unpredicted miss: re-synchronize an existing stream or start a
+    // new one from the previous occurrence.
+    if (tryResync(block))
+        return;
+    if (have_prev)
+        startStream(block, prev_pos);
+}
+
+void
+TmsPrefetcher::onPrefetchHit(Addr a, int stream_id)
+{
+    (void)a;
+    Stream *s = decodeId(stream_id);
+    if (!s)
+        return; // stale stream: its budget was reclaimed at realloc
+    if (s->inFlight > 0) {
+        --s->inFlight;
+        if (globalInFlight_ > 0)
+            --globalInFlight_;
+    }
+    s->confirmed = true;
+    s->lru = ++clock_;
+    issueFrom(*s, stream_id);
+}
+
+void
+TmsPrefetcher::onPrefetchDrop(Addr a, int stream_id)
+{
+    (void)a;
+    // A dropped (evicted-unused) block means the stream ran ahead of
+    // demand or is wrong: release the in-flight slot but do not push
+    // further (pushing on eviction feedback livelocks the SVB).
+    Stream *s = decodeId(stream_id);
+    if (s && s->inFlight > 0) {
+        --s->inFlight;
+        if (globalInFlight_ > 0)
+            --globalInFlight_;
+    }
+}
+
+void
+TmsPrefetcher::onPrefetchFiltered(Addr a, int stream_id)
+{
+    (void)a;
+    Stream *s = decodeId(stream_id);
+    if (!s)
+        return;
+    if (s->inFlight > 0) {
+        --s->inFlight;
+        if (globalInFlight_ > 0)
+            --globalInFlight_;
+        // The block was already resident: stream past it.
+        issueFrom(*s, stream_id);
+    }
+}
+
+void
+TmsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
+{
+    out.insert(out.end(), pending_.begin(), pending_.end());
+    pending_.clear();
+}
+
+} // namespace stems

@@ -1,0 +1,61 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace stems {
+
+SystemConfig
+defaultSystemConfig()
+{
+    // All defaults in the member structs already encode Table 1 /
+    // Section 4.3; this function exists so call sites have one
+    // explicit source of configuration.
+    return SystemConfig{};
+}
+
+std::string
+describeSystem(const SystemConfig &c)
+{
+    std::ostringstream os;
+    os << "Modelled node (paper Table 1)\n"
+       << "  Core        : " << c.timing.issueWidth
+       << "-wide OoO approximation, ROB reach "
+       << c.timing.robInstructions << " instructions, "
+       << c.timing.mshrs
+       << " MSHRs, store-wait-free\n"
+       << "  L1D         : " << c.hierarchy.l1Bytes / 1024 << " KB "
+       << c.hierarchy.l1Ways << "-way, 64 B blocks, "
+       << c.timing.l1Latency << "-cycle load-to-use\n"
+       << "  L2          : "
+       << c.hierarchy.l2Bytes / (1024 * 1024) << " MB "
+       << c.hierarchy.l2Ways << "-way, 64 B blocks, "
+       << c.timing.l2Latency << "-cycle hit\n"
+       << "  Memory      : " << c.timing.memLatency
+       << "-cycle latency, 1 fetch per "
+       << c.timing.channelInterval << " cycles channel bandwidth\n"
+       << "  Stride      : " << c.stride.tableEntries
+       << " PC entries, " << c.stride.bufferEntries
+       << "-entry buffer, degree " << c.stride.degree << "\n"
+       << "  TMS         : " << c.tms.bufferEntries / 1024
+       << "K-entry miss-order buffer, " << c.tms.numStreams
+       << " stream queues, lookahead " << c.tms.lookahead << ", "
+       << c.tms.svbEntries << "-entry SVB\n"
+       << "  SMS         : " << c.sms.agtEntries << "-entry AGT, "
+       << c.sms.phtEntries / 1024 << "K-entry PHT, "
+       << (c.sms.useCounters ? "2-bit counters" : "bit vectors")
+       << "\n"
+       << "  STeMS       : " << c.stems.agt.entries
+       << "-entry AGT, " << c.stems.pst.entries / 1024
+       << "K-entry PST, " << c.stems.rmobEntries / 1024
+       << "K-entry RMOB, "
+       << c.stems.reconstruction.bufferSlots
+       << "-slot reconstruction buffer (displacement +-"
+       << c.stems.reconstruction.displacementWindow << "), "
+       << c.stems.streams.numStreams
+       << " stream queues, lookahead "
+       << c.stems.streams.lookahead << ", " << c.stems.svbEntries
+       << "-entry SVB\n";
+    return os.str();
+}
+
+} // namespace stems

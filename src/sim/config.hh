@@ -1,0 +1,56 @@
+/**
+ * @file
+ * System configuration (paper Table 1) bundling the cache geometry,
+ * timing parameters and every engine's defaults, plus the experiment
+ * knobs shared by the benchmark harnesses.
+ */
+
+#ifndef STEMS_SIM_CONFIG_HH
+#define STEMS_SIM_CONFIG_HH
+
+#include <string>
+
+#include "core/stems.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stride.hh"
+#include "prefetch/tms.hh"
+#include "sim/timing.hh"
+
+namespace stems {
+
+/** Full modelled-system configuration. */
+struct SystemConfig
+{
+    HierarchyParams hierarchy;
+    TimingParams timing;
+    StrideParams stride;
+    TmsParams tms;
+    SmsParams sms;
+    StemsParams stems;
+};
+
+/** The paper's Table 1 configuration. */
+SystemConfig defaultSystemConfig();
+
+/** Human-readable description of a configuration (Table 1 style). */
+std::string describeSystem(const SystemConfig &config);
+
+/** Experiment knobs shared by the benches. */
+struct ExperimentConfig
+{
+    SystemConfig system;
+    /// Records generated per workload trace.
+    std::size_t traceRecords = 2'000'000;
+    /// Leading fraction of the trace used as warmup (the paper
+    /// launches measurements from warmed checkpoints).
+    double warmupFraction = 0.5;
+    /// Trace-generation seed.
+    std::uint64_t seed = 42;
+    /// Model timing (Figure 10) or run functional-only (Figure 9).
+    bool enableTiming = false;
+};
+
+} // namespace stems
+
+#endif // STEMS_SIM_CONFIG_HH

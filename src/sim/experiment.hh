@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment runner: generates each workload's trace, runs the
+ * requested prefetch engines over it, and produces the normalized
+ * metrics the paper's Figures 9 and 10 report.
+ *
+ * Normalization follows Section 5.5: covered, uncovered and
+ * overpredicted counts are expressed relative to the off-chip read
+ * misses of the *no-prefetch* system, and speedups are relative to
+ * the baseline system with only a stride prefetcher (Table 1).
+ */
+
+#ifndef STEMS_SIM_EXPERIMENT_HH
+#define STEMS_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/prefetch_sim.hh"
+#include "workloads/workload.hh"
+
+namespace stems {
+
+/** Metrics for one engine on one workload. */
+struct EngineResult
+{
+    std::string engine;
+    SimStats stats;
+    /// covered / baseline off-chip read misses.
+    double coverage = 0.0;
+    /// uncovered / baseline off-chip read misses.
+    double uncovered = 0.0;
+    /// overpredictions / baseline off-chip read misses.
+    double overprediction = 0.0;
+    /// baseline-with-stride cycles / this engine's cycles (timing
+    /// runs only; 0 otherwise).
+    double speedup = 0.0;
+};
+
+/** All engines' metrics for one workload. */
+struct WorkloadResult
+{
+    std::string workload;
+    WorkloadClass workloadClass = WorkloadClass::kOltp;
+    std::uint64_t baselineMisses = 0; ///< no-prefetch read misses
+    double baselineIpc = 0.0;         ///< stride-baseline IPC
+    std::vector<EngineResult> engines;
+
+    /** Result for a named engine; null when absent. */
+    const EngineResult *find(const std::string &engine) const;
+};
+
+/**
+ * Builds engines and runs workload/engine sweeps.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig config);
+
+    /**
+     * Instantiate an engine by name: "stride", "tms", "sms",
+     * "stems", "tms+sms". @return null for unknown names.
+     *
+     * @param scientific  apply the scientific-workload lookahead of
+     *                    12 (paper Section 4.3).
+     */
+    std::unique_ptr<Prefetcher> makeEngine(const std::string &name,
+                                           bool scientific) const;
+
+    /**
+     * Run a list of engines over one workload. Always also runs the
+     * no-prefetch baseline (for miss normalization) and, when timing
+     * is enabled, the stride baseline (for speedups).
+     */
+    WorkloadResult runWorkload(const Workload &workload,
+                               const std::vector<std::string> &engines);
+
+    /** Run engines over the whole paper suite. */
+    std::vector<WorkloadResult>
+    runSuite(const std::vector<std::string> &engines);
+
+    /** The configuration in use. */
+    const ExperimentConfig &config() const { return config_; }
+
+  private:
+    ExperimentConfig config_;
+};
+
+} // namespace stems
+
+#endif // STEMS_SIM_EXPERIMENT_HH

@@ -1,0 +1,240 @@
+#include "sim/prefetch_sim.hh"
+
+namespace stems {
+
+PrefetchSimulator::PrefetchSimulator(const SimParams &params,
+                                     Prefetcher *engine)
+    : params_(params),
+      hier_(params.hierarchy),
+      timing_(params.timing),
+      engine_(engine)
+{
+    if (engine_ != nullptr && engine_->bufferCapacity() > 0) {
+        svb_ = std::make_unique<StreamedValueBuffer>(
+            engine_->bufferCapacity());
+    }
+
+    hier_.setL1EvictCallback([this](Addr a) {
+        if (engine_)
+            engine_->onL1BlockRemoved(a);
+    });
+    hier_.setL2PrefetchDropCallback([this](Addr a) {
+        if (measuring_)
+            ++stats_.overpredictions;
+        l2PrefetchReady_.erase(blockAlign(a));
+        if (engine_)
+            engine_->onPrefetchDrop(a, -1);
+    });
+}
+
+void
+PrefetchSimulator::setMeasuring(bool on)
+{
+    if (on && !measuring_) {
+        cyclesAtMeasureStart_ = timing_.totalCycles();
+        instrAtMeasureStart_ = timing_.instructions();
+    }
+    measuring_ = on;
+}
+
+void
+PrefetchSimulator::handleSvbVictim(const StreamedValueBuffer::Entry &e)
+{
+    if (measuring_)
+        ++stats_.overpredictions;
+    if (engine_)
+        engine_->onPrefetchDrop(e.addr, e.streamId);
+}
+
+void
+PrefetchSimulator::step(const MemRecord &r)
+{
+    if (measuring_)
+        ++stats_.records;
+
+    if (r.isInvalidate()) {
+        if (measuring_)
+            ++stats_.invalidates;
+        hier_.invalidate(r.vaddr);
+        if (svb_) {
+            if (auto e = svb_->invalidate(r.vaddr))
+                handleSvbVictim(*e);
+        }
+        if (engine_)
+            engine_->onInvalidate(r.vaddr);
+        drainAndIssue();
+        return;
+    }
+
+    if (measuring_) {
+        if (r.isRead())
+            ++stats_.reads;
+        else
+            ++stats_.writes;
+    }
+
+    bool l1_hit = hier_.accessL1(r.vaddr);
+    if (engine_)
+        engine_->onL1Access(r.vaddr, r.pc, l1_hit);
+
+    AccessLevel level = AccessLevel::kL1;
+    double ready = 0.0;
+
+    if (l1_hit) {
+        if (measuring_)
+            ++stats_.l1Hits;
+    } else {
+        auto l2 = hier_.accessL2(r.vaddr);
+        if (l2.hit) {
+            hier_.fillL1(r.vaddr);
+            if (l2.coveredByPrefetch) {
+                level = AccessLevel::kL2Prefetch;
+                auto it =
+                    l2PrefetchReady_.find(blockAlign(r.vaddr));
+                if (it != l2PrefetchReady_.end()) {
+                    ready = it->second;
+                    l2PrefetchReady_.erase(it);
+                }
+                if (r.isRead()) {
+                    if (measuring_)
+                        ++stats_.l2PrefetchHits;
+                    if (engine_) {
+                        engine_->onPrefetchHit(r.vaddr, -1);
+                        engine_->onOffChipRead({blockAlign(r.vaddr),
+                                                r.pc, missSeq_++,
+                                                true, -1});
+                    }
+                } else if (measuring_) {
+                    ++stats_.l2Hits;
+                }
+            } else {
+                level = AccessLevel::kL2;
+                if (measuring_)
+                    ++stats_.l2Hits;
+            }
+        } else {
+            auto svb_entry =
+                svb_ ? svb_->consume(r.vaddr) : std::nullopt;
+            if (svb_entry.has_value()) {
+                level = AccessLevel::kSvb;
+                ready = static_cast<double>(svb_entry->readyTime);
+                hier_.fill(r.vaddr);
+                if (r.isRead()) {
+                    if (measuring_)
+                        ++stats_.svbHits;
+                    if (engine_) {
+                        engine_->onPrefetchHit(r.vaddr,
+                                               svb_entry->streamId);
+                        engine_->onOffChipRead(
+                            {blockAlign(r.vaddr), r.pc, missSeq_++,
+                             true, svb_entry->streamId});
+                    }
+                } else if (engine_) {
+                    // A write consuming a prefetched block still
+                    // advances the owning stream.
+                    engine_->onPrefetchHit(r.vaddr,
+                                           svb_entry->streamId);
+                }
+            } else {
+                level = AccessLevel::kMemory;
+                hier_.fill(r.vaddr);
+                if (r.isRead()) {
+                    if (measuring_)
+                        ++stats_.offChipReads;
+                    if (engine_)
+                        engine_->onOffChipRead({blockAlign(r.vaddr),
+                                                r.pc, missSeq_++,
+                                                false, -1});
+                } else if (measuring_) {
+                    ++stats_.offChipWrites;
+                }
+            }
+        }
+    }
+
+    if (params_.enableTiming)
+        timing_.demandAccess(r, level, ready);
+
+    drainAndIssue();
+}
+
+void
+PrefetchSimulator::drainAndIssue()
+{
+    if (!engine_)
+        return;
+    reqScratch_.clear();
+    engine_->drainRequests(reqScratch_);
+    for (const PrefetchRequest &req : reqScratch_) {
+        Addr addr = blockAlign(req.addr);
+        if (req.sink == PrefetchSink::kBuffer) {
+            if (!svb_ || svb_->contains(addr) ||
+                hier_.l2().contains(addr)) {
+                // Redundant prefetch: filtered. The owning stream
+                // must still learn its request completed, or its
+                // in-flight accounting leaks and the stream stalls.
+                engine_->onPrefetchFiltered(addr, req.streamId);
+                continue;
+            }
+            double ready = params_.enableTiming
+                               ? timing_.prefetchIssued()
+                               : 0.0;
+            StreamedValueBuffer::Entry e;
+            e.addr = addr;
+            e.streamId = req.streamId;
+            e.readyTime = static_cast<Cycles>(ready);
+            if (measuring_)
+                ++stats_.prefetchesIssued;
+            if (auto victim = svb_->insert(e))
+                handleSvbVictim(*victim);
+        } else {
+            if (hier_.l2().contains(addr))
+                continue;
+            double ready = params_.enableTiming
+                               ? timing_.prefetchIssued()
+                               : 0.0;
+            if (params_.enableTiming)
+                l2PrefetchReady_[addr] = ready;
+            if (measuring_)
+                ++stats_.prefetchesIssued;
+            hier_.fillPrefetchL2(addr);
+        }
+    }
+}
+
+void
+PrefetchSimulator::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    // Anything still unconsumed was fetched in vain.
+    if (svb_) {
+        while (auto e = svb_->consumeAny())
+            handleSvbVictim(*e);
+    }
+    if (measuring_) {
+        stats_.overpredictions +=
+            hier_.l2().unreferencedPrefetches();
+    }
+
+    stats_.cycles = timing_.totalCycles() - cyclesAtMeasureStart_;
+    stats_.instructions =
+        timing_.instructions() - instrAtMeasureStart_;
+}
+
+void
+PrefetchSimulator::run(const Trace &trace, std::size_t warmup_records)
+{
+    if (warmup_records > 0)
+        setMeasuring(false);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i == warmup_records)
+            setMeasuring(true);
+        step(trace[i]);
+    }
+    finish();
+}
+
+} // namespace stems

@@ -1,0 +1,141 @@
+#include "sim/timing.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace stems {
+
+TimingModel::TimingModel(TimingParams params) : params_(params)
+{
+    // The ring must reach the farthest lookback: the dependence cap,
+    // or every access inside the instruction window (each access is
+    // at least one instruction).
+    std::size_t ring = std::max(params_.maxDepDistance + 1,
+                                params_.robInstructions + 1) +
+                       8;
+    completionRing_.assign(ring, 0.0);
+    retireRing_.assign(ring, 0.0);
+    instrEndRing_.assign(ring, 0);
+    missRing_.assign(params_.mshrs + 1, 0.0);
+    if (params_.issueWidth <= 0)
+        fatal("TimingModel: issue width must be positive");
+}
+
+double
+TimingModel::completionOf(std::uint64_t index) const
+{
+    return completionRing_[static_cast<std::size_t>(
+        index % completionRing_.size())];
+}
+
+void
+TimingModel::demandAccess(const MemRecord &r, AccessLevel level,
+                          double ready_time)
+{
+    const std::size_t ring = completionRing_.size();
+
+    // Compute gap since the previous access.
+    double issue = lastIssue_ + (1.0 + r.cpuOps) / params_.issueWidth;
+
+    // ROB reach: this access's instruction cannot issue until the
+    // instruction robInstructions older has retired. Advance the
+    // gate to the most recent access wholly outside the window.
+    if (instructions_ >= params_.robInstructions) {
+        std::uint64_t horizon =
+            instructions_ - params_.robInstructions;
+        while (robGate_ + 1 < accessIndex_ &&
+               robGate_ + ring > accessIndex_ &&
+               instrEndRing_[static_cast<std::size_t>((robGate_ + 1) %
+                                                      ring)] <=
+                   horizon) {
+            ++robGate_;
+        }
+        if (accessIndex_ > 0 && robGate_ < accessIndex_ &&
+            robGate_ + ring > accessIndex_ &&
+            instrEndRing_[static_cast<std::size_t>(robGate_ %
+                                                   ring)] <= horizon) {
+            issue = std::max(
+                issue, retireRing_[static_cast<std::size_t>(
+                           robGate_ % ring)]);
+        }
+    }
+
+    // Address dependence: pointer chases serialize on the producer.
+    if (r.depDist > 0 && r.depDist <= params_.maxDepDistance &&
+        r.depDist <= accessIndex_) {
+        issue = std::max(issue,
+                         completionOf(accessIndex_ - r.depDist));
+    }
+
+    double completion = issue;
+    if (r.isWrite()) {
+        // Store-wait-free: no core stall. Off-chip write misses
+        // consume channel bandwidth.
+        if (level == AccessLevel::kMemory) {
+            double slot = std::max(channelFree_, issue);
+            channelFree_ = slot + params_.channelInterval;
+        }
+        completion = issue + params_.l1Latency;
+    } else {
+        switch (level) {
+          case AccessLevel::kL1:
+            completion = issue + params_.l1Latency;
+            break;
+          case AccessLevel::kL2:
+          case AccessLevel::kL2Prefetch:
+            completion = issue + params_.l2Latency;
+            if (level == AccessLevel::kL2Prefetch &&
+                ready_time > issue) {
+                // The prefetch has not completed: residual latency.
+                completion = ready_time + params_.l2Latency;
+            }
+            break;
+          case AccessLevel::kSvb:
+            completion =
+                std::max(issue, ready_time) + params_.svbLatency;
+            break;
+          case AccessLevel::kMemory: {
+            // MSHR occupancy bounds outstanding misses.
+            if (missIndex_ >= params_.mshrs) {
+                issue = std::max(
+                    issue,
+                    missRing_[static_cast<std::size_t>(
+                        (missIndex_ - params_.mshrs) %
+                        missRing_.size())]);
+            }
+            double slot = std::max(channelFree_, issue);
+            channelFree_ = slot + params_.channelInterval;
+            completion = slot + params_.memLatency;
+            missRing_[static_cast<std::size_t>(missIndex_ %
+                                               missRing_.size())] =
+                completion;
+            ++missIndex_;
+            break;
+          }
+        }
+    }
+
+    // In-order retirement.
+    lastRetire_ = std::max(lastRetire_, completion);
+    instructions_ += 1 + r.cpuOps;
+
+    std::size_t slot = static_cast<std::size_t>(accessIndex_ % ring);
+    completionRing_[slot] = completion;
+    retireRing_[slot] = lastRetire_;
+    instrEndRing_[slot] = instructions_;
+    ++accessIndex_;
+
+    lastIssue_ = issue;
+    maxCompletion_ = std::max(maxCompletion_, completion);
+}
+
+double
+TimingModel::prefetchIssued()
+{
+    double slot = std::max(channelFree_, lastIssue_);
+    channelFree_ = slot + params_.channelInterval;
+    return slot + params_.memLatency;
+}
+
+} // namespace stems

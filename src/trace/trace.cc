@@ -1,0 +1,39 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace stems {
+
+TraceSummary
+summarize(const Trace &trace)
+{
+    TraceSummary s;
+    s.records = trace.size();
+    std::unordered_set<Addr> blocks;
+    std::unordered_set<Addr> regions;
+    for (const MemRecord &r : trace) {
+        switch (r.kind) {
+          case AccessKind::kRead:
+            ++s.reads;
+            if (r.depDist > 0)
+                ++s.dependentReads;
+            break;
+          case AccessKind::kWrite:
+            ++s.writes;
+            break;
+          case AccessKind::kInvalidate:
+            ++s.invalidates;
+            break;
+        }
+        if (!r.isInvalidate()) {
+            blocks.insert(blockNumber(r.vaddr));
+            regions.insert(regionNumber(r.vaddr));
+        }
+        s.cpuOps += r.cpuOps;
+    }
+    s.distinctBlocks = blocks.size();
+    s.distinctRegions = regions.size();
+    return s;
+}
+
+} // namespace stems

@@ -1,0 +1,97 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace stems {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'e', 'M', 'S', 't', 'r', 'c'};
+constexpr std::uint32_t kVersion = 1;
+
+/** Packed on-disk record layout (29 bytes, no padding). */
+struct PackedRecord
+{
+    std::uint64_t vaddr;
+    std::uint64_t pc;
+    std::uint32_t cpuOps;
+    std::uint32_t depDist;
+    std::uint8_t kind;
+} __attribute__((packed));
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    std::uint64_t count = trace.size();
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+        std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+        return false;
+    }
+    for (const MemRecord &r : trace) {
+        PackedRecord p;
+        p.vaddr = r.vaddr;
+        p.pc = r.pc;
+        p.cpuOps = r.cpuOps;
+        p.depDist = r.depDist;
+        p.kind = static_cast<std::uint8_t>(r.kind);
+        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, Trace &out)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    char magic[8];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+        std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+        version != kVersion ||
+        std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+        return false;
+    }
+    out.clear();
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord p;
+        if (std::fread(&p, sizeof(p), 1, f.get()) != 1)
+            return false;
+        if (p.kind > 2)
+            return false;
+        MemRecord r;
+        r.vaddr = p.vaddr;
+        r.pc = p.pc;
+        r.cpuOps = p.cpuOps;
+        r.depDist = p.depDist;
+        r.kind = static_cast<AccessKind>(p.kind);
+        out.push_back(r);
+    }
+    return true;
+}
+
+} // namespace stems

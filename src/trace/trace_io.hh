@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * A small fixed-layout format so traces can be generated once and
+ * replayed by tools/benchmarks: little-endian, 8-byte magic, version,
+ * record count, then packed records.
+ */
+
+#ifndef STEMS_TRACE_TRACE_IO_HH
+#define STEMS_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace stems {
+
+/**
+ * Write a trace to a binary file.
+ *
+ * @return true on success.
+ */
+bool writeTraceFile(const std::string &path, const Trace &trace);
+
+/**
+ * Read a trace from a binary file.
+ *
+ * @param path  file to read.
+ * @param out   receives the records.
+ * @return true on success (format/magic/version all valid).
+ */
+bool readTraceFile(const std::string &path, Trace &out);
+
+} // namespace stems
+
+#endif // STEMS_TRACE_TRACE_IO_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Commercial-workload generator: the parameterized model behind the
+ * OLTP (TPC-C on DB2/Oracle) and web-serving (SPECweb99 on
+ * Apache/Zeus) traces.
+ *
+ * Structure of a generated "transaction" (paper Figure 2): a traversal
+ * sequence of buffer-pool pages is picked from a recurring library and
+ * replayed with glitches; each page visit touches a per-page-type
+ * spatial pattern; page-to-page transitions are pointer-dependent.
+ * Uncorrelated accesses to fresh memory provide the unpredictable
+ * floor, fresh-page content scans provide compulsory/spatial traffic
+ * (dominant in web serving), and occasional remote invalidations model
+ * coherence activity.
+ */
+
+#ifndef STEMS_WORKLOADS_COMMERCIAL_HH
+#define STEMS_WORKLOADS_COMMERCIAL_HH
+
+#include "workloads/workload.hh"
+
+namespace stems {
+
+/** Tuning knobs for the commercial generator. */
+struct CommercialParams
+{
+    std::string name = "commercial";
+    WorkloadClass cls = WorkloadClass::kOltp;
+
+    /// Hot buffer-pool pages (footprint knob; must exceed the L2).
+    std::size_t hotPages = 131072;
+    /// Distinct traversal sequences in the library.
+    std::size_t numSequences = 160;
+    /// Traversal length range, in pages.
+    std::size_t minSeqLen = 128;
+    std::size_t maxSeqLen = 384;
+
+    /// Distinct page types (each with its own visiting code/pattern).
+    unsigned numPageTypes = 24;
+    /// Stable blocks per page-visit pattern (range).
+    unsigned stableBlocksMin = 3;
+    unsigned stableBlocksMax = 6;
+    /// Probabilistic blocks per pattern and their appearance rate.
+    unsigned unstableBlocks = 2;
+    double unstableProb = 0.3;
+    /// Intra-page adjacent-swap probability (Figure 8 reordering).
+    double intraSwapProb = 0.04;
+
+    /// Glitch model for sequence replay.
+    SequenceLibrary::GlitchModel glitches{0.04, 0.02, 0.02};
+
+    /// Probability a page transition is pointer-dependent.
+    double chaseProb = 0.85;
+
+    /// Per page visit: probability of an uncorrelated fresh access.
+    double noiseProb = 0.5;
+
+    /// Per transaction: probability of a fresh-page content scan.
+    double scanBurstProb = 0.0;
+    unsigned scanPagesMin = 4;
+    unsigned scanPagesMax = 12;
+    /// Blocks per scanned page.
+    unsigned scanDensity = 16;
+
+    /// Per page visit: probability a recently used block is
+    /// invalidated by a remote node.
+    double invalidateProb = 0.03;
+
+    /// Fraction of intra-page accesses that are stores.
+    double writeProb = 0.1;
+
+    /// Compute gap between accesses (memory-boundedness knob).
+    unsigned cpuOpsMin = 1;
+    unsigned cpuOpsMax = 4;
+};
+
+/**
+ * The OLTP/web synthetic application.
+ */
+class CommercialWorkload : public Workload
+{
+  public:
+    explicit CommercialWorkload(CommercialParams params);
+
+    std::string name() const override { return params_.name; }
+
+    WorkloadClass
+    workloadClass() const override
+    {
+        return params_.cls;
+    }
+
+    Trace generate(std::uint64_t seed,
+                   std::size_t target_records) const override;
+
+    /** The parameters this instance was built with. */
+    const CommercialParams &params() const { return params_; }
+
+  private:
+    CommercialParams params_;
+};
+
+} // namespace stems
+
+#endif // STEMS_WORKLOADS_COMMERCIAL_HH

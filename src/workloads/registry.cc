@@ -1,0 +1,207 @@
+#include "workloads/registry.hh"
+
+#include "workloads/commercial.hh"
+#include "workloads/dss.hh"
+#include "workloads/scientific.hh"
+
+namespace stems {
+
+std::unique_ptr<Workload>
+makeWebApache()
+{
+    // Web serving: request-metadata pointer chases plus heavy static
+    // content scanning over fresh pages -- tilted spatial relative to
+    // OLTP, with plenty of off-chip read stalls (Apache benefits the
+    // most from prefetching in Figure 10).
+    CommercialParams p;
+    p.name = "web-apache";
+    p.cls = WorkloadClass::kWeb;
+    p.hotPages = 98304;
+    p.numSequences = 320;
+    p.minSeqLen = 96;
+    p.maxSeqLen = 224;
+    p.numPageTypes = 20;
+    p.stableBlocksMin = 3;
+    p.stableBlocksMax = 6;
+    p.chaseProb = 0.8;
+    p.noiseProb = 0.35;
+    p.scanBurstProb = 0.5;
+    p.scanPagesMin = 6;
+    p.scanPagesMax = 16;
+    p.scanDensity = 16;
+    p.invalidateProb = 0.03;
+    p.cpuOpsMin = 8;
+    p.cpuOpsMax = 20;
+    return std::make_unique<CommercialWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeWebZeus()
+{
+    // Zeus: same structure as Apache but a leaner event-driven server
+    // with fewer off-chip stalls and slightly denser content scans.
+    CommercialParams p;
+    p.name = "web-zeus";
+    p.cls = WorkloadClass::kWeb;
+    p.hotPages = 81920;
+    p.numSequences = 288;
+    p.minSeqLen = 96;
+    p.maxSeqLen = 208;
+    p.numPageTypes = 16;
+    p.stableBlocksMin = 3;
+    p.stableBlocksMax = 5;
+    p.chaseProb = 0.8;
+    p.noiseProb = 0.35;
+    p.scanBurstProb = 0.45;
+    p.scanPagesMin = 6;
+    p.scanPagesMax = 14;
+    p.scanDensity = 18;
+    p.invalidateProb = 0.03;
+    p.cpuOpsMin = 10;
+    p.cpuOpsMax = 24;
+    return std::make_unique<CommercialWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeOltpDb2()
+{
+    // TPC-C on DB2: B-tree and buffer-pool pointer chasing with
+    // sparse intra-page patterns; biased temporal (Figure 6).
+    CommercialParams p;
+    p.name = "oltp-db2";
+    p.cls = WorkloadClass::kOltp;
+    p.hotPages = 131072;
+    p.numSequences = 448;
+    p.minSeqLen = 96;
+    p.maxSeqLen = 288;
+    p.numPageTypes = 24;
+    p.stableBlocksMin = 2;
+    p.stableBlocksMax = 5;
+    p.unstableBlocks = 2;
+    p.chaseProb = 0.9;
+    p.noiseProb = 0.3;
+    p.scanBurstProb = 0.0;
+    p.invalidateProb = 0.04;
+    p.cpuOpsMin = 8;
+    p.cpuOpsMax = 20;
+    return std::make_unique<CommercialWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeOltpOracle()
+{
+    // TPC-C on Oracle: larger SGA, more compute between accesses (the
+    // paper's baseline spends only a quarter of its time off-chip, so
+    // speedups are small).
+    CommercialParams p;
+    p.name = "oltp-oracle";
+    p.cls = WorkloadClass::kOltp;
+    p.hotPages = 163840;
+    p.numSequences = 512;
+    p.minSeqLen = 96;
+    p.maxSeqLen = 288;
+    p.numPageTypes = 28;
+    p.stableBlocksMin = 2;
+    p.stableBlocksMax = 5;
+    p.unstableBlocks = 2;
+    p.chaseProb = 0.9;
+    p.noiseProb = 0.3;
+    p.scanBurstProb = 0.0;
+    p.invalidateProb = 0.04;
+    p.cpuOpsMin = 28;
+    p.cpuOpsMax = 56;
+    return std::make_unique<CommercialWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeDssQry2()
+{
+    // TPC-H Q2 (join-dominated): scans plus frequent probe bursts.
+    DssParams p;
+    p.name = "dss-qry2";
+    p.scanDensity = 12;
+    p.intraSwapProb = 0.02;
+    p.joinProbeProb = 0.85;
+    p.probesPerBurst = 6;
+    p.probeDirectoryFraction = 0.3;
+    return std::make_unique<DssWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeDssQry16()
+{
+    // TPC-H Q16 (join-dominated, two record layouts): the alternating
+    // scan patterns and higher swap rate reproduce its weak
+    // intra-generation repetition (Figure 8's outlier).
+    DssParams p;
+    p.name = "dss-qry16";
+    p.scanDensity = 10;
+    p.scanUnstableBlocks = 4;
+    p.scanUnstableProb = 0.4;
+    p.intraSwapProb = 0.18;
+    p.scanPatternVariants = 2;
+    p.joinProbeProb = 0.8;
+    p.probesPerBurst = 6;
+    p.probeDirectoryFraction = 0.25;
+    return std::make_unique<DssWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeDssQry17()
+{
+    // TPC-H Q17 (balanced scan-join): scan-heavy with lighter probes.
+    DssParams p;
+    p.name = "dss-qry17";
+    p.scanDensity = 16;
+    p.intraSwapProb = 0.02;
+    p.joinProbeProb = 0.75;
+    p.probesPerBurst = 5;
+    p.probeDirectoryFraction = 0.25;
+    return std::make_unique<DssWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeEm3d()
+{
+    return std::make_unique<Em3dWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeOcean()
+{
+    return std::make_unique<OceanWorkload>();
+}
+
+std::unique_ptr<Workload>
+makeSparse()
+{
+    return std::make_unique<SparseWorkload>();
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAllWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> all;
+    all.push_back(makeWebApache());
+    all.push_back(makeWebZeus());
+    all.push_back(makeOltpDb2());
+    all.push_back(makeOltpOracle());
+    all.push_back(makeDssQry2());
+    all.push_back(makeDssQry16());
+    all.push_back(makeDssQry17());
+    all.push_back(makeEm3d());
+    all.push_back(makeOcean());
+    all.push_back(makeSparse());
+    return all;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (auto &w : makeAllWorkloads())
+        if (w->name() == name)
+            return std::move(w);
+    return nullptr;
+}
+
+} // namespace stems

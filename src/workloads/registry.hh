@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The paper's application suite (Table 1), instantiated: two web
+ * servers, two OLTP databases, three DSS queries and three scientific
+ * codes, in the order the paper's figures use.
+ */
+
+#ifndef STEMS_WORKLOADS_REGISTRY_HH
+#define STEMS_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace stems {
+
+/** Factory functions for each paper workload. */
+std::unique_ptr<Workload> makeWebApache();
+std::unique_ptr<Workload> makeWebZeus();
+std::unique_ptr<Workload> makeOltpDb2();
+std::unique_ptr<Workload> makeOltpOracle();
+std::unique_ptr<Workload> makeDssQry2();
+std::unique_ptr<Workload> makeDssQry16();
+std::unique_ptr<Workload> makeDssQry17();
+std::unique_ptr<Workload> makeEm3d();
+std::unique_ptr<Workload> makeOcean();
+std::unique_ptr<Workload> makeSparse();
+
+/**
+ * The full suite in figure order: Apache, Zeus, DB2, Oracle, Qry2,
+ * Qry16, Qry17, em3d, ocean, sparse.
+ */
+std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
+
+/** Make one workload by name; null when the name is unknown. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace stems
+
+#endif // STEMS_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Scientific workload generators: em3d, ocean and sparse (paper
+ * Table 1), the frame of reference for the commercial results.
+ *
+ * em3d   -- electromagnetic wave propagation on a bipartite graph:
+ *           a fixed traversal over randomly placed node regions whose
+ *           per-region patterns differ under a single visiting PC
+ *           (temporal sequence perfectly repetitive; spatial index
+ *           aliases, paper Section 5.5).
+ * ocean  -- regular grid relaxation: dense sequential sweeps over a
+ *           few large arrays (stride- and spatial-friendly; temporal
+ *           repeats every iteration).
+ * sparse -- sparse matrix-vector product: sequential matrix streams
+ *           plus x-vector gathers whose region patterns alias onto
+ *           shared pattern-table indices, toggling the learned delta
+ *           sequences (paper Section 5.5).
+ */
+
+#ifndef STEMS_WORKLOADS_SCIENTIFIC_HH
+#define STEMS_WORKLOADS_SCIENTIFIC_HH
+
+#include "workloads/workload.hh"
+
+namespace stems {
+
+/** em3d construction knobs. */
+struct Em3dParams
+{
+    /// Node regions in the graph.
+    std::size_t regions = 13000;
+    /// Blocks per region (range): node data + adjacency lists.
+    unsigned blocksMin = 8;
+    unsigned blocksMax = 16;
+    /// Compute gap between accesses.
+    unsigned cpuOpsMin = 6;
+    unsigned cpuOpsMax = 12;
+};
+
+/**
+ * em3d: fixed pointer traversal over scattered node regions.
+ */
+class Em3dWorkload : public Workload
+{
+  public:
+    explicit Em3dWorkload(Em3dParams params = {}) : params_(params) {}
+
+    std::string name() const override { return "em3d"; }
+
+    WorkloadClass
+    workloadClass() const override
+    {
+        return WorkloadClass::kScientific;
+    }
+
+    Trace generate(std::uint64_t seed,
+                   std::size_t target_records) const override;
+
+  private:
+    Em3dParams params_;
+};
+
+/** ocean construction knobs. */
+struct OceanParams
+{
+    /// Grid arrays swept each iteration.
+    unsigned arrays = 3;
+    /// Regions per array (3 x 2048 regions = 12 MB footprint).
+    std::size_t regionsPerArray = 2048;
+    /// Fraction of blocks written (the updated grid).
+    double writeProb = 0.25;
+    /// Compute gap between accesses (stencil arithmetic per point).
+    unsigned cpuOpsMin = 8;
+    unsigned cpuOpsMax = 16;
+};
+
+/**
+ * ocean: sequential stencil sweeps over large grid arrays.
+ */
+class OceanWorkload : public Workload
+{
+  public:
+    explicit OceanWorkload(OceanParams params = {}) : params_(params)
+    {
+    }
+
+    std::string name() const override { return "ocean"; }
+
+    WorkloadClass
+    workloadClass() const override
+    {
+        return WorkloadClass::kScientific;
+    }
+
+    Trace generate(std::uint64_t seed,
+                   std::size_t target_records) const override;
+
+  private:
+    OceanParams params_;
+};
+
+/** sparse construction knobs. */
+struct SparseParams
+{
+    /// Matrix rows.
+    std::size_t rows = 48000;
+    /// Nonzeros per row (fixed structure).
+    unsigned nnzPerRow = 8;
+    /// x-vector regions (gather target footprint; must exceed the
+    /// L2 so the gather chain is memory-bound, as in the paper).
+    std::size_t xRegions = 3072;
+    /// Compute gap between accesses.
+    unsigned cpuOpsMin = 4;
+    unsigned cpuOpsMax = 8;
+};
+
+/**
+ * sparse: y = A*x with sequential matrix streams and x gathers.
+ */
+class SparseWorkload : public Workload
+{
+  public:
+    explicit SparseWorkload(SparseParams params = {})
+        : params_(params)
+    {
+    }
+
+    std::string name() const override { return "sparse"; }
+
+    WorkloadClass
+    workloadClass() const override
+    {
+        return WorkloadClass::kScientific;
+    }
+
+    Trace generate(std::uint64_t seed,
+                   std::size_t target_records) const override;
+
+  private:
+    SparseParams params_;
+};
+
+} // namespace stems
+
+#endif // STEMS_WORKLOADS_SCIENTIFIC_HH

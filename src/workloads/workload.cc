@@ -1,0 +1,180 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace stems {
+
+std::string
+workloadClassName(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::kWeb:
+        return "Web";
+      case WorkloadClass::kOltp:
+        return "OLTP";
+      case WorkloadClass::kDss:
+        return "DSS";
+      case WorkloadClass::kScientific:
+        return "Scientific";
+    }
+    return "?";
+}
+
+PageAllocator::PageAllocator(Rng rng, std::uint64_t space_regions,
+                             Addr base)
+    : rng_(rng), base_(base)
+{
+    if (space_regions == 0)
+        fatal("PageAllocator: empty address space");
+    // Round the space up to an even power of two so a balanced
+    // Feistel network forms an exact bijection over it; the space is
+    // virtual, so rounding up only spreads pages further apart.
+    bits_ = 2;
+    while ((std::uint64_t{1} << bits_) < space_regions || bits_ % 2)
+        ++bits_;
+    for (auto &k : roundKeys_)
+        k = rng_.next64();
+}
+
+std::uint64_t
+PageAllocator::permute(std::uint64_t counter) const
+{
+    // 4-round balanced Feistel network over bits_ bits: a keyed
+    // bijection, so distinct counters always yield distinct slots.
+    const unsigned half = bits_ / 2;
+    const std::uint64_t half_mask = (std::uint64_t{1} << half) - 1;
+    std::uint64_t left = (counter >> half) & half_mask;
+    std::uint64_t right = counter & half_mask;
+    for (std::uint64_t key : roundKeys_) {
+        std::uint64_t f = (right ^ key) * 0x9e3779b97f4a7c15ULL;
+        f ^= f >> 31;
+        std::uint64_t new_right = (left ^ f) & half_mask;
+        left = right;
+        right = new_right;
+    }
+    return (left << half) | right;
+}
+
+Addr
+PageAllocator::alloc()
+{
+    if (allocated_ >= (std::uint64_t{1} << bits_))
+        fatal("PageAllocator: address space exhausted");
+    std::uint64_t slot = permute(allocated_);
+    ++allocated_;
+    return base_ + slot * kRegionBytes;
+}
+
+SpatialPattern::SpatialPattern(Rng &rng, unsigned stable_blocks,
+                               unsigned unstable_blocks,
+                               double unstable_prob, bool sequential)
+    : unstableProb_(unstable_prob)
+{
+    unsigned total = stable_blocks + unstable_blocks;
+    if (total > kBlocksPerRegion)
+        fatal("SpatialPattern: more blocks than the region holds");
+
+    std::vector<unsigned> chosen;
+    if (sequential) {
+        for (unsigned i = 0; i < total; ++i)
+            chosen.push_back(i);
+    } else {
+        // Sample distinct offsets.
+        bool used[kBlocksPerRegion] = {};
+        while (chosen.size() < total) {
+            unsigned off = rng.below(kBlocksPerRegion);
+            if (!used[off]) {
+                used[off] = true;
+                chosen.push_back(off);
+            }
+        }
+    }
+    stable_.assign(chosen.begin(),
+                   chosen.begin() + stable_blocks);
+    unstable_.assign(chosen.begin() + stable_blocks, chosen.end());
+}
+
+std::vector<unsigned>
+SpatialPattern::materialize(Rng &rng, double swap_prob) const
+{
+    std::vector<unsigned> out = stable_;
+    for (unsigned off : unstable_)
+        if (rng.chance(unstableProb_))
+            out.push_back(off);
+
+    if (swap_prob > 0.0) {
+        for (std::size_t i = 0; i + 1 < out.size(); ++i)
+            if (rng.chance(swap_prob))
+                std::swap(out[i], out[i + 1]);
+    }
+    return out;
+}
+
+SequenceLibrary::SequenceLibrary(Rng &rng, std::size_t num_pages,
+                                 std::size_t num_seqs,
+                                 std::size_t min_len,
+                                 std::size_t max_len)
+    : numPages_(num_pages)
+{
+    if (num_pages == 0 || num_seqs == 0 || min_len == 0 ||
+        max_len < min_len) {
+        fatal("SequenceLibrary: bad parameters");
+    }
+    sequences_.resize(num_seqs);
+    for (auto &seq : sequences_) {
+        std::size_t len =
+            min_len +
+            rng.below(static_cast<std::uint32_t>(max_len - min_len +
+                                                 1));
+        seq.reserve(len);
+        for (std::size_t i = 0; i < len; ++i)
+            seq.push_back(rng.below(
+                static_cast<std::uint32_t>(num_pages)));
+    }
+}
+
+std::size_t
+SequenceLibrary::pick(Rng &rng)
+{
+    // With 60% probability revisit one of the last few sequences
+    // (temporal correlation: recent sequences recur); otherwise pick
+    // uniformly.
+    std::size_t idx;
+    if (!recent_.empty() && rng.chance(0.6)) {
+        idx = recent_[rng.below(
+            static_cast<std::uint32_t>(recent_.size()))];
+    } else {
+        idx = rng.below(static_cast<std::uint32_t>(size()));
+    }
+    recent_.push_back(idx);
+    if (recent_.size() > 4)
+        recent_.erase(recent_.begin());
+    return idx;
+}
+
+std::vector<std::uint32_t>
+SequenceLibrary::replay(std::size_t seq_index, Rng &rng,
+                        const GlitchModel &glitches)
+{
+    const auto &seq = sequences_.at(seq_index);
+    std::vector<std::uint32_t> out;
+    out.reserve(seq.size() + 4);
+    auto random_page = [&] {
+        return rng.below(static_cast<std::uint32_t>(numPages_));
+    };
+    for (std::uint32_t page : seq) {
+        if (glitches.skip > 0 && rng.chance(glitches.skip))
+            continue;
+        if (glitches.insert > 0 && rng.chance(glitches.insert))
+            out.push_back(random_page());
+        if (glitches.replace > 0 && rng.chance(glitches.replace))
+            out.push_back(random_page());
+        else
+            out.push_back(page);
+    }
+    return out;
+}
+
+} // namespace stems

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the cache model, the two-level hierarchy and the
+ * streamed value buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/svb.hh"
+
+namespace stems {
+namespace {
+
+// A tiny cache keeps the tests deterministic: 4 blocks, 2 ways = 2 sets.
+Cache
+tinyCache()
+{
+    return Cache("tiny", 4 * kBlockBytes, 2);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c = tinyCache();
+    EXPECT_FALSE(c.access(0x1000));
+    c.insert(0x1000);
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameBlockDifferentBytes)
+{
+    Cache c = tinyCache();
+    c.insert(0x1000);
+    EXPECT_TRUE(c.access(0x1004));
+    EXPECT_TRUE(c.access(0x103f));
+    EXPECT_FALSE(c.contains(0x1040));
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c = tinyCache(); // 2 sets: block number parity selects set
+    // Three blocks mapping to set 0 (even block numbers).
+    Addr a = 0 * kBlockBytes;
+    Addr b = 4 * kBlockBytes;
+    Addr d = 8 * kBlockBytes;
+    c.insert(a);
+    c.insert(b);
+    c.access(a); // b becomes LRU
+    auto victim = c.insert(d);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, ReinsertResidentDoesNotEvict)
+{
+    Cache c = tinyCache();
+    c.insert(0x0);
+    c.insert(0x100); // same set (block numbers 0 and 4)
+    auto victim = c.insert(0x0);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_TRUE(c.contains(0x100));
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    Cache c = tinyCache();
+    c.insert(0x2000);
+    auto v = c.invalidate(0x2000);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->addr, 0x2000u);
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_FALSE(c.invalidate(0x2000).has_value());
+}
+
+TEST(Cache, PrefetchTagLifecycle)
+{
+    Cache c = tinyCache();
+    c.insert(0x3000, /*prefetched=*/true);
+    EXPECT_TRUE(c.isPrefetchedUnreferenced(0x3000));
+    c.access(0x3000);
+    EXPECT_FALSE(c.isPrefetchedUnreferenced(0x3000));
+}
+
+TEST(Cache, VictimReportsPrefetchMetadata)
+{
+    Cache c = tinyCache();
+    Addr a = 0 * kBlockBytes;
+    Addr b = 4 * kBlockBytes;
+    Addr d = 8 * kBlockBytes;
+    c.insert(a, true); // prefetched, never referenced
+    c.insert(b);
+    c.access(b);
+    auto victim = c.insert(d); // evicts a (LRU)
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, a);
+    EXPECT_TRUE(victim->prefetched);
+    EXPECT_FALSE(victim->referenced);
+}
+
+TEST(Hierarchy, L1ThenL2ThenMemory)
+{
+    HierarchyParams p;
+    p.l1Bytes = 4 * kBlockBytes;
+    p.l1Ways = 2;
+    p.l2Bytes = 16 * kBlockBytes;
+    p.l2Ways = 4;
+    Hierarchy h(p);
+
+    EXPECT_FALSE(h.accessL1(0x1000));
+    EXPECT_FALSE(h.accessL2(0x1000).hit);
+    h.fill(0x1000);
+    EXPECT_TRUE(h.accessL1(0x1000));
+
+    // Push 0x1000 out of tiny L1 with same-set fills.
+    h.fill(0x1000 + 4 * kBlockBytes);
+    h.fill(0x1000 + 8 * kBlockBytes);
+    EXPECT_FALSE(h.accessL1(0x1000));
+    EXPECT_TRUE(h.accessL2(0x1000).hit);
+}
+
+TEST(Hierarchy, L1EvictCallbackFires)
+{
+    HierarchyParams p;
+    p.l1Bytes = 4 * kBlockBytes;
+    p.l1Ways = 2;
+    p.l2Bytes = 64 * kBlockBytes;
+    p.l2Ways = 4;
+    Hierarchy h(p);
+
+    std::vector<Addr> evicted;
+    h.setL1EvictCallback([&](Addr a) { evicted.push_back(a); });
+
+    h.fill(0x0);
+    h.fill(0x100);
+    h.fill(0x200); // evicts 0x0 from L1 set 0
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0x0u);
+
+    h.invalidate(0x100);
+    ASSERT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(evicted[1], 0x100u);
+}
+
+TEST(Hierarchy, PrefetchCoverageDetection)
+{
+    HierarchyParams p;
+    p.l1Bytes = 4 * kBlockBytes;
+    p.l1Ways = 2;
+    p.l2Bytes = 64 * kBlockBytes;
+    p.l2Ways = 4;
+    Hierarchy h(p);
+
+    h.fillPrefetchL2(0x5000);
+    auto r = h.accessL2(0x5000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.coveredByPrefetch);
+
+    // Second touch is an ordinary hit.
+    r = h.accessL2(0x5000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.coveredByPrefetch);
+}
+
+TEST(Hierarchy, UnusedPrefetchDropCallback)
+{
+    HierarchyParams p;
+    p.l1Bytes = 4 * kBlockBytes;
+    p.l1Ways = 2;
+    p.l2Bytes = 4 * kBlockBytes;
+    p.l2Ways = 2;
+    Hierarchy h(p);
+
+    std::vector<Addr> dropped;
+    h.setL2PrefetchDropCallback([&](Addr a) { dropped.push_back(a); });
+
+    h.fillPrefetchL2(0x0);
+    h.fill(0x100);
+    h.fill(0x200); // evicts 0x0 (prefetched, unreferenced) from L2
+    ASSERT_EQ(dropped.size(), 1u);
+    EXPECT_EQ(dropped[0], 0x0u);
+
+    // Invalidation of an unused prefetch also reports a drop.
+    h.fillPrefetchL2(0x300);
+    h.invalidate(0x300);
+    ASSERT_EQ(dropped.size(), 2u);
+    EXPECT_EQ(dropped[1], 0x300u);
+}
+
+TEST(Svb, InsertConsume)
+{
+    StreamedValueBuffer svb(4);
+    svb.insert({0x1000, 3, 100});
+    EXPECT_TRUE(svb.contains(0x1000));
+    EXPECT_TRUE(svb.contains(0x1004)); // same block
+    auto e = svb.consume(0x1004);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->addr, 0x1000u);
+    EXPECT_EQ(e->streamId, 3);
+    EXPECT_EQ(e->readyTime, 100u);
+    EXPECT_FALSE(svb.contains(0x1000));
+}
+
+TEST(Svb, LruEvictionReturnsUnused)
+{
+    StreamedValueBuffer svb(2);
+    EXPECT_FALSE(svb.insert({0x0, 0, 0}).has_value());
+    EXPECT_FALSE(svb.insert({0x40, 0, 0}).has_value());
+    auto victim = svb.insert({0x80, 1, 0});
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->addr, 0x0u);
+    EXPECT_EQ(svb.occupancy(), 2u);
+}
+
+TEST(Svb, ReinsertRefreshesInsteadOfEvicting)
+{
+    StreamedValueBuffer svb(2);
+    svb.insert({0x0, 0, 0});
+    svb.insert({0x40, 0, 0});
+    EXPECT_FALSE(svb.insert({0x0, 5, 9}).has_value());
+    auto e = svb.consume(0x0);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->streamId, 5);
+}
+
+TEST(Svb, StreamOccupancy)
+{
+    StreamedValueBuffer svb(8);
+    svb.insert({0x0, 1, 0});
+    svb.insert({0x40, 1, 0});
+    svb.insert({0x80, 2, 0});
+    EXPECT_EQ(svb.occupancyForStream(1), 2u);
+    EXPECT_EQ(svb.occupancyForStream(2), 1u);
+    EXPECT_EQ(svb.occupancyForStream(3), 0u);
+    EXPECT_EQ(svb.occupancy(), 3u);
+}
+
+TEST(Svb, InvalidateDrops)
+{
+    StreamedValueBuffer svb(4);
+    svb.insert({0x1000, 0, 0});
+    auto e = svb.invalidate(0x1000);
+    EXPECT_TRUE(e.has_value());
+    EXPECT_FALSE(svb.contains(0x1000));
+}
+
+} // namespace
+} // namespace stems

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for trace records, the builder and binary trace I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace stems {
+namespace {
+
+TEST(TraceBuilder, ReadWriteInvalidate)
+{
+    TraceBuilder b;
+    b.read(0x1000, 0x400, 3);
+    b.write(0x2000, 0x404, 1);
+    b.invalidate(0x3000);
+    Trace t = b.take();
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_TRUE(t[0].isRead());
+    EXPECT_TRUE(t[1].isWrite());
+    EXPECT_TRUE(t[2].isInvalidate());
+    EXPECT_EQ(t[0].cpuOps, 3u);
+    EXPECT_EQ(t[1].pc, 0x404u);
+}
+
+TEST(TraceBuilder, DependenceChaining)
+{
+    TraceBuilder b;
+    b.read(0x1000, 1);
+    b.read(0x2000, 2, 0, /*dep_on_prev_read=*/true);
+    b.write(0x2040, 3);
+    b.read(0x3000, 4, 0, true); // depends on read at index 1
+    Trace t = b.take();
+    EXPECT_EQ(t[0].depDist, 0u);
+    EXPECT_EQ(t[1].depDist, 1u);
+    EXPECT_EQ(t[3].depDist, 2u); // two records back (skips the write)
+}
+
+TEST(TraceBuilder, BreakChainClearsDependence)
+{
+    TraceBuilder b;
+    b.read(0x1000, 1);
+    b.breakChain();
+    b.read(0x2000, 2, 0, true); // no prior read to depend on
+    Trace t = b.take();
+    EXPECT_EQ(t[1].depDist, 0u);
+}
+
+TEST(TraceSummary, Counts)
+{
+    TraceBuilder b;
+    b.read(0x1000, 1, 5);
+    b.read(0x1040, 1, 5, true);
+    b.write(0x80000, 2, 2);
+    b.invalidate(0x1000);
+    TraceSummary s = summarize(b.take());
+    EXPECT_EQ(s.records, 4u);
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.invalidates, 1u);
+    EXPECT_EQ(s.dependentReads, 1u);
+    EXPECT_EQ(s.cpuOps, 12u);
+    // 0x1000 and 0x1040 are separate blocks in the same region;
+    // 0x80000 is its own block and region.
+    EXPECT_EQ(s.distinctBlocks, 3u);
+    EXPECT_EQ(s.distinctRegions, 2u);
+}
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = testing::TempDir() + "stems_trace_io_test.bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTrip)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 100; ++i) {
+        b.read(0x1000 + i * 64, 0x400 + i, i % 7,
+               /*dep_on_prev_read=*/(i % 3) == 0 && i > 0);
+        if (i % 10 == 0)
+            b.write(0x90000 + i * 64, 0x500);
+        if (i % 25 == 0)
+            b.invalidate(0x1000 + i * 64);
+    }
+    Trace original = b.take();
+
+    ASSERT_TRUE(writeTraceFile(path_, original));
+    Trace loaded;
+    ASSERT_TRUE(readTraceFile(path_, loaded));
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].vaddr, original[i].vaddr);
+        EXPECT_EQ(loaded[i].pc, original[i].pc);
+        EXPECT_EQ(loaded[i].cpuOps, original[i].cpuOps);
+        EXPECT_EQ(loaded[i].depDist, original[i].depDist);
+        EXPECT_EQ(loaded[i].kind, original[i].kind);
+    }
+}
+
+TEST_F(TraceIoTest, RejectsGarbage)
+{
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not a trace file at all";
+    std::fwrite(junk, sizeof(junk), 1, f);
+    std::fclose(f);
+
+    Trace t;
+    EXPECT_FALSE(readTraceFile(path_, t));
+}
+
+TEST_F(TraceIoTest, MissingFileFails)
+{
+    Trace t;
+    EXPECT_FALSE(readTraceFile(path_ + ".does-not-exist", t));
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    Trace empty;
+    ASSERT_TRUE(writeTraceFile(path_, empty));
+    Trace loaded;
+    ASSERT_TRUE(readTraceFile(path_, loaded));
+    EXPECT_TRUE(loaded.empty());
+}
+
+} // namespace
+} // namespace stems

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * stems_trace — command-line trace utility.
+ *
+ *   stems_trace generate <workload> <records> <out.trc> [seed]
+ *       Generate a workload trace and save it in the binary format.
+ *   stems_trace info <trace.trc>
+ *       Print summary statistics for a saved trace.
+ *   stems_trace analyze <trace.trc>
+ *       Run the Figure 6/8 characterization analyses on a trace.
+ *   stems_trace run <trace.trc> <engine>
+ *       Run a prefetch engine (stride|tms|sms|stems|tms+sms) over a
+ *       trace and report coverage.
+ *   stems_trace list
+ *       List the built-in workloads.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/correlation.hh"
+#include "analysis/coverage.hh"
+#include "sim/experiment.hh"
+#include "trace/trace_io.hh"
+#include "workloads/registry.hh"
+
+using namespace stems;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  stems_trace generate <workload> <records> <out.trc> "
+        "[seed]\n"
+        "  stems_trace info <trace.trc>\n"
+        "  stems_trace analyze <trace.trc>\n"
+        "  stems_trace run <trace.trc> <engine>\n"
+        "  stems_trace list\n");
+    return 1;
+}
+
+int
+cmdList()
+{
+    for (auto &w : makeAllWorkloads())
+        std::printf("%-12s (%s)\n", w->name().c_str(),
+                    workloadClassName(w->workloadClass()).c_str());
+    return 0;
+}
+
+int
+cmdGenerate(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    auto w = makeWorkload(argv[2]);
+    if (!w) {
+        std::fprintf(stderr, "unknown workload '%s'\n", argv[2]);
+        return 1;
+    }
+    std::size_t records = std::atol(argv[3]);
+    std::uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 42;
+    Trace t = w->generate(seed, records);
+    if (!writeTraceFile(argv[4], t)) {
+        std::fprintf(stderr, "failed to write %s\n", argv[4]);
+        return 1;
+    }
+    std::printf("wrote %zu records to %s\n", t.size(), argv[4]);
+    return 0;
+}
+
+bool
+loadTrace(const char *path, Trace &t)
+{
+    if (!readTraceFile(path, t)) {
+        std::fprintf(stderr, "failed to read %s\n", path);
+        return false;
+    }
+    return true;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Trace t;
+    if (!loadTrace(argv[2], t))
+        return 1;
+    TraceSummary s = summarize(t);
+    std::printf("records          : %zu\n", s.records);
+    std::printf("reads            : %zu (%.1f%% dependent)\n",
+                s.reads,
+                100.0 * s.dependentReads / (s.reads ? s.reads : 1));
+    std::printf("writes           : %zu\n", s.writes);
+    std::printf("invalidates      : %zu\n", s.invalidates);
+    std::printf("distinct blocks  : %zu (%.1f MB)\n",
+                s.distinctBlocks,
+                s.distinctBlocks * kBlockBytes / (1024.0 * 1024.0));
+    std::printf("distinct regions : %zu\n", s.distinctRegions);
+    std::printf("instructions     : %llu\n",
+                static_cast<unsigned long long>(s.cpuOps +
+                                                s.records));
+    return 0;
+}
+
+int
+cmdAnalyze(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Trace t;
+    if (!loadTrace(argv[2], t))
+        return 1;
+
+    JointCoverageAnalyzer joint;
+    joint.run(t, t.size() / 2);
+    const JointCoverage &jc = joint.result();
+    std::printf("joint predictability (%llu warmed misses):\n",
+                static_cast<unsigned long long>(jc.total()));
+    std::printf("  both %5.1f%%  TMS-only %5.1f%%  SMS-only %5.1f%%"
+                "  neither %5.1f%%\n\n",
+                100.0 * jc.both / jc.total(),
+                100.0 * jc.tmsOnly / jc.total(),
+                100.0 * jc.smsOnly / jc.total(),
+                100.0 * jc.neither / jc.total());
+
+    CorrelationAnalyzer corr;
+    corr.run(t);
+    std::printf("intra-generation repetition (%llu pairs):\n",
+                static_cast<unsigned long long>(
+                    corr.distances().total()));
+    std::printf("  perfect (+1) %5.1f%%  |d|<=2 %5.1f%%  |d|<=4 "
+                "%5.1f%%\n",
+                100.0 * corr.distances().count(1) /
+                    (corr.distances().total()
+                         ? corr.distances().total()
+                         : 1),
+                100.0 * corr.fractionWithinWindow(2),
+                100.0 * corr.fractionWithinWindow(4));
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    Trace t;
+    if (!loadTrace(argv[2], t))
+        return 1;
+
+    ExperimentRunner runner(ExperimentConfig{});
+    auto engine = runner.makeEngine(argv[3], false);
+    if (!engine) {
+        std::fprintf(stderr, "unknown engine '%s'\n", argv[3]);
+        return 1;
+    }
+
+    SimParams sp;
+    PrefetchSimulator base(sp, nullptr);
+    base.run(t, t.size() / 2);
+    double denom = base.stats().offChipReads;
+
+    PrefetchSimulator sim(sp, engine.get());
+    sim.run(t, t.size() / 2);
+    std::printf("engine %s: covered %.1f%%  uncovered %.1f%%  "
+                "overpredicted %.1f%% (of %llu baseline misses)\n",
+                argv[3], 100.0 * sim.stats().covered() / denom,
+                100.0 * sim.stats().offChipReads / denom,
+                100.0 * sim.stats().overpredictions / denom,
+                static_cast<unsigned long long>(
+                    base.stats().offChipReads));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (std::strcmp(argv[1], "list") == 0)
+        return cmdList();
+    if (std::strcmp(argv[1], "generate") == 0)
+        return cmdGenerate(argc, argv);
+    if (std::strcmp(argv[1], "info") == 0)
+        return cmdInfo(argc, argv);
+    if (std::strcmp(argv[1], "analyze") == 0)
+        return cmdAnalyze(argc, argv);
+    if (std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc, argv);
+    return usage();
+}
