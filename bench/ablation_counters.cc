@@ -11,52 +11,50 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
-#include "sim/prefetch_sim.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoEngineSelection(opts, "fixed SMS counters-vs-bitvector sweep");
     std::cout << banner(
         "Ablation: 2-bit counters vs bit vectors (SMS history)",
-        records);
+        opts);
+
+    EngineOptions counters_on;
+    counters_on.smsUseCounters = true;
+    EngineOptions counters_off;
+    counters_off.smsUseCounters = false;
+    const std::vector<EngineSpec> specs = {
+        {"sms", "counters", counters_on},
+        {"sms", "bit vector", counters_off},
+    };
+
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
 
     Table table({"workload", "mode", "covered", "overpred"});
     double over_counter = 0, over_bitvec = 0, cov_counter = 0,
            cov_bitvec = 0;
     int n = 0;
-    for (auto &w : makeAllWorkloads()) {
-        Trace t = w->generate(42, records);
-        std::size_t warmup = t.size() / 2;
-
-        SimParams sp;
-        PrefetchSimulator base(sp, nullptr);
-        base.run(t, warmup);
-        double denom = base.stats().offChipReads;
-
-        for (bool counters : {true, false}) {
-            SmsParams p;
-            p.useCounters = counters;
-            SmsPrefetcher sms(p);
-            PrefetchSimulator sim(sp, &sms);
-            sim.run(t, warmup);
-            double cov = sim.stats().covered() / denom;
-            double over = sim.stats().overpredictions / denom;
-            table.addRow({counters ? w->name() : "",
-                          counters ? "counters" : "bit vector",
-                          fmtPct(cov), fmtPct(over)});
-            (counters ? cov_counter : cov_bitvec) += cov;
-            (counters ? over_counter : over_bitvec) += over;
+    for (const WorkloadResult &r :
+         driver.run(benchWorkloads(opts), specs)) {
+        bool first = true;
+        for (const EngineResult &e : r.engines) {
+            bool counters = e.engine == "counters";
+            table.addRow({first ? r.workload : "", e.engine,
+                          fmtPct(e.coverage),
+                          fmtPct(e.overprediction)});
+            (counters ? cov_counter : cov_bitvec) += e.coverage;
+            (counters ? over_counter : over_bitvec) +=
+                e.overprediction;
+            first = false;
         }
         table.addSeparator();
         ++n;
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     table.addRow({"mean", "counters", fmtPct(cov_counter / n),
                   fmtPct(over_counter / n)});
     table.addRow({"", "bit vector", fmtPct(cov_bitvec / n),

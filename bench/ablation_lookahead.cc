@@ -12,50 +12,43 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "core/stems.hh"
-#include "sim/prefetch_sim.hh"
-#include "sim/timing.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
-    std::cout << banner("Ablation: STeMS stream lookahead", records);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoEngineSelection(opts, "fixed STeMS lookahead sweep");
+    std::cout << banner("Ablation: STeMS stream lookahead", opts);
+
+    std::vector<EngineSpec> specs;
+    for (unsigned lookahead : {2u, 4u, 8u, 12u, 16u, 24u}) {
+        EngineOptions o;
+        o.lookahead = lookahead;
+        specs.emplace_back("stems", std::to_string(lookahead), o);
+    }
+
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
+                            opts.jobs);
 
     Table table({"workload", "lookahead", "covered", "overpred",
                  "speedup"});
-    for (const char *name : {"oltp-db2", "em3d"}) {
-        auto w = makeWorkload(name);
-        Trace t = w->generate(42, records);
-        std::size_t warmup = t.size() / 2;
-
-        SimParams sp;
-        sp.enableTiming = true;
-        PrefetchSimulator base(sp, nullptr);
-        base.run(t, warmup);
-        double denom = base.stats().offChipReads;
-        double base_cycles = base.stats().cycles;
-
-        for (unsigned lookahead : {2u, 4u, 8u, 12u, 16u, 24u}) {
-            StemsParams p;
-            p.streams.lookahead = lookahead;
-            StemsPrefetcher engine(p);
-            PrefetchSimulator sim(sp, &engine);
-            sim.run(t, warmup);
-            table.addRow(
-                {lookahead == 2 ? w->name() : "",
-                 std::to_string(lookahead),
-                 fmtPct(sim.stats().covered() / denom),
-                 fmtPct(sim.stats().overpredictions / denom),
-                 fmtX(base_cycles / sim.stats().cycles)});
-            std::cout << "." << std::flush;
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"oltp-db2", "em3d"});
+    for (const WorkloadResult &r : driver.run(workloads, specs)) {
+        bool first = true;
+        for (const EngineResult &e : r.engines) {
+            // Speedup over the no-prefetch system (the historical
+            // presentation of this sweep), not the stride baseline.
+            table.addRow({first ? r.workload : "", e.engine,
+                          fmtPct(e.coverage),
+                          fmtPct(e.overprediction),
+                          fmtX(r.baselineCycles / e.stats.cycles)});
+            first = false;
         }
         table.addSeparator();
     }
-    std::cout << "\n";
     table.print(std::cout);
 
     std::cout << "\nPaper reference (Section 4.3): lookahead 8 for "

@@ -12,29 +12,26 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    ExperimentConfig cfg;
-    cfg.traceRecords = traceRecordsArg(argc, argv, 1'200'000);
-    cfg.enableTiming = false;
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    requireNoEngineSelection(opts, "fixed tms+sms vs stems comparison");
     std::cout << banner(
-        "Ablation: naive TMS+SMS hybrid vs unified STeMS",
-        cfg.traceRecords);
+        "Ablation: naive TMS+SMS hybrid vs unified STeMS", opts);
 
-    ExperimentRunner runner(cfg);
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
     Table table({"workload", "engine", "covered", "overpred",
                  "over ratio"});
-    for (const char *name : {"web-apache", "web-zeus", "oltp-db2",
-                             "oltp-oracle"}) {
-        auto w = makeWorkload(name);
-        auto r = runner.runWorkload(
-            *w, std::vector<std::string>{"tms+sms", "stems"});
+    const std::vector<std::string> workloads = benchWorkloads(
+        opts, {"web-apache", "web-zeus", "oltp-db2",
+               "oltp-oracle"});
+    for (const WorkloadResult &r :
+         driver.run(workloads, engineSpecs({"tms+sms", "stems"}))) {
         const EngineResult *hybrid = r.find("tms+sms");
         const EngineResult *stems_r = r.find("stems");
         double over_ratio =
@@ -48,9 +45,7 @@ main(int argc, char **argv)
         table.addRow({"", "stems", fmtPct(stems_r->coverage),
                       fmtPct(stems_r->overprediction), "1.00x"});
         table.addSeparator();
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     table.print(std::cout);
 
     std::cout << "\nPaper reference (Section 5.5): the side-by-side "

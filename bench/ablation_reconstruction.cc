@@ -14,71 +14,88 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/stems.hh"
-#include "sim/prefetch_sim.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
+
+namespace {
+
+/** Stash the reconstructor's displacement stats into the result. */
+void
+displacementProbe(const Prefetcher &engine, EngineResult &er)
+{
+    const auto &stems_engine =
+        static_cast<const StemsPrefetcher &>(engine);
+    const Reconstructor &recon = stems_engine.reconstructor();
+    const Histogram &h = recon.displacements();
+    er.extra["placed"] = static_cast<double>(h.total());
+    er.extra["inPlace"] = static_cast<double>(h.count(0));
+    er.extra["within1"] = h.fractionWithin(1);
+    er.extra["within2"] = h.fractionWithin(2);
+    er.extra["dropped"] = static_cast<double>(recon.dropped());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoEngineSelection(opts, "fixed STeMS displacement sweep");
     std::cout << banner(
-        "Ablation: reconstruction displacement distribution",
-        records);
+        "Ablation: reconstruction displacement distribution", opts);
+
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
+
+    EngineSpec stems_spec("stems");
+    stems_spec.probe = displacementProbe;
 
     Table table({"workload", "placements", "in place", "|d|<=1",
                  "|d|<=2", "dropped"});
-    for (auto &w : makeAllWorkloads()) {
-        Trace t = w->generate(42, records);
-        StemsParams p;
-        if (w->workloadClass() == WorkloadClass::kScientific)
-            p.streams.lookahead = 12;
-        StemsPrefetcher engine(p);
-        SimParams sp;
-        PrefetchSimulator sim(sp, &engine);
-        sim.run(t, t.size() / 2);
-
-        const Histogram &h = engine.reconstructor().displacements();
-        std::uint64_t placed = h.total();
-        std::uint64_t dropped = engine.reconstructor().dropped();
+    for (const WorkloadResult &r :
+         driver.run(benchWorkloads(opts), {stems_spec})) {
+        const EngineResult *e = r.find("stems");
+        double placed = e->extra.at("placed");
+        double dropped = e->extra.at("dropped");
         table.addRow(
-            {w->name(), std::to_string(placed),
-             fmtPct(ratio(h.count(0), placed)),
-             fmtPct(h.fractionWithin(1)), fmtPct(h.fractionWithin(2)),
-             fmtPct(ratio(dropped, placed + dropped))});
-        std::cout << "." << std::flush;
+            {r.workload,
+             std::to_string(static_cast<std::uint64_t>(placed)),
+             fmtPct(placed > 0 ? e->extra.at("inPlace") / placed
+                               : 0.0),
+             fmtPct(e->extra.at("within1")),
+             fmtPct(e->extra.at("within2")),
+             fmtPct(placed + dropped > 0
+                        ? dropped / (placed + dropped)
+                        : 0.0)});
     }
-    std::cout << "\n";
     table.print(std::cout);
 
     std::cout << "\nDisplacement-window sweep (oltp-db2):\n";
     Table sweep({"window", "covered", "overpred", "dropped frac"});
     {
-        auto w = makeWorkload("oltp-db2");
-        Trace t = w->generate(42, records);
-        SimParams sp;
-        PrefetchSimulator base(sp, nullptr);
-        base.run(t, t.size() / 2);
-        double denom = base.stats().offChipReads;
+        std::vector<EngineSpec> specs;
         for (unsigned window : {0u, 1u, 2u, 4u, 8u}) {
-            StemsParams p;
-            p.reconstruction.displacementWindow = window;
-            StemsPrefetcher engine(p);
-            PrefetchSimulator sim(sp, &engine);
-            sim.run(t, t.size() / 2);
-            std::uint64_t placed =
-                engine.reconstructor().displacements().total();
-            std::uint64_t dropped = engine.reconstructor().dropped();
-            sweep.addRow(
-                {"+-" + std::to_string(window),
-                 fmtPct(sim.stats().covered() / denom),
-                 fmtPct(sim.stats().overpredictions / denom),
-                 fmtPct(ratio(dropped, placed + dropped))});
-            std::cout << "." << std::flush;
+            EngineOptions o;
+            o.displacementWindow = window;
+            EngineSpec spec("stems",
+                            "+-" + std::to_string(window), o);
+            spec.probe = displacementProbe;
+            specs.push_back(std::move(spec));
+        }
+        for (const WorkloadResult &r :
+             driver.run({"oltp-db2"}, specs)) {
+            for (const EngineResult &e : r.engines) {
+                double placed = e.extra.at("placed");
+                double dropped = e.extra.at("dropped");
+                sweep.addRow(
+                    {e.engine, fmtPct(e.coverage),
+                     fmtPct(e.overprediction),
+                     fmtPct(placed + dropped > 0
+                                ? dropped / (placed + dropped)
+                                : 0.0)});
+            }
         }
     }
-    std::cout << "\n";
     sweep.print(std::cout);
 
     std::cout << "\nPaper reference (Section 4.3): searching at most "

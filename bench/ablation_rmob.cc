@@ -13,62 +13,47 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "core/stems.hh"
-#include "prefetch/tms.hh"
-#include "sim/prefetch_sim.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
-    std::cout << banner("Ablation: temporal buffer sizing", records);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoEngineSelection(opts, "fixed STeMS/TMS buffer-size sweep");
+    std::cout << banner("Ablation: temporal buffer sizing", opts);
+
+    const std::vector<std::size_t> sizes = {
+        16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 384 * 1024};
+    std::vector<EngineSpec> specs;
+    for (std::size_t entries : sizes) {
+        EngineOptions o;
+        o.bufferEntries = entries;
+        std::string label = std::to_string(entries / 1024) + "K";
+        specs.emplace_back("stems", "stems " + label, o);
+        specs.emplace_back("tms", "tms " + label, o);
+    }
+
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
 
     Table table({"workload", "entries", "STeMS covered",
                  "TMS covered"});
-    for (const char *name : {"em3d", "oltp-db2"}) {
-        auto w = makeWorkload(name);
-        bool scientific =
-            w->workloadClass() == WorkloadClass::kScientific;
-        Trace t = w->generate(42, records);
-        std::size_t warmup = t.size() / 2;
-
-        SimParams sp;
-        PrefetchSimulator base(sp, nullptr);
-        base.run(t, warmup);
-        double denom = base.stats().offChipReads;
-
-        for (std::size_t entries :
-             {16u * 1024u, 32u * 1024u, 64u * 1024u, 128u * 1024u,
-              384u * 1024u}) {
-            StemsParams p;
-            p.rmobEntries = entries;
-            if (scientific)
-                p.streams.lookahead = 12;
-            StemsPrefetcher stems_engine(p);
-            PrefetchSimulator stems_sim(sp, &stems_engine);
-            stems_sim.run(t, warmup);
-
-            TmsParams tp;
-            tp.bufferEntries = entries;
-            if (scientific)
-                tp.lookahead = 12;
-            TmsPrefetcher tms_engine(tp);
-            PrefetchSimulator tms_sim(sp, &tms_engine);
-            tms_sim.run(t, warmup);
-
-            table.addRow(
-                {entries == 16 * 1024 ? w->name() : "",
-                 std::to_string(entries / 1024) + "K",
-                 fmtPct(stems_sim.stats().covered() / denom),
-                 fmtPct(tms_sim.stats().covered() / denom)});
-            std::cout << "." << std::flush;
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"em3d", "oltp-db2"});
+    for (const WorkloadResult &r : driver.run(workloads, specs)) {
+        bool first = true;
+        for (std::size_t entries : sizes) {
+            std::string label = std::to_string(entries / 1024) + "K";
+            const EngineResult *stems_r = r.find("stems " + label);
+            const EngineResult *tms_r = r.find("tms " + label);
+            table.addRow({first ? r.workload : "", label,
+                          fmtPct(stems_r->coverage),
+                          fmtPct(tms_r->coverage)});
+            first = false;
         }
         table.addSeparator();
     }
-    std::cout << "\n";
     table.print(std::cout);
 
     std::cout << "\nPaper reference (Section 4.3): spatial filtering "

@@ -11,45 +11,39 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "core/stems.hh"
-#include "sim/prefetch_sim.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'000'000);
-    std::cout << banner("Ablation: stream-queue count", records);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoEngineSelection(opts, "fixed STeMS queue-count sweep");
+    std::cout << banner("Ablation: stream-queue count", opts);
+
+    std::vector<EngineSpec> specs;
+    for (std::size_t queues : {1u, 2u, 4u, 8u, 16u}) {
+        EngineOptions o;
+        o.streamQueues = queues;
+        specs.emplace_back("stems", std::to_string(queues), o);
+    }
+
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
 
     Table table({"workload", "queues", "covered", "overpred"});
-    for (const char *name : {"web-apache", "oltp-db2"}) {
-        auto w = makeWorkload(name);
-        Trace t = w->generate(42, records);
-        std::size_t warmup = t.size() / 2;
-
-        SimParams sp;
-        PrefetchSimulator base(sp, nullptr);
-        base.run(t, warmup);
-        double denom = base.stats().offChipReads;
-
-        for (std::size_t queues : {1u, 2u, 4u, 8u, 16u}) {
-            StemsParams p;
-            p.streams.numStreams = queues;
-            StemsPrefetcher engine(p);
-            PrefetchSimulator sim(sp, &engine);
-            sim.run(t, warmup);
-            table.addRow({queues == 1 ? w->name() : "",
-                          std::to_string(queues),
-                          fmtPct(sim.stats().covered() / denom),
-                          fmtPct(sim.stats().overpredictions /
-                                 denom)});
-            std::cout << "." << std::flush;
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"web-apache", "oltp-db2"});
+    for (const WorkloadResult &r : driver.run(workloads, specs)) {
+        bool first = true;
+        for (const EngineResult &e : r.engines) {
+            table.addRow({first ? r.workload : "", e.engine,
+                          fmtPct(e.coverage),
+                          fmtPct(e.overprediction)});
+            first = false;
         }
         table.addSeparator();
     }
-    std::cout << "\n";
     table.print(std::cout);
 
     std::cout << "\nPaper reference (Section 4.3): eight stream "

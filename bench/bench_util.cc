@@ -1,0 +1,227 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "prefetch/engine_registry.hh"
+#include "workloads/registry.hh"
+
+namespace stems {
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> items;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            items.push_back(item);
+    return items;
+}
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage(const char *argv0, int status)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [records] [options]\n"
+        "  --records N        records per workload trace\n"
+        "  --jobs N           worker threads (default: hardware)\n"
+        "  --seed N           trace-generation seed (default: 42)\n"
+        "  --workloads a,b,c  restrict the workload sweep\n"
+        "  --engines x,y      restrict the engine sweep\n"
+        "  --list             list registered workloads/engines\n"
+        "  --help             this message\n",
+        argv0);
+    std::exit(status);
+}
+
+[[noreturn]] void
+listRegistries()
+{
+    std::printf("workloads: %s\n",
+                joinNames(WorkloadRegistry::instance().names())
+                    .c_str());
+    std::printf("engines  : %s\n",
+                joinNames(EngineRegistry::instance().names())
+                    .c_str());
+    std::exit(0);
+}
+
+std::uint64_t
+numberArg(const char *argv0, const char *flag, const char *value)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value, &end, 10);
+    // strtoull wraps a leading minus into a huge value: reject it.
+    if (end == value || *end != '\0' || value[0] == '-') {
+        std::fprintf(stderr, "%s: %s wants a non-negative number, "
+                     "got '%s'\n",
+                     argv0, flag, value);
+        usage(argv0, 1);
+    }
+    return v;
+}
+
+} // namespace
+
+BenchOptions
+parseBenchOptions(int argc, char **argv, std::size_t default_records)
+{
+    BenchOptions options;
+    options.records = default_records;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s wants a value\n",
+                             argv[0], arg.c_str());
+                usage(argv[0], 1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (arg == "--list") {
+            listRegistries();
+        } else if (arg == "--records") {
+            // Historical contract: 0 keeps the bench default.
+            std::uint64_t v = numberArg(argv[0], "--records",
+                                        value());
+            options.records = v > 0 ? v : default_records;
+        } else if (arg == "--jobs" || arg == "-j") {
+            options.jobs = static_cast<unsigned>(
+                numberArg(argv[0], "--jobs", value()));
+        } else if (arg == "--seed") {
+            options.seed = numberArg(argv[0], "--seed", value());
+        } else if (arg == "--workloads") {
+            options.workloads = splitList(value());
+        } else if (arg == "--engines") {
+            options.engines = splitList(value());
+        } else if (!arg.empty() && arg[0] != '-') {
+            // Historical positional trace-length override; 0 keeps
+            // the bench default.
+            std::uint64_t v =
+                numberArg(argv[0], "records", arg.c_str());
+            options.records = v > 0 ? v : default_records;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n",
+                         argv[0], arg.c_str());
+            usage(argv[0], 1);
+        }
+    }
+
+    for (const std::string &w : options.workloads) {
+        if (!WorkloadRegistry::instance().contains(w)) {
+            std::fprintf(
+                stderr, "%s: unknown workload '%s' (have: %s)\n",
+                argv[0], w.c_str(),
+                joinNames(WorkloadRegistry::instance().names())
+                    .c_str());
+            std::exit(1);
+        }
+    }
+    for (const std::string &e : options.engines) {
+        if (!EngineRegistry::instance().contains(e)) {
+            std::fprintf(
+                stderr, "%s: unknown engine '%s' (have: %s)\n",
+                argv[0], e.c_str(),
+                joinNames(EngineRegistry::instance().names())
+                    .c_str());
+            std::exit(1);
+        }
+    }
+    return options;
+}
+
+ExperimentConfig
+benchConfig(const BenchOptions &options, bool enable_timing)
+{
+    ExperimentConfig config;
+    config.traceRecords = options.records;
+    config.seed = options.seed;
+    config.enableTiming = enable_timing;
+    return config;
+}
+
+std::vector<std::string>
+benchWorkloads(const BenchOptions &options)
+{
+    if (!options.workloads.empty())
+        return options.workloads;
+    return WorkloadRegistry::instance().names();
+}
+
+std::vector<std::string>
+benchWorkloads(const BenchOptions &options,
+               std::vector<std::string> defaults)
+{
+    if (!options.workloads.empty())
+        return options.workloads;
+    return defaults;
+}
+
+std::vector<std::string>
+benchEngines(const BenchOptions &options,
+             std::vector<std::string> defaults)
+{
+    if (!options.engines.empty())
+        return options.engines;
+    return defaults;
+}
+
+void
+requireNoEngineSelection(const BenchOptions &options,
+                         const char *reason)
+{
+    if (options.engines.empty())
+        return;
+    std::fprintf(stderr,
+                 "--engines is not supported by this bench: %s\n",
+                 reason);
+    std::exit(1);
+}
+
+void
+requireNoWorkloadSelection(const BenchOptions &options,
+                           const char *reason)
+{
+    if (options.workloads.empty())
+        return;
+    std::fprintf(stderr,
+                 "--workloads is not supported by this bench: %s\n",
+                 reason);
+    std::exit(1);
+}
+
+std::string
+banner(const std::string &title, const BenchOptions &options)
+{
+    unsigned jobs = ExperimentDriver::resolveJobs(options.jobs);
+    return "=== " + title + " ===\n(traces: " +
+           std::to_string(options.records) + " records/workload, seed " +
+           std::to_string(options.seed) +
+           ", measurement after 50% warmup, " + std::to_string(jobs) +
+           (jobs == 1 ? " job)\n" : " jobs)\n");
+}
+
+} // namespace stems

@@ -1,42 +1,90 @@
 /**
  * @file
- * Shared helpers for the figure/table benches: argument handling and
- * common formatting.
+ * Shared runner for the figure/table benches and examples: one CLI
+ * (records, --jobs, --workloads, --engines, --seed) plus glue that
+ * builds the parallel ExperimentDriver, so no bench carries its own
+ * sweep loop.
  *
- * Every bench accepts an optional first argument overriding the trace
- * length (records per workload), e.g. `fig9_streaming_comparison
- * 500000` for a quick run.
+ * Usage accepted by every bench:
+ *   bench [records] [--records N] [--jobs N] [--seed N]
+ *         [--workloads a,b,c] [--engines x,y] [--list] [--help]
+ *
+ * The bare positional `records` argument is the historical interface
+ * (e.g. `fig9_streaming_comparison 500000` for a quick run) and keeps
+ * working.
  */
 
 #ifndef STEMS_BENCH_BENCH_UTIL_HH
 #define STEMS_BENCH_BENCH_UTIL_HH
 
-#include <cstdlib>
 #include <string>
+#include <vector>
+
+#include "sim/driver.hh"
 
 namespace stems {
 
-/** Parse the trace-length override (argv[1]); 0 keeps the default. */
-inline std::size_t
-traceRecordsArg(int argc, char **argv, std::size_t fallback)
+/** Parsed bench command line. */
+struct BenchOptions
 {
-    if (argc > 1) {
-        long v = std::atol(argv[1]);
-        if (v > 0)
-            return static_cast<std::size_t>(v);
-    }
-    return fallback;
-}
+    /// Records generated per workload trace.
+    std::size_t records = 0;
+    /// Worker threads (0 = hardware concurrency).
+    unsigned jobs = 0;
+    /// Trace-generation seed.
+    std::uint64_t seed = 42;
+    /// Workloads to sweep; empty = the full registered suite.
+    std::vector<std::string> workloads;
+    /// Engines to sweep; empty = the bench's default set.
+    std::vector<std::string> engines;
+};
 
-/** Standard bench banner. */
-inline std::string
-banner(const std::string &title, std::size_t records)
-{
-    return "=== " + title + " ===\n(traces: " +
-           std::to_string(records) +
-           " records/workload, seed 42, measurement after 50% "
-           "warmup)\n";
-}
+/**
+ * Parse the shared bench CLI. Exits with a usage message on --help,
+ * --list (registry contents) or malformed/unknown arguments;
+ * validates workload and engine names against the registries.
+ *
+ * @param default_records  trace length when none is given.
+ */
+BenchOptions parseBenchOptions(int argc, char **argv,
+                               std::size_t default_records);
+
+/** ExperimentConfig for the options (Table 1 system). */
+ExperimentConfig benchConfig(const BenchOptions &options,
+                             bool enable_timing);
+
+/** The workloads to sweep: the selection, or the whole registry. */
+std::vector<std::string>
+benchWorkloads(const BenchOptions &options);
+
+/** The workloads to sweep: the selection, or the bench's default. */
+std::vector<std::string>
+benchWorkloads(const BenchOptions &options,
+               std::vector<std::string> defaults);
+
+/** The engines to sweep: the selection, or the bench's default. */
+std::vector<std::string>
+benchEngines(const BenchOptions &options,
+             std::vector<std::string> defaults);
+
+/**
+ * Exit with an error when --engines was given: for benches whose
+ * engine set is structural (fixed table columns, parameter sweeps of
+ * one engine) a selection would be silently ignored otherwise.
+ */
+void requireNoEngineSelection(const BenchOptions &options,
+                              const char *reason);
+
+/**
+ * Exit with an error when --workloads was given: for examples bound
+ * to their own workload a selection would be silently ignored.
+ */
+void requireNoWorkloadSelection(const BenchOptions &options,
+                                const char *reason);
+
+/** Standard bench banner (records, seed, jobs). */
+std::string banner(const std::string &title,
+                   const BenchOptions &options);
 
 } // namespace stems
 

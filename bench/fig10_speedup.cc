@@ -11,27 +11,24 @@
  */
 
 #include <cmath>
-#include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    ExperimentConfig cfg;
-    cfg.traceRecords = traceRecordsArg(argc, argv, 1'500'000);
-    cfg.enableTiming = true;
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'500'000);
+    requireNoEngineSelection(opts, "fixed TMS/SMS/STeMS table columns");
     std::cout << banner("Figure 10: speedup over the stride baseline",
-                        cfg.traceRecords);
+                        opts);
 
-    const std::vector<std::string> engines = {"tms", "sms", "stems"};
-    ExperimentRunner runner(cfg);
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
+                            opts.jobs);
 
     Table table({"workload", "base IPC", "TMS", "SMS", "STeMS"});
     // Geometric means over the commercial workloads, as the paper's
@@ -40,7 +37,9 @@ main(int argc, char **argv)
     double log_stems_vs[3] = {}; // vs stride, sms, tms
     int commercial = 0;
 
-    for (auto &r : runner.runSuite(engines)) {
+    for (const WorkloadResult &r :
+         driver.run(benchWorkloads(opts),
+                    engineSpecs({"tms", "sms", "stems"}))) {
         const EngineResult *tms = r.find("tms");
         const EngineResult *sms = r.find("sms");
         const EngineResult *stems_r = r.find("stems");
@@ -59,26 +58,32 @@ main(int argc, char **argv)
                 std::log(stems_r->speedup / tms->speedup);
             ++commercial;
         }
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
-    table.addSeparator();
-    table.addRow({"gmean (commercial)", "",
-                  fmtPct(std::exp(log_speedup[0] / commercial) - 1),
-                  fmtPct(std::exp(log_speedup[1] / commercial) - 1),
-                  fmtPct(std::exp(log_speedup[2] / commercial) - 1)});
+    if (commercial > 0) {
+        table.addSeparator();
+        table.addRow(
+            {"gmean (commercial)", "",
+             fmtPct(std::exp(log_speedup[0] / commercial) - 1),
+             fmtPct(std::exp(log_speedup[1] / commercial) - 1),
+             fmtPct(std::exp(log_speedup[2] / commercial) - 1)});
+    }
     table.print(std::cout);
 
-    std::cout << "\nSTeMS improvement (gmean over commercial "
-                 "workloads):\n";
-    std::cout << "  over stride baseline : "
-              << fmtPct(std::exp(log_stems_vs[0] / commercial) - 1)
-              << "  (paper: 31%)\n";
-    std::cout << "  over SMS             : "
-              << fmtPct(std::exp(log_stems_vs[1] / commercial) - 1)
-              << "  (paper: 3%)\n";
-    std::cout << "  over TMS             : "
-              << fmtPct(std::exp(log_stems_vs[2] / commercial) - 1)
-              << "  (paper: 18%)\n";
+    if (commercial > 0) {
+        std::cout << "\nSTeMS improvement (gmean over commercial "
+                     "workloads):\n";
+        std::cout
+            << "  over stride baseline : "
+            << fmtPct(std::exp(log_stems_vs[0] / commercial) - 1)
+            << "  (paper: 31%)\n";
+        std::cout
+            << "  over SMS             : "
+            << fmtPct(std::exp(log_stems_vs[1] / commercial) - 1)
+            << "  (paper: 3%)\n";
+        std::cout
+            << "  over TMS             : "
+            << fmtPct(std::exp(log_stems_vs[2] / commercial) - 1)
+            << "  (paper: 18%)\n";
+    }
     return 0;
 }

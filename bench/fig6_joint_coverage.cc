@@ -10,37 +10,48 @@
  * temporally near-perfect.
  */
 
-#include <cstdio>
 #include <iostream>
 
 #include "analysis/coverage.hh"
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'500'000);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'500'000);
+    requireNoEngineSelection(opts, "oracle analysis runs no engines");
     std::cout << banner("Figure 6: joint TMS/SMS predictability",
-                        records);
+                        opts);
+
+    const std::vector<std::string> workloads = benchWorkloads(opts);
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
+
+    // One analysis per workload, sharded over the pool; each worker
+    // writes only its own slot.
+    std::vector<JointCoverage> results(workloads.size());
+    driver.forEachTrace(
+        workloads,
+        [&](std::size_t index, const Workload &, const Trace &t) {
+            JointCoverageAnalyzer a;
+            a.run(t, t.size() / 2);
+            results[index] = a.result();
+        });
 
     Table table({"workload", "misses", "both", "TMS only",
                  "SMS only", "neither", "T", "S", "joint"});
     JointCoverage sum;
-    for (auto &w : makeAllWorkloads()) {
-        Trace t = w->generate(42, records);
-        JointCoverageAnalyzer a;
-        a.run(t, t.size() / 2);
-        const JointCoverage &jc = a.result();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const JointCoverage &jc = results[i];
         sum.both += jc.both;
         sum.tmsOnly += jc.tmsOnly;
         sum.smsOnly += jc.smsOnly;
         sum.neither += jc.neither;
-        table.addRow({w->name(), std::to_string(jc.total()),
+        table.addRow({workloads[i], std::to_string(jc.total()),
                       fmtPct(ratio(jc.both, jc.total())),
                       fmtPct(ratio(jc.tmsOnly, jc.total())),
                       fmtPct(ratio(jc.smsOnly, jc.total())),

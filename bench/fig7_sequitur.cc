@@ -14,7 +14,7 @@
  * DSS.
  */
 
-#include <cstdio>
+#include <algorithm>
 #include <iostream>
 
 #include "analysis/coverage.hh"
@@ -22,7 +22,6 @@
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
@@ -53,26 +52,37 @@ row(const std::string &label, const Sequitur::Classification &c)
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'200'000);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    requireNoEngineSelection(opts, "Sequitur analysis runs no engines");
     // Sequitur grammars keep every symbol live: cap the analyzed
     // sequence length to bound memory.
     constexpr std::size_t kSymbolCap = 400'000;
 
     std::cout << banner(
         "Figure 7: Sequitur repetition, all misses vs triggers",
-        records);
+        opts);
+
+    const std::vector<std::string> workloads = benchWorkloads(opts);
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
+
+    std::vector<Sequitur::Classification> all(workloads.size());
+    std::vector<Sequitur::Classification> trig(workloads.size());
+    driver.forEachTrace(
+        workloads,
+        [&](std::size_t index, const Workload &, const Trace &t) {
+            MissSequences seqs = extractMissSequences(t);
+            all[index] =
+                classifySequence(seqs.allMisses, kSymbolCap);
+            trig[index] =
+                classifySequence(seqs.triggers, kSymbolCap);
+        });
 
     Table table({"sequence", "symbols", "opportunity", "head", "new",
                  "non-rep"});
-    for (auto &w : makeAllWorkloads()) {
-        Trace t = w->generate(42, records);
-        MissSequences seqs = extractMissSequences(t);
-        table.addRow(row(w->name() + " All_Addrs",
-                         classifySequence(seqs.allMisses,
-                                          kSymbolCap)));
-        table.addRow(row(w->name() + " Triggers",
-                         classifySequence(seqs.triggers,
-                                          kSymbolCap)));
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        table.addRow(row(workloads[i] + " All_Addrs", all[i]));
+        table.addRow(row(workloads[i] + " Triggers", trig[i]));
         table.addSeparator();
     }
     table.print(std::cout);

@@ -10,23 +10,22 @@
  * Qry16, the outlier).
  */
 
-#include <cstdio>
 #include <iostream>
 
 #include "analysis/correlation.hh"
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "workloads/registry.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    std::size_t records = traceRecordsArg(argc, argv, 1'200'000);
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    requireNoEngineSelection(opts, "correlation analysis runs no engines");
     std::cout << banner(
-        "Figure 8: correlation distance within generations", records);
+        "Figure 8: correlation distance within generations", opts);
 
     std::vector<std::string> headers = {"workload", "pairs"};
     for (int d = -3; d <= 3; ++d) {
@@ -39,13 +38,21 @@ main(int argc, char **argv)
     headers.push_back("|d|<=6");
     Table table(headers);
 
-    for (auto &w : makeAllWorkloads()) {
-        Trace t = w->generate(42, records);
-        CorrelationAnalyzer a;
-        a.run(t);
-        const Histogram &h = a.distances();
+    const std::vector<std::string> workloads = benchWorkloads(opts);
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
 
-        std::vector<std::string> row = {w->name(),
+    std::vector<CorrelationAnalyzer> analyzers(workloads.size());
+    driver.forEachTrace(
+        workloads,
+        [&](std::size_t index, const Workload &, const Trace &t) {
+            analyzers[index].run(t);
+        });
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const CorrelationAnalyzer &a = analyzers[i];
+        const Histogram &h = a.distances();
+        std::vector<std::string> row = {workloads[i],
                                         std::to_string(h.total())};
         for (int d = -3; d <= 3; ++d) {
             if (d == 0)

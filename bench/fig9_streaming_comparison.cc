@@ -11,34 +11,34 @@
  * and overpredicts 29%.
  */
 
-#include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
 
 using namespace stems;
 
 int
 main(int argc, char **argv)
 {
-    ExperimentConfig cfg;
-    cfg.traceRecords = traceRecordsArg(argc, argv, 1'500'000);
-    cfg.enableTiming = false;
+    BenchOptions opts = parseBenchOptions(argc, argv, 1'500'000);
     std::cout << banner(
         "Figure 9: TMS vs SMS vs STeMS coverage/overprediction",
-        cfg.traceRecords);
+        opts);
 
-    const std::vector<std::string> engines = {"tms", "sms", "stems"};
-    ExperimentRunner runner(cfg);
+    const std::vector<std::string> engines =
+        benchEngines(opts, {"tms", "sms", "stems"});
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
 
     Table table({"workload", "base misses", "engine", "covered",
                  "uncovered", "overpred"});
-    double cov_sum[3] = {}, over_sum[3] = {};
+    std::vector<double> cov_sum(engines.size(), 0.0);
+    std::vector<double> over_sum(engines.size(), 0.0);
     int n = 0;
-    for (auto r : runner.runSuite(engines)) {
+    for (const WorkloadResult &r :
+         driver.run(benchWorkloads(opts), engineSpecs(engines))) {
         bool first = true;
         for (std::size_t i = 0; i < engines.size(); ++i) {
             const EngineResult *e = r.find(engines[i]);
@@ -53,9 +53,7 @@ main(int argc, char **argv)
         }
         table.addSeparator();
         ++n;
-        std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     for (std::size_t i = 0; i < engines.size(); ++i) {
         table.addRow({"mean", "", engines[i],
                       fmtPct(cov_sum[i] / n), "",

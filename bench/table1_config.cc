@@ -8,14 +8,18 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.hh"
 #include "sim/config.hh"
 #include "workloads/registry.hh"
 
 using namespace stems;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opts = parseBenchOptions(argc, argv, 200'000);
+    requireNoEngineSelection(opts, "configuration report runs no engines");
+
     std::printf("=== Table 1: system and application parameters ===\n\n");
     std::printf("%s\n", describeSystem(defaultSystemConfig()).c_str());
 
@@ -40,13 +44,26 @@ main()
     std::printf("  sparse       Scientific (sparse: 4096x4096 "
                 "matrix)\n\n");
 
-    std::printf("Workload statistics (2M-record traces, seed 42):\n");
-    for (auto &w : makeAllWorkloads()) {
-        Trace t = w->generate(42, 200000); // sampled for speed
-        TraceSummary s = summarize(t);
+    // Sampled summaries, generated in parallel through the driver.
+    const std::vector<std::string> workloads = benchWorkloads(opts);
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
+                            opts.jobs);
+    std::vector<TraceSummary> summaries(workloads.size());
+    driver.forEachTrace(
+        workloads,
+        [&](std::size_t index, const Workload &, const Trace &t) {
+            summaries[index] = summarize(t);
+        });
+
+    std::printf("Workload statistics (%zu-record traces, seed "
+                "%llu):\n",
+                opts.records,
+                static_cast<unsigned long long>(opts.seed));
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const TraceSummary &s = summaries[i];
         std::printf("  %-12s %8zu records  %5.1f%% reads  %5.1f%% "
                     "dependent  %7zu regions\n",
-                    w->name().c_str(), s.records,
+                    workloads[i].c_str(), s.records,
                     100.0 * s.reads / s.records,
                     100.0 * s.dependentReads / (s.reads ? s.reads : 1),
                     s.distinctRegions);

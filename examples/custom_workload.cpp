@@ -1,22 +1,24 @@
 /**
  * @file
- * Extending the library: define a custom Workload subclass and run
- * the full pipeline on it — characterization (the Figure 6 joint
- * oracle analysis) and the prefetch engines.
+ * Extending the library: define a custom Workload subclass, register
+ * it with the WorkloadRegistry at runtime, and run the full pipeline
+ * on it by name — characterization (the Figure 6 joint oracle
+ * analysis) and the prefetch engines through the parallel driver.
  *
  * The example models a log-structured key-value store: a hot index
  * walked by pointer chases (temporal behaviour), an append log
  * written sequentially, and periodic compaction re-reading recent
  * log segments in order (spatial + re-read behaviour).
  *
- * Run: ./build/examples/custom_workload
+ * Run: ./build/custom_workload
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "analysis/coverage.hh"
-#include "sim/experiment.hh"
+#include "bench/bench_util.hh"
+#include "workloads/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace stems;
@@ -92,12 +94,25 @@ class KvStoreWorkload : public Workload
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    KvStoreWorkload workload;
-    Trace t = workload.generate(42, 600'000);
-    std::printf("custom workload '%s': %zu records\n\n",
-                workload.name().c_str(), t.size());
+    BenchOptions opts = parseBenchOptions(argc, argv, 600'000);
+    requireNoWorkloadSelection(
+        opts, "this example always runs its own kv-store workload");
+
+    // Register the extension (rank >= 100 keeps the paper suite's
+    // canonical order intact). From here on every by-name API — the
+    // driver, the benches' --workloads flag, stems_trace — sees it.
+    WorkloadRegistry::instance().add("kv-store", 100, [] {
+        return std::unique_ptr<Workload>(new KvStoreWorkload());
+    });
+
+    auto workload = WorkloadRegistry::instance().make("kv-store");
+    Trace t = workload->generate(opts.seed, opts.records);
+    std::printf("custom workload '%s': %zu records (now one of %zu "
+                "registered workloads)\n\n",
+                workload->name().c_str(), t.size(),
+                WorkloadRegistry::instance().names().size());
 
     // 1. Characterize it with the Figure 6 joint oracle analysis.
     JointCoverageAnalyzer oracle;
@@ -113,20 +128,21 @@ main()
                 100.0 * jc.smsOnly / jc.total(),
                 100.0 * jc.neither / jc.total());
 
-    // 2. Run the engines on it.
-    ExperimentConfig cfg;
-    cfg.traceRecords = t.size();
-    cfg.enableTiming = true;
-    ExperimentRunner runner(cfg);
-    WorkloadResult r =
-        runner.runWorkload(workload, {"tms", "sms", "stems"});
-    std::printf("%-8s %10s %10s %12s\n", "engine", "covered",
-                "overpred", "speedup");
-    for (const EngineResult &e : r.engines) {
-        std::printf("%-8s %9.1f%% %9.1f%% %+11.1f%%\n",
-                    e.engine.c_str(), 100 * e.coverage,
-                    100 * e.overprediction,
-                    100 * (e.speedup - 1.0));
+    // 2. Run the engines on it by name, through the driver.
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
+                            opts.jobs);
+    const std::vector<std::string> engines =
+        benchEngines(opts, {"tms", "sms", "stems"});
+    for (const WorkloadResult &r :
+         driver.run({"kv-store"}, engineSpecs(engines))) {
+        std::printf("%-8s %10s %10s %12s\n", "engine", "covered",
+                    "overpred", "speedup");
+        for (const EngineResult &e : r.engines) {
+            std::printf("%-8s %9.1f%% %9.1f%% %+11.1f%%\n",
+                        e.engine.c_str(), 100 * e.coverage,
+                        100 * e.overprediction,
+                        100 * (e.speedup - 1.0));
+        }
     }
     return 0;
 }

@@ -1,19 +1,18 @@
 /**
  * @file
- * Quickstart: generate a workload trace, attach the STeMS prefetcher
- * to the simulated memory hierarchy, and report coverage and speedup
- * against the stride baseline.
+ * Quickstart: generate a workload trace, run the prefetch engines
+ * over the simulated memory hierarchy through the parallel
+ * ExperimentDriver, and report coverage and speedup against the
+ * stride baseline.
  *
  * Build & run:
- *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart [workload] [records]
+ *   cmake -B build -S . && cmake --build build -j
+ *   ./build/quickstart [--workloads oltp-db2] [--records N] [--jobs N]
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <string>
 
-#include "sim/experiment.hh"
+#include "bench/bench_util.hh"
 #include "workloads/registry.hh"
 
 using namespace stems;
@@ -21,48 +20,41 @@ using namespace stems;
 int
 main(int argc, char **argv)
 {
-    std::string name = argc > 1 ? argv[1] : "oltp-db2";
-    std::size_t records =
-        argc > 2 ? std::atol(argv[2]) : 800'000;
+    BenchOptions opts = parseBenchOptions(argc, argv, 800'000);
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"oltp-db2"});
+    const std::vector<std::string> engines =
+        benchEngines(opts, {"tms", "sms", "stems"});
 
-    auto workload = makeWorkload(name);
-    if (!workload) {
-        std::fprintf(stderr,
-                     "unknown workload '%s'; try: web-apache, "
-                     "web-zeus, oltp-db2, oltp-oracle, dss-qry2, "
-                     "dss-qry16, dss-qry17, em3d, ocean, sparse\n",
-                     name.c_str());
-        return 1;
+    // The driver wires up the Table 1 system, runs the no-prefetch
+    // baseline (miss normalization), the stride baseline (speedup
+    // normalization) and each requested engine, sharding the cells
+    // over a thread pool.
+    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
+                            opts.jobs);
+    for (const WorkloadResult &r :
+         driver.run(workloads, engineSpecs(engines))) {
+        std::printf("Workload  : %s (%s)\n", r.workload.c_str(),
+                    workloadClassName(r.workloadClass).c_str());
+        std::printf("Trace     : %zu records, seed %llu\n\n",
+                    opts.records,
+                    static_cast<unsigned long long>(opts.seed));
+        std::printf("Baseline  : %llu off-chip read misses, stride "
+                    "IPC %.2f\n\n",
+                    static_cast<unsigned long long>(r.baselineMisses),
+                    r.baselineIpc);
+        std::printf("%-8s %10s %10s %10s %10s\n", "engine",
+                    "covered", "uncovered", "overpred", "speedup");
+        for (const EngineResult &e : r.engines) {
+            std::printf("%-8s %9.1f%% %9.1f%% %9.1f%% %+9.1f%%\n",
+                        e.engine.c_str(), 100 * e.coverage,
+                        100 * e.uncovered, 100 * e.overprediction,
+                        100 * (e.speedup - 1.0));
+        }
+        std::printf("\n");
     }
 
-    std::printf("Workload  : %s (%s)\n", workload->name().c_str(),
-                workloadClassName(workload->workloadClass()).c_str());
-    std::printf("Trace     : %zu records, seed 42\n\n", records);
-
-    // The experiment runner wires up the Table 1 system, runs the
-    // no-prefetch baseline (miss normalization), the stride baseline
-    // (speedup normalization) and then each requested engine.
-    ExperimentConfig cfg;
-    cfg.traceRecords = records;
-    cfg.enableTiming = true;
-    ExperimentRunner runner(cfg);
-    WorkloadResult r = runner.runWorkload(
-        *workload, {"tms", "sms", "stems"});
-
-    std::printf("Baseline  : %llu off-chip read misses, stride IPC "
-                "%.2f\n\n",
-                static_cast<unsigned long long>(r.baselineMisses),
-                r.baselineIpc);
-    std::printf("%-8s %10s %10s %10s %10s\n", "engine", "covered",
-                "uncovered", "overpred", "speedup");
-    for (const EngineResult &e : r.engines) {
-        std::printf("%-8s %9.1f%% %9.1f%% %9.1f%% %+9.1f%%\n",
-                    e.engine.c_str(), 100 * e.coverage,
-                    100 * e.uncovered, 100 * e.overprediction,
-                    100 * (e.speedup - 1.0));
-    }
-
-    std::printf("\nSTeMS combines the temporal order of region "
+    std::printf("STeMS combines the temporal order of region "
                 "triggers (RMOB) with\nper-region spatial sequences "
                 "(PST), reconstructing the total miss order\nthe "
                 "processor will follow (ISCA 2009).\n");

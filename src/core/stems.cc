@@ -229,3 +229,33 @@ StemsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
 }
 
 } // namespace stems
+
+// ---- registry hookup ----
+
+#include "prefetch/engine_registry.hh"
+#include "sim/config.hh"
+
+namespace stems {
+namespace {
+
+const EngineRegistrar registerStems(
+    "stems", 30,
+    [](const SystemConfig &sys, const EngineOptions &opt) {
+        StemsParams p = sys.stems;
+        if (opt.scientific)
+            p.streams.lookahead = 12;
+        if (opt.lookahead)
+            p.streams.lookahead = *opt.lookahead;
+        if (opt.bufferEntries)
+            p.rmobEntries = *opt.bufferEntries;
+        if (opt.streamQueues)
+            p.streams.numStreams = *opt.streamQueues;
+        if (opt.displacementWindow) {
+            p.reconstruction.displacementWindow =
+                *opt.displacementWindow;
+        }
+        return std::make_unique<StemsPrefetcher>(p);
+    });
+
+} // namespace
+} // namespace stems

@@ -1,19 +1,18 @@
-#include "workloads/registry.hh"
+#include "prefetch/engine_registry.hh"
 
 #include <algorithm>
 
 namespace stems {
 
-WorkloadRegistry &
-WorkloadRegistry::instance()
+EngineRegistry &
+EngineRegistry::instance()
 {
-    static WorkloadRegistry registry;
+    static EngineRegistry registry;
     return registry;
 }
 
 bool
-WorkloadRegistry::add(std::string name, int rank,
-                      WorkloadFactory factory)
+EngineRegistry::add(std::string name, int rank, EngineFactory factory)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_
@@ -21,10 +20,12 @@ WorkloadRegistry::add(std::string name, int rank,
         .second;
 }
 
-std::unique_ptr<Workload>
-WorkloadRegistry::make(const std::string &name) const
+std::unique_ptr<Prefetcher>
+EngineRegistry::make(const std::string &name,
+                     const SystemConfig &system,
+                     const EngineOptions &options) const
 {
-    WorkloadFactory factory;
+    EngineFactory factory;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(name);
@@ -32,18 +33,18 @@ WorkloadRegistry::make(const std::string &name) const
             return nullptr;
         factory = it->second.factory;
     }
-    return factory();
+    return factory(system, options);
 }
 
 bool
-WorkloadRegistry::contains(const std::string &name) const
+EngineRegistry::contains(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.count(name) != 0;
 }
 
 std::vector<std::string>
-WorkloadRegistry::names() const
+EngineRegistry::names() const
 {
     std::vector<std::pair<int, std::string>> ranked;
     {
@@ -58,27 +59,6 @@ WorkloadRegistry::names() const
     for (auto &r : ranked)
         names.push_back(std::move(r.second));
     return names;
-}
-
-std::vector<std::unique_ptr<Workload>>
-WorkloadRegistry::makeAll() const
-{
-    std::vector<std::unique_ptr<Workload>> all;
-    for (const std::string &name : names())
-        all.push_back(make(name));
-    return all;
-}
-
-std::vector<std::unique_ptr<Workload>>
-makeAllWorkloads()
-{
-    return WorkloadRegistry::instance().makeAll();
-}
-
-std::unique_ptr<Workload>
-makeWorkload(const std::string &name)
-{
-    return WorkloadRegistry::instance().make(name);
 }
 
 } // namespace stems

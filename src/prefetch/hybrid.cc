@@ -70,3 +70,24 @@ NaiveHybridPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
 }
 
 } // namespace stems
+
+// ---- registry hookup ----
+
+#include "prefetch/engine_registry.hh"
+#include "sim/config.hh"
+
+namespace stems {
+namespace {
+
+const EngineRegistrar registerNaiveHybrid(
+    "tms+sms", 40,
+    [](const SystemConfig &sys, const EngineOptions &opt) {
+        SmsParams sp = sys.sms;
+        if (opt.smsUseCounters)
+            sp.useCounters = *opt.smsUseCounters;
+        return std::make_unique<NaiveHybridPrefetcher>(
+            tmsParamsFor(sys, opt), sp);
+    });
+
+} // namespace
+} // namespace stems

@@ -115,3 +115,23 @@ SmsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
 }
 
 } // namespace stems
+
+// ---- registry hookup ----
+
+#include "prefetch/engine_registry.hh"
+#include "sim/config.hh"
+
+namespace stems {
+namespace {
+
+const EngineRegistrar registerSms(
+    "sms", 20,
+    [](const SystemConfig &sys, const EngineOptions &opt) {
+        SmsParams p = sys.sms;
+        if (opt.smsUseCounters)
+            p.useCounters = *opt.smsUseCounters;
+        return std::make_unique<SmsPrefetcher>(p);
+    });
+
+} // namespace
+} // namespace stems

@@ -61,3 +61,20 @@ StridePrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
 }
 
 } // namespace stems
+
+// ---- registry hookup ----
+
+#include "prefetch/engine_registry.hh"
+#include "sim/config.hh"
+
+namespace stems {
+namespace {
+
+const EngineRegistrar registerStride(
+    "stride", 0,
+    [](const SystemConfig &sys, const EngineOptions &) {
+        return std::make_unique<StridePrefetcher>(sys.stride);
+    });
+
+} // namespace
+} // namespace stems

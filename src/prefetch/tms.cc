@@ -201,3 +201,36 @@ TmsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
 }
 
 } // namespace stems
+
+// ---- registry hookup ----
+
+#include "prefetch/engine_registry.hh"
+#include "sim/config.hh"
+
+namespace stems {
+
+TmsParams
+tmsParamsFor(const SystemConfig &sys, const EngineOptions &opt)
+{
+    TmsParams p = sys.tms;
+    if (opt.scientific)
+        p.lookahead = 12;
+    if (opt.lookahead)
+        p.lookahead = *opt.lookahead;
+    if (opt.bufferEntries)
+        p.bufferEntries = *opt.bufferEntries;
+    if (opt.streamQueues)
+        p.numStreams = *opt.streamQueues;
+    return p;
+}
+
+namespace {
+
+const EngineRegistrar registerTms(
+    "tms", 10,
+    [](const SystemConfig &sys, const EngineOptions &opt) {
+        return std::make_unique<TmsPrefetcher>(tmsParamsFor(sys, opt));
+    });
+
+} // namespace
+} // namespace stems

@@ -48,6 +48,16 @@ struct TmsParams
     std::size_t resyncWindow = 4;
 };
 
+struct SystemConfig; // sim/config.hh
+struct EngineOptions; // prefetch/engine_registry.hh
+
+/**
+ * The Table 1 TMS parameters with EngineOptions overrides applied
+ * (shared by the "tms" and "tms+sms" registry factories).
+ */
+TmsParams tmsParamsFor(const SystemConfig &sys,
+                       const EngineOptions &opt);
+
 /**
  * The TMS engine.
  */

@@ -1,0 +1,373 @@
+#include "sim/driver.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/stats.hh"
+#include "prefetch/engine_registry.hh"
+#include "workloads/registry.hh"
+
+namespace stems {
+
+namespace {
+
+/** Per-workload shard state shared by that workload's cells. */
+struct WorkloadShard
+{
+    const Workload *workload = nullptr;
+    bool scientific = false;
+
+    /// Trace generated once (first cell to touch it) and shared
+    /// read-only; released when the last cell finishes.
+    std::once_flag traceOnce;
+    Trace trace;
+    std::size_t warmup = 0;
+    std::atomic<std::size_t> remainingCells{0};
+
+    bool needBaseline = false;
+    bool needStride = false;
+    /// Baseline metrics (from the cache, or filled by the baseline /
+    /// stride cells; those cells write disjoint fields).
+    std::uint64_t baselineMisses = 0;
+    double baselineCycles = 0.0;
+    double strideCycles = 0.0;
+    double strideIpc = 0.0;
+
+    std::vector<SimStats> engineStats;
+    std::vector<std::map<std::string, double>> engineExtra;
+};
+
+/** One unit of work: a single simulation over one shard's trace. */
+struct Cell
+{
+    enum Kind
+    {
+        kBaseline,
+        kStride,
+        kEngine,
+    };
+
+    std::size_t shard = 0;
+    Kind kind = kEngine;
+    std::size_t spec = 0; ///< engine index (kEngine only)
+};
+
+} // namespace
+
+std::vector<EngineSpec>
+engineSpecs(const std::vector<std::string> &names)
+{
+    std::vector<EngineSpec> specs;
+    specs.reserve(names.size());
+    for (const std::string &name : names)
+        specs.emplace_back(name);
+    return specs;
+}
+
+unsigned
+ExperimentDriver::resolveJobs(unsigned jobs)
+{
+    return jobs != 0
+               ? jobs
+               : std::max(1u, std::thread::hardware_concurrency());
+}
+
+ExperimentDriver::ExperimentDriver(ExperimentConfig config,
+                                   unsigned jobs)
+    : config_(std::move(config)), jobs_(resolveJobs(jobs))
+{
+}
+
+void
+ExperimentDriver::clearBaselineCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    baselineCache_.clear();
+}
+
+void
+ExperimentDriver::dispatch(std::size_t num_tasks,
+                           const std::function<void(std::size_t)> &task)
+{
+    std::size_t workers =
+        std::min<std::size_t>(jobs_, num_tasks);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            task(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto body = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= num_tasks)
+                break;
+            try {
+                task(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(body);
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+std::vector<WorkloadResult>
+ExperimentDriver::runCells(
+    const std::vector<const Workload *> &workloads,
+    const std::vector<EngineSpec> &engines, bool cacheable)
+{
+    const EngineRegistry &registry = EngineRegistry::instance();
+    std::vector<bool> spec_known(engines.size());
+    for (std::size_t j = 0; j < engines.size(); ++j)
+        spec_known[j] = registry.contains(engines[j].engine);
+
+    // ---- schedule ----
+    std::vector<std::unique_ptr<WorkloadShard>> shards;
+    std::vector<Cell> cells;
+    shards.reserve(workloads.size());
+    std::size_t baseline_cells = 0;
+    for (const Workload *w : workloads) {
+        auto shard = std::make_unique<WorkloadShard>();
+        shard->workload = w;
+        shard->scientific =
+            w->workloadClass() == WorkloadClass::kScientific;
+        shard->engineStats.resize(engines.size());
+        shard->engineExtra.resize(engines.size());
+
+        shard->needBaseline = true;
+        shard->needStride = config_.enableTiming;
+        if (cacheable) {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            auto it = baselineCache_.find(w->name());
+            if (it != baselineCache_.end()) {
+                const Baseline &b = it->second;
+                // A functional-only cache entry has valid misses but
+                // no cycle accounting; a timing run must redo it.
+                bool timed_enough =
+                    !config_.enableTiming || b.cycles > 0.0;
+                if (timed_enough) {
+                    shard->needBaseline = false;
+                    shard->baselineMisses = b.misses;
+                    shard->baselineCycles = b.cycles;
+                    if (b.haveStride) {
+                        shard->needStride = false;
+                        shard->strideCycles = b.strideCycles;
+                        shard->strideIpc = b.strideIpc;
+                    }
+                }
+            }
+        }
+
+        std::size_t shard_index = shards.size();
+        std::size_t count = 0;
+        if (shard->needBaseline) {
+            cells.push_back({shard_index, Cell::kBaseline, 0});
+            ++count;
+            ++baseline_cells;
+        }
+        if (shard->needStride) {
+            cells.push_back({shard_index, Cell::kStride, 0});
+            ++count;
+            ++baseline_cells;
+        }
+        for (std::size_t j = 0; j < engines.size(); ++j) {
+            if (!spec_known[j])
+                continue;
+            cells.push_back({shard_index, Cell::kEngine, j});
+            ++count;
+        }
+        shard->remainingCells.store(count);
+        shards.push_back(std::move(shard));
+    }
+
+    // ---- execute ----
+    SimParams sim_params;
+    sim_params.hierarchy = config_.system.hierarchy;
+    sim_params.enableTiming = config_.enableTiming;
+    sim_params.timing = config_.system.timing;
+
+    auto run_cell = [&](std::size_t index) {
+        const Cell &cell = cells[index];
+        WorkloadShard &shard = *shards[cell.shard];
+        std::call_once(shard.traceOnce, [&] {
+            shard.trace = shard.workload->generate(
+                config_.seed, config_.traceRecords);
+            shard.warmup = static_cast<std::size_t>(
+                shard.trace.size() * config_.warmupFraction);
+        });
+
+        switch (cell.kind) {
+        case Cell::kBaseline: {
+            PrefetchSimulator sim(sim_params, nullptr);
+            sim.run(shard.trace, shard.warmup);
+            shard.baselineMisses = sim.stats().offChipReads;
+            shard.baselineCycles = sim.stats().cycles;
+            break;
+        }
+        case Cell::kStride: {
+            EngineOptions options;
+            options.scientific = shard.scientific;
+            auto stride = registry.make("stride", config_.system,
+                                        options);
+            PrefetchSimulator sim(sim_params, stride.get());
+            sim.run(shard.trace, shard.warmup);
+            shard.strideCycles = sim.stats().cycles;
+            shard.strideIpc = sim.stats().ipc();
+            break;
+        }
+        case Cell::kEngine: {
+            const EngineSpec &spec = engines[cell.spec];
+            EngineOptions options = spec.options;
+            options.scientific =
+                options.scientific || shard.scientific;
+            auto engine = registry.make(spec.engine, config_.system,
+                                        options);
+            PrefetchSimulator sim(sim_params, engine.get());
+            sim.run(shard.trace, shard.warmup);
+            shard.engineStats[cell.spec] = sim.stats();
+            if (spec.probe) {
+                EngineResult scratch;
+                scratch.engine = spec.resultLabel();
+                scratch.stats = sim.stats();
+                spec.probe(*engine, scratch);
+                shard.engineExtra[cell.spec] =
+                    std::move(scratch.extra);
+            }
+            break;
+        }
+        }
+
+        if (shard.remainingCells.fetch_sub(1) == 1) {
+            // Last cell of this workload: release the trace early so
+            // peak memory tracks in-flight workloads, not the suite.
+            Trace().swap(shard.trace);
+        }
+    };
+    dispatch(cells.size(), run_cell);
+
+    // ---- update the baseline cache ----
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        baselineRuns_ += baseline_cells;
+        for (const auto &shard : shards) {
+            if (!cacheable ||
+                (!shard->needBaseline && !shard->needStride))
+                continue;
+            Baseline &b = baselineCache_[shard->workload->name()];
+            b.misses = shard->baselineMisses;
+            b.cycles = shard->baselineCycles;
+            if (config_.enableTiming) {
+                b.strideCycles = shard->strideCycles;
+                b.strideIpc = shard->strideIpc;
+                b.haveStride = true;
+            }
+        }
+    }
+
+    // ---- merge, in fixed (workload, engine) order ----
+    std::vector<WorkloadResult> results;
+    results.reserve(shards.size());
+    for (const auto &shard : shards) {
+        WorkloadResult r;
+        r.workload = shard->workload->name();
+        r.workloadClass = shard->workload->workloadClass();
+        r.baselineMisses = shard->baselineMisses;
+        r.baselineCycles = shard->baselineCycles;
+        r.strideCycles = shard->strideCycles;
+        r.baselineIpc = shard->strideIpc;
+        for (std::size_t j = 0; j < engines.size(); ++j) {
+            if (!spec_known[j])
+                continue;
+            EngineResult er;
+            er.engine = engines[j].resultLabel();
+            er.stats = shard->engineStats[j];
+            er.coverage =
+                ratio(er.stats.covered(), r.baselineMisses);
+            er.uncovered =
+                ratio(er.stats.offChipReads, r.baselineMisses);
+            er.overprediction =
+                ratio(er.stats.overpredictions, r.baselineMisses);
+            if (config_.enableTiming && er.stats.cycles > 0)
+                er.speedup = r.strideCycles / er.stats.cycles;
+            er.extra = std::move(shard->engineExtra[j]);
+            r.engines.push_back(std::move(er));
+        }
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+std::vector<WorkloadResult>
+ExperimentDriver::run(const std::vector<std::string> &workloads,
+                      const std::vector<EngineSpec> &engines)
+{
+    std::vector<std::unique_ptr<Workload>> owned;
+    std::vector<const Workload *> ptrs;
+    for (const std::string &name : workloads) {
+        auto w = WorkloadRegistry::instance().make(name);
+        if (!w)
+            continue;
+        ptrs.push_back(w.get());
+        owned.push_back(std::move(w));
+    }
+    return runCells(ptrs, engines, /*cacheable=*/true);
+}
+
+std::vector<WorkloadResult>
+ExperimentDriver::runSuite(const std::vector<EngineSpec> &engines)
+{
+    return run(WorkloadRegistry::instance().names(), engines);
+}
+
+WorkloadResult
+ExperimentDriver::runWorkload(const Workload &workload,
+                              const std::vector<EngineSpec> &engines)
+{
+    auto results =
+        runCells({&workload}, engines, /*cacheable=*/false);
+    return std::move(results.at(0));
+}
+
+void
+ExperimentDriver::forEachTrace(
+    const std::vector<std::string> &workloads,
+    const std::function<void(std::size_t, const Workload &,
+                             const Trace &)> &fn)
+{
+    std::vector<std::unique_ptr<Workload>> owned;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        auto w = WorkloadRegistry::instance().make(workloads[i]);
+        if (!w)
+            continue;
+        owned.push_back(std::move(w));
+        indices.push_back(i);
+    }
+    dispatch(owned.size(), [&](std::size_t k) {
+        const Workload &w = *owned[k];
+        Trace trace =
+            w.generate(config_.seed, config_.traceRecords);
+        fn(indices[k], w, trace);
+    });
+}
+
+} // namespace stems

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Parallel experiment driver: shards (workload x engine) cells of a
+ * sweep across a std::thread pool.
+ *
+ * Compared with the serial ExperimentRunner, the driver
+ *  - generates each workload's trace exactly once and shares it
+ *    read-only across every engine run over that workload,
+ *  - caches the no-prefetch and stride baselines per workload across
+ *    run() calls instead of recomputing them per call, and
+ *  - releases each trace as soon as its last cell completes, bounding
+ *    peak memory to the in-flight workloads.
+ *
+ * Determinism: every cell (one PrefetchSimulator over one trace) is
+ * independent and seeded only by the trace, and results are merged in
+ * the fixed (workload order, engine order) the caller supplied — so a
+ * sweep is bitwise identical for any thread count, and identical to a
+ * serial ExperimentRunner reference run (sim/driver_test.cc pins
+ * both properties).
+ */
+
+#ifndef STEMS_SIM_DRIVER_HH
+#define STEMS_SIM_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace stems {
+
+/**
+ * One engine column of a sweep: a registered engine name plus the
+ * per-cell parameter overrides (the knobs the ablation benches
+ * sweep) and an optional post-run probe.
+ */
+struct EngineSpec
+{
+    EngineSpec() = default;
+    EngineSpec(std::string engine_name) // NOLINT: implicit by design
+        : engine(std::move(engine_name))
+    {
+    }
+    EngineSpec(std::string engine_name, std::string result_label,
+               EngineOptions opts = {})
+        : engine(std::move(engine_name)),
+          label(std::move(result_label)), options(std::move(opts))
+    {
+    }
+
+    /// Registered engine name (EngineRegistry).
+    std::string engine;
+    /// Label reported in EngineResult::engine; defaults to `engine`.
+    std::string label;
+    /// Parameter overrides applied on top of the SystemConfig. The
+    /// driver sets `options.scientific` from the workload class
+    /// before instantiation.
+    EngineOptions options;
+    /// Optional post-run inspection hook, invoked on the worker
+    /// thread right after the cell's simulation finishes; stash
+    /// engine-specific metrics into EngineResult::extra. Must not
+    /// touch shared state.
+    std::function<void(const Prefetcher &, EngineResult &)> probe;
+
+    /** The label reported in results. */
+    const std::string &resultLabel() const
+    {
+        return label.empty() ? engine : label;
+    }
+};
+
+/** Convenience: plain engine names -> specs with default options. */
+std::vector<EngineSpec>
+engineSpecs(const std::vector<std::string> &names);
+
+/**
+ * The parallel sweep driver. One instance owns a baseline cache tied
+ * to its ExperimentConfig; reuse the instance across calls to
+ * amortize the baselines.
+ */
+class ExperimentDriver
+{
+  public:
+    /**
+     * @param config  experiment knobs (system, trace length, seed).
+     * @param jobs    worker threads; 0 means hardware concurrency.
+     */
+    explicit ExperimentDriver(ExperimentConfig config,
+                              unsigned jobs = 0);
+
+    /** Sweep (workloads x engines) by registered workload name.
+     *  Unknown workload names are skipped (no result row). */
+    std::vector<WorkloadResult>
+    run(const std::vector<std::string> &workloads,
+        const std::vector<EngineSpec> &engines);
+
+    /** Sweep every registered workload (figure order). */
+    std::vector<WorkloadResult>
+    runSuite(const std::vector<EngineSpec> &engines);
+
+    /** Run one externally-owned workload (e.g. a custom subclass not
+     *  in the registry); engine cells still run in parallel. The
+     *  baseline cache is bypassed: an external instance's behaviour
+     *  is not determined by its name, so name-keyed caching could
+     *  cross-contaminate differently-parameterized instances. */
+    WorkloadResult runWorkload(const Workload &workload,
+                               const std::vector<EngineSpec> &engines);
+
+    /**
+     * Parallel map over workload traces (analysis benches): each
+     * registered workload's trace is generated in the pool and handed
+     * to `fn` with its position in `workloads`. `fn` runs on worker
+     * threads, once per workload; writes must stay within the slot
+     * `index` addresses.
+     */
+    void forEachTrace(
+        const std::vector<std::string> &workloads,
+        const std::function<void(std::size_t index, const Workload &,
+                                 const Trace &)> &fn);
+
+    /** The configuration in use. */
+    const ExperimentConfig &config() const { return config_; }
+
+    /** Resolved worker-thread count. */
+    unsigned jobs() const { return jobs_; }
+
+    /** The jobs-resolution rule: 0 means hardware concurrency. */
+    static unsigned resolveJobs(unsigned jobs);
+
+    /** Baseline simulations actually executed (cache diagnostics). */
+    std::uint64_t baselineRuns() const { return baselineRuns_; }
+
+    /** Drop the per-workload baseline cache. */
+    void clearBaselineCache();
+
+  private:
+    struct Baseline
+    {
+        std::uint64_t misses = 0;
+        double cycles = 0.0; ///< no-prefetch cycles (timing runs)
+        double strideCycles = 0.0;
+        double strideIpc = 0.0;
+        bool haveStride = false;
+    };
+
+    /** @param cacheable  workloads came from the registry, so the
+     *                     name-keyed baseline cache applies. */
+    std::vector<WorkloadResult>
+    runCells(const std::vector<const Workload *> &workloads,
+             const std::vector<EngineSpec> &engines, bool cacheable);
+
+    void dispatch(std::size_t num_tasks,
+                  const std::function<void(std::size_t)> &task);
+
+    ExperimentConfig config_;
+    unsigned jobs_;
+
+    std::mutex cacheMutex_;
+    std::unordered_map<std::string, Baseline> baselineCache_;
+    std::uint64_t baselineRuns_ = 0;
+};
+
+} // namespace stems
+
+#endif // STEMS_SIM_DRIVER_HH

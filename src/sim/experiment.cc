@@ -1,7 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "common/stats.hh"
-#include "prefetch/hybrid.hh"
+#include "prefetch/engine_registry.hh"
 #include "workloads/registry.hh"
 
 namespace stems {
@@ -24,30 +24,10 @@ std::unique_ptr<Prefetcher>
 ExperimentRunner::makeEngine(const std::string &name,
                              bool scientific) const
 {
-    const SystemConfig &sys = config_.system;
-    if (name == "stride")
-        return std::make_unique<StridePrefetcher>(sys.stride);
-    if (name == "sms")
-        return std::make_unique<SmsPrefetcher>(sys.sms);
-    if (name == "tms") {
-        TmsParams p = sys.tms;
-        if (scientific)
-            p.lookahead = 12;
-        return std::make_unique<TmsPrefetcher>(p);
-    }
-    if (name == "stems") {
-        StemsParams p = sys.stems;
-        if (scientific)
-            p.streams.lookahead = 12;
-        return std::make_unique<StemsPrefetcher>(p);
-    }
-    if (name == "tms+sms") {
-        TmsParams p = sys.tms;
-        if (scientific)
-            p.lookahead = 12;
-        return std::make_unique<NaiveHybridPrefetcher>(p, sys.sms);
-    }
-    return nullptr;
+    EngineOptions options;
+    options.scientific = scientific;
+    return EngineRegistry::instance().make(name, config_.system,
+                                           options);
 }
 
 WorkloadResult
@@ -75,6 +55,7 @@ ExperimentRunner::runWorkload(const Workload &workload,
     PrefetchSimulator base_sim(sim_params, nullptr);
     base_sim.run(trace, warmup);
     result.baselineMisses = base_sim.stats().offChipReads;
+    result.baselineCycles = base_sim.stats().cycles;
 
     // Stride baseline: defines the speedup normalization (Table 1's
     // baseline system includes the stride prefetcher).
@@ -85,6 +66,7 @@ ExperimentRunner::runWorkload(const Workload &workload,
         stride_sim.run(trace, warmup);
         stride_cycles = stride_sim.stats().cycles;
         result.baselineIpc = stride_sim.stats().ipc();
+        result.strideCycles = stride_cycles;
     }
 
     for (const std::string &name : engines) {

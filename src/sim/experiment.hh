@@ -13,10 +13,12 @@
 #ifndef STEMS_SIM_EXPERIMENT_HH
 #define STEMS_SIM_EXPERIMENT_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "prefetch/engine_registry.hh"
 #include "sim/config.hh"
 #include "sim/prefetch_sim.hh"
 #include "workloads/workload.hh"
@@ -37,6 +39,9 @@ struct EngineResult
     /// baseline-with-stride cycles / this engine's cycles (timing
     /// runs only; 0 otherwise).
     double speedup = 0.0;
+    /// Engine-specific metrics collected by an EngineSpec probe
+    /// (e.g. the reconstruction displacement distribution).
+    std::map<std::string, double> extra;
 };
 
 /** All engines' metrics for one workload. */
@@ -46,6 +51,8 @@ struct WorkloadResult
     WorkloadClass workloadClass = WorkloadClass::kOltp;
     std::uint64_t baselineMisses = 0; ///< no-prefetch read misses
     double baselineIpc = 0.0;         ///< stride-baseline IPC
+    double baselineCycles = 0.0;      ///< no-prefetch cycles (timing)
+    double strideCycles = 0.0;        ///< stride-baseline cycles
     std::vector<EngineResult> engines;
 
     /** Result for a named engine; null when absent. */
@@ -53,7 +60,12 @@ struct WorkloadResult
 };
 
 /**
- * Builds engines and runs workload/engine sweeps.
+ * Serial reference runner: builds engines via the EngineRegistry and
+ * runs workload/engine sweeps one cell at a time, recomputing the
+ * baselines on every call. Production sweeps should use the parallel,
+ * baseline-caching ExperimentDriver (sim/driver.hh); this class is
+ * kept as the independent serial reference the driver is validated
+ * against.
  */
 class ExperimentRunner
 {
@@ -61,8 +73,9 @@ class ExperimentRunner
     explicit ExperimentRunner(ExperimentConfig config);
 
     /**
-     * Instantiate an engine by name: "stride", "tms", "sms",
-     * "stems", "tms+sms". @return null for unknown names.
+     * Instantiate a registered engine by name ("stride", "tms",
+     * "sms", "stems", "tms+sms", plus any extensions). @return null
+     * for unknown names.
      *
      * @param scientific  apply the scientific-workload lookahead of
      *                    12 (paper Section 4.3).

@@ -104,8 +104,18 @@ PrefetchSimulator::step(const MemRecord &r)
                                                 r.pc, missSeq_++,
                                                 true, -1});
                     }
-                } else if (measuring_) {
-                    ++stats_.l2Hits;
+                } else {
+                    // A write consuming a prefetched block is still
+                    // a successful prefetch (it clears the prefetch
+                    // tag, so the block can never be swept as an
+                    // overprediction): advance the owning stream,
+                    // mirroring the SVB write path below. Like that
+                    // path it does not count toward covered() --
+                    // coverage measures eliminated *read* misses.
+                    if (measuring_)
+                        ++stats_.l2Hits;
+                    if (engine_)
+                        engine_->onPrefetchHit(r.vaddr, -1);
                 }
             } else {
                 level = AccessLevel::kL2;

@@ -147,3 +147,64 @@ DssWorkload::generate(std::uint64_t seed,
 }
 
 } // namespace stems
+
+// ---- registry hookup (paper suite, figure order) ----
+
+#include "workloads/registry.hh"
+
+namespace stems {
+namespace {
+
+std::unique_ptr<Workload>
+makeDssQry2()
+{
+    // TPC-H Q2 (join-dominated): scans plus frequent probe bursts.
+    DssParams p;
+    p.name = "dss-qry2";
+    p.scanDensity = 12;
+    p.intraSwapProb = 0.02;
+    p.joinProbeProb = 0.85;
+    p.probesPerBurst = 6;
+    p.probeDirectoryFraction = 0.3;
+    return std::make_unique<DssWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeDssQry16()
+{
+    // TPC-H Q16 (join-dominated, two record layouts): the alternating
+    // scan patterns and higher swap rate reproduce its weak
+    // intra-generation repetition (Figure 8's outlier).
+    DssParams p;
+    p.name = "dss-qry16";
+    p.scanDensity = 10;
+    p.scanUnstableBlocks = 4;
+    p.scanUnstableProb = 0.4;
+    p.intraSwapProb = 0.18;
+    p.scanPatternVariants = 2;
+    p.joinProbeProb = 0.8;
+    p.probesPerBurst = 6;
+    p.probeDirectoryFraction = 0.25;
+    return std::make_unique<DssWorkload>(p);
+}
+
+std::unique_ptr<Workload>
+makeDssQry17()
+{
+    // TPC-H Q17 (balanced scan-join): scan-heavy with lighter probes.
+    DssParams p;
+    p.name = "dss-qry17";
+    p.scanDensity = 16;
+    p.intraSwapProb = 0.02;
+    p.joinProbeProb = 0.75;
+    p.probesPerBurst = 5;
+    p.probeDirectoryFraction = 0.25;
+    return std::make_unique<DssWorkload>(p);
+}
+
+const WorkloadRegistrar registerQry2("dss-qry2", 4, makeDssQry2);
+const WorkloadRegistrar registerQry16("dss-qry16", 5, makeDssQry16);
+const WorkloadRegistrar registerQry17("dss-qry17", 6, makeDssQry17);
+
+} // namespace
+} // namespace stems

@@ -1,35 +1,94 @@
 /**
  * @file
- * The paper's application suite (Table 1), instantiated: two web
- * servers, two OLTP databases, three DSS queries and three scientific
- * codes, in the order the paper's figures use.
+ * Open registry of workloads: name -> factory.
+ *
+ * The paper's application suite (Table 1: two web servers, two OLTP
+ * databases, three DSS queries, three scientific codes) self-registers
+ * from the workload translation units in figure order; new workloads
+ * drop in the same way — register a factory (statically via
+ * WorkloadRegistrar, or at runtime via WorkloadRegistry::add) and
+ * every driver, bench and tool that enumerates the registry picks
+ * them up. See examples/custom_workload.cpp.
  */
 
 #ifndef STEMS_WORKLOADS_REGISTRY_HH
 #define STEMS_WORKLOADS_REGISTRY_HH
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "workloads/workload.hh"
 
 namespace stems {
 
-/** Factory functions for each paper workload. */
-std::unique_ptr<Workload> makeWebApache();
-std::unique_ptr<Workload> makeWebZeus();
-std::unique_ptr<Workload> makeOltpDb2();
-std::unique_ptr<Workload> makeOltpOracle();
-std::unique_ptr<Workload> makeDssQry2();
-std::unique_ptr<Workload> makeDssQry16();
-std::unique_ptr<Workload> makeDssQry17();
-std::unique_ptr<Workload> makeEm3d();
-std::unique_ptr<Workload> makeOcean();
-std::unique_ptr<Workload> makeSparse();
+/** Builds one workload instance. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/**
+ * The process-wide workload registry. Thread-safe: registration and
+ * lookup may race with driver worker threads.
+ */
+class WorkloadRegistry
+{
+  public:
+    static WorkloadRegistry &instance();
+
+    /**
+     * Register a factory under a name.
+     *
+     * @param name  workload name ("oltp-db2", ...).
+     * @param rank  enumeration position; names() lists ascending
+     *              (rank, name). The paper suite uses 0-9 (figure
+     *              order); use >= 100 for extensions so the canonical
+     *              suite order stays stable.
+     * @return false (and no change) when the name is already taken.
+     */
+    bool add(std::string name, int rank, WorkloadFactory factory);
+
+    /** Instantiate a workload; null when the name is unknown. */
+    std::unique_ptr<Workload> make(const std::string &name) const;
+
+    /** True when a factory is registered under the name. */
+    bool contains(const std::string &name) const;
+
+    /** All registered names in stable (rank, name) order. */
+    std::vector<std::string> names() const;
+
+    /** Instantiate every registered workload, in names() order. */
+    std::vector<std::unique_ptr<Workload>> makeAll() const;
+
+  private:
+    WorkloadRegistry() = default;
+
+    struct Entry
+    {
+        int rank = 0;
+        WorkloadFactory factory;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+/** Static-init helper: registers a factory at load time. */
+struct WorkloadRegistrar
+{
+    WorkloadRegistrar(const char *name, int rank,
+                      WorkloadFactory factory)
+    {
+        WorkloadRegistry::instance().add(name, rank,
+                                        std::move(factory));
+    }
+};
 
 /**
  * The full suite in figure order: Apache, Zeus, DB2, Oracle, Qry2,
- * Qry16, Qry17, em3d, ocean, sparse.
+ * Qry16, Qry17, em3d, ocean, sparse (plus any extensions registered
+ * by the process). Equivalent to instance().makeAll().
  */
 std::vector<std::unique_ptr<Workload>> makeAllWorkloads();
 

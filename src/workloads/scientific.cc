@@ -197,3 +197,23 @@ SparseWorkload::generate(std::uint64_t seed,
 }
 
 } // namespace stems
+
+// ---- registry hookup (paper suite, figure order) ----
+
+#include "workloads/registry.hh"
+
+namespace stems {
+namespace {
+
+const WorkloadRegistrar registerEm3d("em3d", 7, [] {
+    return std::unique_ptr<Workload>(new Em3dWorkload());
+});
+const WorkloadRegistrar registerOcean("ocean", 8, [] {
+    return std::unique_ptr<Workload>(new OceanWorkload());
+});
+const WorkloadRegistrar registerSparse("sparse", 9, [] {
+    return std::unique_ptr<Workload>(new SparseWorkload());
+});
+
+} // namespace
+} // namespace stems

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the engine and workload registries: builtin
+ * contents, stable enumeration order, unknown-name behaviour,
+ * duplicate rejection, runtime extension, and override application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/engine_registry.hh"
+#include "prefetch/tms.hh"
+#include "sim/config.hh"
+#include "workloads/registry.hh"
+
+namespace stems {
+namespace {
+
+std::vector<std::string>
+prefix(const std::vector<std::string> &v, std::size_t n)
+{
+    return {v.begin(), v.begin() + std::min(n, v.size())};
+}
+
+// ---- engine registry ----
+
+TEST(EngineRegistryTest, BuiltinsInRankOrder)
+{
+    const std::vector<std::string> expected = {"stride", "tms", "sms",
+                                               "stems", "tms+sms"};
+    EXPECT_EQ(prefix(EngineRegistry::instance().names(), 5),
+              expected);
+    for (const std::string &name : expected)
+        EXPECT_TRUE(EngineRegistry::instance().contains(name))
+            << name;
+}
+
+TEST(EngineRegistryTest, EnumerationIsStable)
+{
+    auto a = EngineRegistry::instance().names();
+    auto b = EngineRegistry::instance().names();
+    EXPECT_EQ(a, b);
+}
+
+TEST(EngineRegistryTest, UnknownNameReturnsNull)
+{
+    SystemConfig sys = defaultSystemConfig();
+    EXPECT_EQ(EngineRegistry::instance().make("bogus", sys), nullptr);
+    EXPECT_FALSE(EngineRegistry::instance().contains("bogus"));
+}
+
+TEST(EngineRegistryTest, MakeBuildsEveryBuiltin)
+{
+    SystemConfig sys = defaultSystemConfig();
+    for (const std::string &name :
+         EngineRegistry::instance().names()) {
+        auto engine = EngineRegistry::instance().make(name, sys);
+        ASSERT_NE(engine, nullptr) << name;
+    }
+}
+
+TEST(EngineRegistryTest, DuplicateRegistrationRejected)
+{
+    EXPECT_FALSE(EngineRegistry::instance().add(
+        "stride", 999, [](const SystemConfig &,
+                          const EngineOptions &) {
+            return std::unique_ptr<Prefetcher>();
+        }));
+    // The original factory survives.
+    SystemConfig sys = defaultSystemConfig();
+    auto stride = EngineRegistry::instance().make("stride", sys);
+    ASSERT_NE(stride, nullptr);
+    EXPECT_EQ(stride->name(), "stride");
+}
+
+TEST(EngineRegistryTest, RuntimeExtensionEnumeratesAfterBuiltins)
+{
+    ASSERT_TRUE(EngineRegistry::instance().add(
+        "test-null-engine", 1000,
+        [](const SystemConfig &sys, const EngineOptions &opt) {
+            return std::make_unique<TmsPrefetcher>(
+                tmsParamsFor(sys, opt));
+        }));
+    auto names = EngineRegistry::instance().names();
+    ASSERT_FALSE(names.empty());
+    EXPECT_EQ(names.back(), "test-null-engine");
+    SystemConfig sys = defaultSystemConfig();
+    EXPECT_NE(EngineRegistry::instance().make("test-null-engine",
+                                              sys),
+              nullptr);
+}
+
+TEST(EngineRegistryTest, TmsOverridesApply)
+{
+    SystemConfig sys = defaultSystemConfig();
+
+    EngineOptions none;
+    EXPECT_EQ(tmsParamsFor(sys, none).lookahead, sys.tms.lookahead);
+
+    EngineOptions sci;
+    sci.scientific = true;
+    EXPECT_EQ(tmsParamsFor(sys, sci).lookahead, 12u);
+
+    EngineOptions explicit_wins;
+    explicit_wins.scientific = true;
+    explicit_wins.lookahead = 5;
+    explicit_wins.bufferEntries = 4096;
+    explicit_wins.streamQueues = 3;
+    TmsParams p = tmsParamsFor(sys, explicit_wins);
+    EXPECT_EQ(p.lookahead, 5u);
+    EXPECT_EQ(p.bufferEntries, 4096u);
+    EXPECT_EQ(p.numStreams, 3u);
+}
+
+// ---- workload registry ----
+
+TEST(WorkloadRegistryTest, PaperSuiteInFigureOrder)
+{
+    const std::vector<std::string> expected = {
+        "web-apache", "web-zeus", "oltp-db2", "oltp-oracle",
+        "dss-qry2",   "dss-qry16", "dss-qry17", "em3d",
+        "ocean",      "sparse"};
+    EXPECT_EQ(prefix(WorkloadRegistry::instance().names(), 10),
+              expected);
+}
+
+TEST(WorkloadRegistryTest, EnumerationIsStable)
+{
+    auto a = WorkloadRegistry::instance().names();
+    auto b = WorkloadRegistry::instance().names();
+    EXPECT_EQ(a, b);
+}
+
+TEST(WorkloadRegistryTest, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(WorkloadRegistry::instance().make("no-such"), nullptr);
+    EXPECT_EQ(makeWorkload("no-such"), nullptr);
+    EXPECT_FALSE(WorkloadRegistry::instance().contains("no-such"));
+}
+
+TEST(WorkloadRegistryTest, MakeAllMatchesNames)
+{
+    auto names = WorkloadRegistry::instance().names();
+    auto all = makeAllWorkloads();
+    ASSERT_EQ(all.size(), names.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->name(), names[i]);
+}
+
+TEST(WorkloadRegistryTest, DuplicateRegistrationRejected)
+{
+    EXPECT_FALSE(WorkloadRegistry::instance().add(
+        "oltp-db2", 999, [] {
+            return std::unique_ptr<Workload>();
+        }));
+    EXPECT_NE(makeWorkload("oltp-db2"), nullptr);
+}
+
+/** Minimal workload for runtime-extension tests. */
+class TinyWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "test-tiny"; }
+    WorkloadClass
+    workloadClass() const override
+    {
+        return WorkloadClass::kOltp;
+    }
+    Trace
+    generate(std::uint64_t seed,
+             std::size_t target_records) const override
+    {
+        TraceBuilder b;
+        Rng rng(seed);
+        while (b.size() < target_records)
+            b.read(0x100000 + rng.below(64) * kBlockBytes, 0x1);
+        return b.take();
+    }
+};
+
+TEST(WorkloadRegistryTest, RuntimeExtensionEnumeratesAfterSuite)
+{
+    ASSERT_TRUE(WorkloadRegistry::instance().add(
+        "test-tiny", 1000,
+        [] { return std::make_unique<TinyWorkload>(); }));
+    auto names = WorkloadRegistry::instance().names();
+    ASSERT_FALSE(names.empty());
+    EXPECT_EQ(names.back(), "test-tiny");
+    auto w = makeWorkload("test-tiny");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->generate(1, 100).size(), 100u);
+}
+
+} // namespace
+} // namespace stems

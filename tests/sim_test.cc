@@ -210,6 +210,41 @@ TEST(PrefetchSim, L2SinkCoverageAndSweep)
     EXPECT_EQ(sim.stats().overpredictions, 1u);
 }
 
+TEST(PrefetchSim, WriteConsumingL2PrefetchAdvancesStream)
+{
+    // A write hitting a prefetched L2 block is a successful prefetch:
+    // the engine must see onPrefetchHit (streams advance past it) and
+    // the block must not be swept as an overprediction. Like the SVB
+    // write path, it does not count toward covered().
+    ScriptedPrefetcher engine({0x100000}, PrefetchSink::kL2);
+    PrefetchSimulator sim(tinySystem(), &engine);
+    TraceBuilder b;
+    b.read(0x200000, 0x1); // triggers the drain of the script
+    b.write(0x100000, 0x1); // write consumes the prefetched block
+    Trace t = b.take();
+    sim.run(t);
+    EXPECT_EQ(engine.hits, 1);
+    EXPECT_EQ(engine.drops, 0);
+    EXPECT_EQ(sim.stats().overpredictions, 0u);
+    EXPECT_EQ(sim.stats().l2PrefetchHits, 0u);
+    EXPECT_EQ(sim.stats().l2Hits, 1u);
+}
+
+TEST(PrefetchSim, WriteConsumingSvbPrefetchAdvancesStream)
+{
+    // The SVB parity case the L2 path mirrors.
+    ScriptedPrefetcher engine({0x100000}, PrefetchSink::kBuffer);
+    PrefetchSimulator sim(tinySystem(), &engine);
+    TraceBuilder b;
+    b.read(0x200000, 0x1);
+    b.write(0x100000, 0x1);
+    Trace t = b.take();
+    sim.run(t);
+    EXPECT_EQ(engine.hits, 1);
+    EXPECT_EQ(sim.stats().overpredictions, 0u);
+    EXPECT_EQ(sim.stats().svbHits, 0u);
+}
+
 TEST(PrefetchSim, InvalidatedPrefetchIsOverprediction)
 {
     ScriptedPrefetcher engine({0x100000}, PrefetchSink::kBuffer);
@@ -265,7 +300,7 @@ TEST(Experiment, RunWorkloadProducesNormalizedMetrics)
     cfg.traceRecords = 60000;
     cfg.enableTiming = true;
     ExperimentRunner runner(cfg);
-    auto w = makeDssQry17();
+    auto w = makeWorkload("dss-qry17");
     auto r = runner.runWorkload(*w, {"sms"});
     EXPECT_GT(r.baselineMisses, 100u);
     ASSERT_EQ(r.engines.size(), 1u);

@@ -204,7 +204,7 @@ TEST(Registry, UnknownNameReturnsNull)
 
 TEST(WorkloadSignature, DssIsSpatiallyNotTemporallyPredictable)
 {
-    auto w = makeDssQry17();
+    auto w = makeWorkload("dss-qry17");
     Trace t = w->generate(42, 300000);
     JointCoverageAnalyzer a;
     a.run(t);
@@ -216,7 +216,7 @@ TEST(WorkloadSignature, DssIsSpatiallyNotTemporallyPredictable)
 
 TEST(WorkloadSignature, Em3dIsTemporallyNearPerfect)
 {
-    auto w = makeEm3d();
+    auto w = makeWorkload("em3d");
     Trace t = w->generate(42, 700000);
     JointCoverageAnalyzer a;
     a.run(t);
@@ -229,7 +229,7 @@ TEST(WorkloadSignature, Em3dIsTemporallyNearPerfect)
 
 TEST(WorkloadSignature, OltpHasAllFourClasses)
 {
-    auto w = makeOltpDb2();
+    auto w = makeWorkload("oltp-db2");
     Trace t = w->generate(42, 800000);
     JointCoverageAnalyzer a;
     // Measure from warmed state, as the paper does.
