@@ -34,13 +34,15 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     Table table({"workload", "mode", "covered", "overpred"});
     double over_counter = 0, over_bitvec = 0, cov_counter = 0,
            cov_bitvec = 0;
     int n = 0;
-    for (const WorkloadResult &r :
-         driver.run(benchWorkloads(opts), specs)) {
+    const auto results = driver.run(benchWorkloads(opts), specs);
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         bool first = true;
         for (const EngineResult &e : r.engines) {
             bool counters = e.engine == "counters";

@@ -31,12 +31,15 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     Table table({"workload", "lookahead", "covered", "overpred",
                  "speedup"});
     const std::vector<std::string> workloads =
         benchWorkloads(opts, {"oltp-db2", "em3d"});
-    for (const WorkloadResult &r : driver.run(workloads, specs)) {
+    const auto results = driver.run(workloads, specs);
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         bool first = true;
         for (const EngineResult &e : r.engines) {
             // Speedup over the no-prefetch system (the historical

@@ -25,13 +25,16 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
     Table table({"workload", "engine", "covered", "overpred",
                  "over ratio"});
     const std::vector<std::string> workloads = benchWorkloads(
         opts, {"web-apache", "web-zeus", "oltp-db2",
                "oltp-oracle"});
-    for (const WorkloadResult &r :
-         driver.run(workloads, engineSpecs({"tms+sms", "stems"}))) {
+    const auto results =
+        driver.run(workloads, engineSpecs({"tms+sms", "stems"}));
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         const EngineResult *hybrid = r.find("tms+sms");
         const EngineResult *stems_r = r.find("stems");
         double over_ratio =

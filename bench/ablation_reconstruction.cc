@@ -46,14 +46,17 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     EngineSpec stems_spec("stems");
     stems_spec.probe = displacementProbe;
 
     Table table({"workload", "placements", "in place", "|d|<=1",
                  "|d|<=2", "dropped"});
-    for (const WorkloadResult &r :
-         driver.run(benchWorkloads(opts), {stems_spec})) {
+    const auto results =
+        driver.run(benchWorkloads(opts), {stems_spec});
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         const EngineResult *e = r.find("stems");
         double placed = e->extra.at("placed");
         double dropped = e->extra.at("dropped");

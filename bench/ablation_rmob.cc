@@ -36,12 +36,15 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     Table table({"workload", "entries", "STeMS covered",
                  "TMS covered"});
     const std::vector<std::string> workloads =
         benchWorkloads(opts, {"em3d", "oltp-db2"});
-    for (const WorkloadResult &r : driver.run(workloads, specs)) {
+    const auto results = driver.run(workloads, specs);
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         bool first = true;
         for (std::size_t entries : sizes) {
             std::string label = std::to_string(entries / 1024) + "K";

@@ -30,11 +30,14 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     Table table({"workload", "queues", "covered", "overpred"});
     const std::vector<std::string> workloads =
         benchWorkloads(opts, {"web-apache", "oltp-db2"});
-    for (const WorkloadResult &r : driver.run(workloads, specs)) {
+    const auto results = driver.run(workloads, specs);
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         bool first = true;
         for (const EngineResult &e : r.engines) {
             table.addRow({first ? r.workload : "", e.engine,

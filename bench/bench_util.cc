@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "prefetch/engine_registry.hh"
+#include "store/trace_store.hh"
 #include "workloads/registry.hh"
 
 namespace stems {
@@ -48,6 +50,11 @@ usage(const char *argv0, int status)
         "  --seed N           trace-generation seed (default: 42)\n"
         "  --workloads a,b,c  restrict the workload sweep\n"
         "  --engines x,y      restrict the engine sweep\n"
+        "  --store DIR        persistent trace/baseline store\n"
+        "                     (default: $STEMS_STORE when set)\n"
+        "  --no-store         disable the store even if STEMS_STORE\n"
+        "                     is set\n"
+        "  --json FILE        also write results as JSON\n"
         "  --list             list registered workloads/engines\n"
         "  --help             this message\n",
         argv0);
@@ -88,6 +95,7 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
 {
     BenchOptions options;
     options.records = default_records;
+    bool no_store = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -117,6 +125,12 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
             options.workloads = splitList(value());
         } else if (arg == "--engines") {
             options.engines = splitList(value());
+        } else if (arg == "--store") {
+            options.storeDir = value();
+        } else if (arg == "--no-store") {
+            no_store = true;
+        } else if (arg == "--json") {
+            options.jsonPath = value();
         } else if (!arg.empty() && arg[0] != '-') {
             // Historical positional trace-length override; 0 keeps
             // the bench default.
@@ -128,6 +142,13 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
                          argv[0], arg.c_str());
             usage(argv[0], 1);
         }
+    }
+
+    if (no_store) {
+        options.storeDir.clear();
+    } else if (options.storeDir.empty()) {
+        if (const char *env = std::getenv("STEMS_STORE"))
+            options.storeDir = env;
     }
 
     for (const std::string &w : options.workloads) {
@@ -213,6 +234,139 @@ requireNoWorkloadSelection(const BenchOptions &options,
     std::exit(1);
 }
 
+void
+requireNoJson(const BenchOptions &options, const char *reason)
+{
+    if (options.jsonPath.empty())
+        return;
+    std::fprintf(stderr,
+                 "--json is not supported by this bench: %s\n",
+                 reason);
+    std::exit(1);
+}
+
+void
+attachBenchStore(ExperimentDriver &driver,
+                 const BenchOptions &options)
+{
+    if (options.storeDir.empty())
+        return;
+    auto store = std::make_shared<TraceStore>(options.storeDir);
+    if (!store->usable()) {
+        std::fprintf(stderr, "cannot open trace store '%s'\n",
+                     options.storeDir.c_str());
+        std::exit(1);
+    }
+    driver.setStore(std::move(store));
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Full-precision double that round-trips through a JSON parser. */
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+maybeWriteJson(const BenchOptions &options,
+               const std::vector<WorkloadResult> &results)
+{
+    if (options.jsonPath.empty())
+        return;
+    std::FILE *f = std::fopen(options.jsonPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     options.jsonPath.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n  \"records\": %zu,\n  \"seed\": %llu,\n"
+                 "  \"workloads\": [\n",
+                 options.records,
+                 static_cast<unsigned long long>(options.seed));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const WorkloadResult &r = results[i];
+        std::fprintf(
+            f,
+            "    {\n      \"workload\": \"%s\",\n"
+            "      \"class\": \"%s\",\n"
+            "      \"baselineMisses\": %llu,\n"
+            "      \"baselineIpc\": %s,\n"
+            "      \"baselineCycles\": %s,\n"
+            "      \"strideCycles\": %s,\n"
+            "      \"engines\": [\n",
+            jsonEscape(r.workload).c_str(),
+            jsonEscape(workloadClassName(r.workloadClass)).c_str(),
+            static_cast<unsigned long long>(r.baselineMisses),
+            jsonDouble(r.baselineIpc).c_str(),
+            jsonDouble(r.baselineCycles).c_str(),
+            jsonDouble(r.strideCycles).c_str());
+        for (std::size_t j = 0; j < r.engines.size(); ++j) {
+            const EngineResult &e = r.engines[j];
+            std::fprintf(
+                f,
+                "        {\"engine\": \"%s\", \"coverage\": %s, "
+                "\"uncovered\": %s, \"overprediction\": %s, "
+                "\"speedup\": %s, \"prefetchesIssued\": %llu, "
+                "\"offChipReads\": %llu",
+                jsonEscape(e.engine).c_str(),
+                jsonDouble(e.coverage).c_str(),
+                jsonDouble(e.uncovered).c_str(),
+                jsonDouble(e.overprediction).c_str(),
+                jsonDouble(e.speedup).c_str(),
+                static_cast<unsigned long long>(
+                    e.stats.prefetchesIssued),
+                static_cast<unsigned long long>(
+                    e.stats.offChipReads));
+            if (!e.extra.empty()) {
+                std::fprintf(f, ", \"extra\": {");
+                bool first = true;
+                for (const auto &kv : e.extra) {
+                    std::fprintf(f, "%s\"%s\": %s",
+                                 first ? "" : ", ",
+                                 jsonEscape(kv.first).c_str(),
+                                 jsonDouble(kv.second).c_str());
+                    first = false;
+                }
+                std::fprintf(f, "}");
+            }
+            std::fprintf(f, "}%s\n",
+                         j + 1 < r.engines.size() ? "," : "");
+        }
+        std::fprintf(f, "      ]\n    }%s\n",
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", options.jsonPath.c_str());
+}
+
 std::string
 banner(const std::string &title, const BenchOptions &options)
 {
@@ -221,7 +375,10 @@ banner(const std::string &title, const BenchOptions &options)
            std::to_string(options.records) + " records/workload, seed " +
            std::to_string(options.seed) +
            ", measurement after 50% warmup, " + std::to_string(jobs) +
-           (jobs == 1 ? " job)\n" : " jobs)\n");
+           (jobs == 1 ? " job" : " jobs") +
+           (options.storeDir.empty() ? ""
+                                     : ", store " + options.storeDir) +
+           ")\n";
 }
 
 } // namespace stems

@@ -7,11 +7,19 @@
  *
  * Usage accepted by every bench:
  *   bench [records] [--records N] [--jobs N] [--seed N]
- *         [--workloads a,b,c] [--engines x,y] [--list] [--help]
+ *         [--workloads a,b,c] [--engines x,y]
+ *         [--store DIR] [--no-store] [--json FILE]
+ *         [--list] [--help]
  *
  * The bare positional `records` argument is the historical interface
  * (e.g. `fig9_streaming_comparison 500000` for a quick run) and keeps
  * working.
+ *
+ * `--store DIR` (or the STEMS_STORE environment variable) attaches a
+ * persistent TraceStore, so re-runs replay traces and baselines from
+ * disk instead of regenerating/resimulating them; `--no-store` forces
+ * the store off even when STEMS_STORE is set. `--json FILE` writes
+ * the sweep results machine-readably for perf-trajectory tracking.
  */
 
 #ifndef STEMS_BENCH_BENCH_UTIL_HH
@@ -37,6 +45,10 @@ struct BenchOptions
     std::vector<std::string> workloads;
     /// Engines to sweep; empty = the bench's default set.
     std::vector<std::string> engines;
+    /// Persistent trace/baseline store directory; empty = no store.
+    std::string storeDir;
+    /// Machine-readable results output path; empty = none.
+    std::string jsonPath;
 };
 
 /**
@@ -81,6 +93,28 @@ void requireNoEngineSelection(const BenchOptions &options,
  */
 void requireNoWorkloadSelection(const BenchOptions &options,
                                 const char *reason);
+
+/**
+ * Exit with an error when --json was given: for analysis benches
+ * that do not produce WorkloadResults the flag would be silently
+ * ignored.
+ */
+void requireNoJson(const BenchOptions &options, const char *reason);
+
+/**
+ * Attach the persistent TraceStore selected by --store/STEMS_STORE
+ * to a driver (no-op when the options carry no store directory).
+ */
+void attachBenchStore(ExperimentDriver &driver,
+                      const BenchOptions &options);
+
+/**
+ * When --json was given, write the sweep results to the selected
+ * file (full doubles, stable key order) and print a one-line note.
+ * Exits with an error if the file cannot be written.
+ */
+void maybeWriteJson(const BenchOptions &options,
+                    const std::vector<WorkloadResult> &results);
 
 /** Standard bench banner (records, seed, jobs). */
 std::string banner(const std::string &title,

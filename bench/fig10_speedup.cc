@@ -29,6 +29,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     Table table({"workload", "base IPC", "TMS", "SMS", "STeMS"});
     // Geometric means over the commercial workloads, as the paper's
@@ -37,9 +38,10 @@ main(int argc, char **argv)
     double log_stems_vs[3] = {}; // vs stride, sms, tms
     int commercial = 0;
 
-    for (const WorkloadResult &r :
-         driver.run(benchWorkloads(opts),
-                    engineSpecs({"tms", "sms", "stems"}))) {
+    const auto results = driver.run(
+        benchWorkloads(opts), engineSpecs({"tms", "sms", "stems"}));
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         const EngineResult *tms = r.find("tms");
         const EngineResult *sms = r.find("sms");
         const EngineResult *stems_r = r.find("stems");

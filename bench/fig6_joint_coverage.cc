@@ -24,12 +24,14 @@ main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'500'000);
     requireNoEngineSelection(opts, "oracle analysis runs no engines");
+    requireNoJson(opts, "oracle analysis produces no sweep results");
     std::cout << banner("Figure 6: joint TMS/SMS predictability",
                         opts);
 
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     // One analysis per workload, sharded over the pool; each worker
     // writes only its own slot.

@@ -54,6 +54,7 @@ main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
     requireNoEngineSelection(opts, "Sequitur analysis runs no engines");
+    requireNoJson(opts, "Sequitur analysis produces no sweep results");
     // Sequitur grammars keep every symbol live: cap the analyzed
     // sequence length to bound memory.
     constexpr std::size_t kSymbolCap = 400'000;
@@ -65,6 +66,7 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     std::vector<Sequitur::Classification> all(workloads.size());
     std::vector<Sequitur::Classification> trig(workloads.size());

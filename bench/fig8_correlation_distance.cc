@@ -24,6 +24,8 @@ main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
     requireNoEngineSelection(opts, "correlation analysis runs no engines");
+    requireNoJson(opts,
+                  "correlation analysis produces no sweep results");
     std::cout << banner(
         "Figure 8: correlation distance within generations", opts);
 
@@ -41,6 +43,7 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     std::vector<CorrelationAnalyzer> analyzers(workloads.size());
     driver.forEachTrace(

@@ -31,14 +31,17 @@ main(int argc, char **argv)
         benchEngines(opts, {"tms", "sms", "stems"});
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
 
     Table table({"workload", "base misses", "engine", "covered",
                  "uncovered", "overpred"});
     std::vector<double> cov_sum(engines.size(), 0.0);
     std::vector<double> over_sum(engines.size(), 0.0);
     int n = 0;
-    for (const WorkloadResult &r :
-         driver.run(benchWorkloads(opts), engineSpecs(engines))) {
+    const auto results =
+        driver.run(benchWorkloads(opts), engineSpecs(engines));
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         bool first = true;
         for (std::size_t i = 0; i < engines.size(); ++i) {
             const EngineResult *e = r.find(engines[i]);

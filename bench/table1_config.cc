@@ -19,6 +19,8 @@ main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 200'000);
     requireNoEngineSelection(opts, "configuration report runs no engines");
+    requireNoJson(opts,
+                  "configuration report produces no sweep results");
 
     std::printf("=== Table 1: system and application parameters ===\n\n");
     std::printf("%s\n", describeSystem(defaultSystemConfig()).c_str());
@@ -48,6 +50,7 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
+    attachBenchStore(driver, opts);
     std::vector<TraceSummary> summaries(workloads.size());
     driver.forEachTrace(
         workloads,

@@ -131,10 +131,13 @@ main(int argc, char **argv)
     // 2. Run the engines on it by name, through the driver.
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
+    attachBenchStore(driver, opts);
     const std::vector<std::string> engines =
         benchEngines(opts, {"tms", "sms", "stems"});
-    for (const WorkloadResult &r :
-         driver.run({"kv-store"}, engineSpecs(engines))) {
+    const auto results =
+        driver.run({"kv-store"}, engineSpecs(engines));
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         std::printf("%-8s %10s %10s %12s\n", "engine", "covered",
                     "overpred", "speedup");
         for (const EngineResult &e : r.engines) {

@@ -86,10 +86,12 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
+    attachBenchStore(driver, opts);
     const std::vector<std::string> engines = benchEngines(
         opts, {"stride", "tms", "sms", "stems"});
     WorkloadResult r =
         driver.runWorkload(workload, engineSpecs(engines));
+    maybeWriteJson(opts, {r});
 
     std::printf("%-8s %10s %10s %12s\n", "engine", "covered",
                 "overpred", "speedup vs no-prefetch");

@@ -32,8 +32,10 @@ main(int argc, char **argv)
     // over a thread pool.
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
-    for (const WorkloadResult &r :
-         driver.run(workloads, engineSpecs(engines))) {
+    attachBenchStore(driver, opts);
+    const auto results = driver.run(workloads, engineSpecs(engines));
+    maybeWriteJson(opts, results);
+    for (const WorkloadResult &r : results) {
         std::printf("Workload  : %s (%s)\n", r.workload.c_str(),
                     workloadClassName(r.workloadClass).c_str());
         std::printf("Trace     : %zu records, seed %llu\n\n",

@@ -2,10 +2,15 @@
 
 #include <atomic>
 #include <exception>
+#include <iomanip>
+#include <optional>
+#include <sstream>
 #include <thread>
 
 #include "common/stats.hh"
 #include "prefetch/engine_registry.hh"
+#include "store/trace_store.hh"
+#include "trace/trace_io.hh"
 #include "workloads/registry.hh"
 
 namespace stems {
@@ -33,6 +38,13 @@ struct WorkloadShard
     double baselineCycles = 0.0;
     double strideCycles = 0.0;
     double strideIpc = 0.0;
+
+    /// Persistent-store state: registry workloads with an attached
+    /// store replay traces from disk and key stored baselines by the
+    /// trace's content digest.
+    bool storeEligible = false;
+    std::uint64_t traceDigest = 0;
+    bool digestValid = false;
 
     std::vector<SimStats> engineStats;
     std::vector<std::map<std::string, double>> engineExtra;
@@ -87,6 +99,52 @@ ExperimentDriver::clearBaselineCache()
 }
 
 void
+ExperimentDriver::setStore(std::shared_ptr<TraceStore> store)
+{
+    store_ = std::move(store);
+    if (store_) {
+        // Everything besides the trace itself that determines the
+        // baseline metrics: the modelled system and the warmup split.
+        // (Trace length and seed are part of the trace identity.)
+        std::ostringstream os;
+        os << describeSystem(config_.system) << "\nwarmup="
+           << std::setprecision(17) << config_.warmupFraction;
+        configDigest_ = storeDigest(os.str());
+    }
+}
+
+Trace
+ExperimentDriver::materializeTrace(
+    const Workload &workload,
+    std::optional<std::uint64_t> *digest_out)
+{
+    if (store_) {
+        TraceKey key{workload.name(), config_.traceRecords,
+                     config_.seed};
+        Trace trace;
+        if (store_->loadTrace(key, trace)) {
+            // Hash the records actually loaded rather than trusting
+            // (and re-reading) the meta sidecar: baselines stay
+            // keyed to the true content even if a meta file is
+            // stale, at no extra I/O.
+            if (digest_out)
+                *digest_out = traceDigest(trace);
+            return trace;
+        }
+        trace = workload.generate(config_.seed,
+                                  config_.traceRecords);
+        traceGenerations_.fetch_add(1);
+        if (auto info = store_->putTrace(key, trace)) {
+            if (digest_out)
+                *digest_out = info->digest;
+        }
+        return trace;
+    }
+    traceGenerations_.fetch_add(1);
+    return workload.generate(config_.seed, config_.traceRecords);
+}
+
+void
 ExperimentDriver::dispatch(std::size_t num_tasks,
                            const std::function<void(std::size_t)> &task)
 {
@@ -133,7 +191,8 @@ ExperimentDriver::dispatch(std::size_t num_tasks,
 std::vector<WorkloadResult>
 ExperimentDriver::runCells(
     const std::vector<const Workload *> &workloads,
-    const std::vector<EngineSpec> &engines, bool cacheable)
+    const std::vector<EngineSpec> &engines, bool cacheable,
+    std::optional<std::uint64_t> external_digest)
 {
     const EngineRegistry &registry = EngineRegistry::instance();
     std::vector<bool> spec_known(engines.size());
@@ -155,6 +214,23 @@ ExperimentDriver::runCells(
 
         shard->needBaseline = true;
         shard->needStride = config_.enableTiming;
+        shard->storeEligible = cacheable && store_ != nullptr;
+        if (shard->storeEligible) {
+            // Metadata-only probe: learn the trace's content digest
+            // (the stored-baseline key) without decoding any records.
+            if (auto info = store_->findTrace(
+                    {w->name(), config_.traceRecords,
+                     config_.seed})) {
+                shard->traceDigest = info->digest;
+                shard->digestValid = true;
+            }
+        } else if (store_ && external_digest) {
+            // External workload with a caller-vouched trace digest
+            // (a captured/imported trace): stored baselines apply
+            // even though the name-keyed trace replay does not.
+            shard->traceDigest = *external_digest;
+            shard->digestValid = true;
+        }
         if (cacheable) {
             std::lock_guard<std::mutex> lock(cacheMutex_);
             auto it = baselineCache_.find(w->name());
@@ -172,6 +248,42 @@ ExperimentDriver::runCells(
                         shard->needStride = false;
                         shard->strideCycles = b.strideCycles;
                         shard->strideIpc = b.strideIpc;
+                    }
+                }
+            }
+        }
+        if ((shard->needBaseline || shard->needStride) &&
+            shard->digestValid) {
+            // Second-level lookup: the persistent store, keyed by
+            // trace digest + system-config digest.
+            if (auto b = store_->loadBaseline(shard->traceDigest,
+                                              configDigest_)) {
+                bool timed_enough =
+                    !config_.enableTiming || b->haveTiming;
+                if (timed_enough) {
+                    if (shard->needBaseline) {
+                        shard->needBaseline = false;
+                        shard->baselineMisses = b->misses;
+                        shard->baselineCycles = b->cycles;
+                    }
+                    if (shard->needStride && b->haveStride) {
+                        shard->needStride = false;
+                        shard->strideCycles = b->strideCycles;
+                        shard->strideIpc = b->strideIpc;
+                    }
+                }
+                if (cacheable && !shard->needBaseline &&
+                    !shard->needStride) {
+                    // Mirror into the in-memory cache so later
+                    // run() calls skip the disk probe.
+                    std::lock_guard<std::mutex> lock(cacheMutex_);
+                    Baseline &mb = baselineCache_[w->name()];
+                    mb.misses = shard->baselineMisses;
+                    mb.cycles = shard->baselineCycles;
+                    if (config_.enableTiming) {
+                        mb.strideCycles = shard->strideCycles;
+                        mb.strideIpc = shard->strideIpc;
+                        mb.haveStride = true;
                     }
                 }
             }
@@ -209,8 +321,19 @@ ExperimentDriver::runCells(
         const Cell &cell = cells[index];
         WorkloadShard &shard = *shards[cell.shard];
         std::call_once(shard.traceOnce, [&] {
-            shard.trace = shard.workload->generate(
-                config_.seed, config_.traceRecords);
+            if (shard.storeEligible) {
+                std::optional<std::uint64_t> digest;
+                shard.trace =
+                    materializeTrace(*shard.workload, &digest);
+                if (digest) {
+                    shard.traceDigest = *digest;
+                    shard.digestValid = true;
+                }
+            } else {
+                shard.trace = shard.workload->generate(
+                    config_.seed, config_.traceRecords);
+                traceGenerations_.fetch_add(1);
+            }
             shard.warmup = static_cast<std::size_t>(
                 shard.trace.size() * config_.warmupFraction);
         });
@@ -264,7 +387,7 @@ ExperimentDriver::runCells(
     };
     dispatch(cells.size(), run_cell);
 
-    // ---- update the baseline cache ----
+    // ---- update the baseline caches (in-memory, then store) ----
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         baselineRuns_ += baseline_cells;
@@ -280,6 +403,22 @@ ExperimentDriver::runCells(
                 b.strideIpc = shard->strideIpc;
                 b.haveStride = true;
             }
+        }
+    }
+    if (store_) {
+        for (const auto &shard : shards) {
+            if (!shard->digestValid ||
+                (!shard->needBaseline && !shard->needStride))
+                continue;
+            StoredBaseline sb;
+            sb.misses = shard->baselineMisses;
+            sb.cycles = shard->baselineCycles;
+            sb.strideCycles = shard->strideCycles;
+            sb.strideIpc = shard->strideIpc;
+            sb.haveStride = config_.enableTiming;
+            sb.haveTiming = config_.enableTiming;
+            store_->putBaseline(shard->traceDigest, configDigest_,
+                                sb);
         }
     }
 
@@ -339,11 +478,12 @@ ExperimentDriver::runSuite(const std::vector<EngineSpec> &engines)
 }
 
 WorkloadResult
-ExperimentDriver::runWorkload(const Workload &workload,
-                              const std::vector<EngineSpec> &engines)
+ExperimentDriver::runWorkload(
+    const Workload &workload, const std::vector<EngineSpec> &engines,
+    std::optional<std::uint64_t> trace_digest)
 {
-    auto results =
-        runCells({&workload}, engines, /*cacheable=*/false);
+    auto results = runCells({&workload}, engines,
+                            /*cacheable=*/false, trace_digest);
     return std::move(results.at(0));
 }
 
@@ -364,8 +504,7 @@ ExperimentDriver::forEachTrace(
     }
     dispatch(owned.size(), [&](std::size_t k) {
         const Workload &w = *owned[k];
-        Trace trace =
-            w.generate(config_.seed, config_.traceRecords);
+        Trace trace = materializeTrace(w, nullptr);
         fn(indices[k], w, trace);
     });
 }

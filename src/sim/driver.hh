@@ -7,9 +7,15 @@
  *  - generates each workload's trace exactly once and shares it
  *    read-only across every engine run over that workload,
  *  - caches the no-prefetch and stride baselines per workload across
- *    run() calls instead of recomputing them per call, and
+ *    run() calls instead of recomputing them per call,
  *  - releases each trace as soon as its last cell completes, bounding
- *    peak memory to the in-flight workloads.
+ *    peak memory to the in-flight workloads, and
+ *  - when a persistent TraceStore is attached (setStore), consults it
+ *    before generating any trace or simulating any baseline, and
+ *    fills it afterwards — so the amortization above also survives
+ *    across processes: a warm-store re-run of a sweep performs zero
+ *    workload generations and zero baseline simulations
+ *    (traceGenerations() / baselineRuns() diagnostics pin this).
  *
  * Determinism: every cell (one PrefetchSimulator over one trace) is
  * independent and seeded only by the trace, and results are merged in
@@ -22,10 +28,12 @@
 #ifndef STEMS_SIM_DRIVER_HH
 #define STEMS_SIM_DRIVER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +41,8 @@
 #include "sim/experiment.hh"
 
 namespace stems {
+
+class TraceStore;
 
 /**
  * One engine column of a sweep: a registered engine name plus the
@@ -107,9 +117,18 @@ class ExperimentDriver
      *  in the registry); engine cells still run in parallel. The
      *  baseline cache is bypassed: an external instance's behaviour
      *  is not determined by its name, so name-keyed caching could
-     *  cross-contaminate differently-parameterized instances. */
-    WorkloadResult runWorkload(const Workload &workload,
-                               const std::vector<EngineSpec> &engines);
+     *  cross-contaminate differently-parameterized instances.
+     *
+     *  When the caller *can* vouch for the trace's identity — a
+     *  FixedTraceWorkload replaying a captured trace — pass its
+     *  content digest (traceDigest()) and an attached store will
+     *  cache the baselines under it, exactly as for store-replayed
+     *  registry traces. */
+    WorkloadResult
+    runWorkload(const Workload &workload,
+                const std::vector<EngineSpec> &engines,
+                std::optional<std::uint64_t> trace_digest =
+                    std::nullopt);
 
     /**
      * Parallel map over workload traces (analysis benches): each
@@ -132,8 +151,29 @@ class ExperimentDriver
     /** The jobs-resolution rule: 0 means hardware concurrency. */
     static unsigned resolveJobs(unsigned jobs);
 
+    /**
+     * Attach a persistent trace/baseline store. Registry-workload
+     * sweeps and forEachTrace then load traces and baselines from
+     * disk when present and persist what they compute. Pass null to
+     * detach.
+     */
+    void setStore(std::shared_ptr<TraceStore> store);
+
+    /** The attached store (null when none). */
+    const std::shared_ptr<TraceStore> &store() const
+    {
+        return store_;
+    }
+
     /** Baseline simulations actually executed (cache diagnostics). */
     std::uint64_t baselineRuns() const { return baselineRuns_; }
+
+    /** Workload traces actually generated, as opposed to replayed
+     *  from the store (store diagnostics). */
+    std::uint64_t traceGenerations() const
+    {
+        return traceGenerations_.load();
+    }
 
     /** Drop the per-workload baseline cache. */
     void clearBaselineCache();
@@ -149,13 +189,25 @@ class ExperimentDriver
     };
 
     /** @param cacheable  workloads came from the registry, so the
-     *                     name-keyed baseline cache applies. */
+     *                     name-keyed baseline cache and trace-replay
+     *                     store paths apply.
+     *  @param external_digest  caller-vouched trace content digest
+     *                     for the non-cacheable single-workload path;
+     *                     keys the stored baselines. */
     std::vector<WorkloadResult>
     runCells(const std::vector<const Workload *> &workloads,
-             const std::vector<EngineSpec> &engines, bool cacheable);
+             const std::vector<EngineSpec> &engines, bool cacheable,
+             std::optional<std::uint64_t> external_digest =
+                 std::nullopt);
 
     void dispatch(std::size_t num_tasks,
                   const std::function<void(std::size_t)> &task);
+
+    /** Load-or-generate one registry workload's trace, maintaining
+     *  the generation counter and the store. `digest_out` (optional)
+     *  receives the content digest when the store provided one. */
+    Trace materializeTrace(const Workload &workload,
+                           std::optional<std::uint64_t> *digest_out);
 
     ExperimentConfig config_;
     unsigned jobs_;
@@ -163,6 +215,11 @@ class ExperimentDriver
     std::mutex cacheMutex_;
     std::unordered_map<std::string, Baseline> baselineCache_;
     std::uint64_t baselineRuns_ = 0;
+
+    std::shared_ptr<TraceStore> store_;
+    /// Digest of (system config, warmup) keying stored baselines.
+    std::uint64_t configDigest_ = 0;
+    std::atomic<std::uint64_t> traceGenerations_{0};
 };
 
 } // namespace stems

@@ -247,4 +247,22 @@ PrefetchSimulator::run(const Trace &trace, std::size_t warmup_records)
     finish();
 }
 
+void
+PrefetchSimulator::run(TraceSource &source,
+                       std::size_t warmup_records)
+{
+    source.reset();
+    if (warmup_records > 0)
+        setMeasuring(false);
+    MemRecord r;
+    std::size_t i = 0;
+    while (source.next(r)) {
+        if (i == warmup_records)
+            setMeasuring(true);
+        step(r);
+        ++i;
+    }
+    finish();
+}
+
 } // namespace stems

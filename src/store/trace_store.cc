@@ -1,0 +1,508 @@
+#include "store/trace_store.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/crc32.hh"
+#include "trace/trace_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace stems {
+
+namespace {
+
+constexpr char kTraceSubdir[] = "traces";
+constexpr char kBaselineSubdir[] = "baselines";
+/// Bumped when the trace encoding or key scheme changes, so stale
+/// stores miss instead of decoding garbage.
+constexpr unsigned kStoreFormatVersion = 2;
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+/** Binary baseline entry layout. */
+struct PackedBaseline
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t misses;
+    double cycles;
+    double strideCycles;
+    double strideIpc;
+    std::uint8_t flags; ///< bit0 haveStride, bit1 haveTiming
+} __attribute__((packed));
+
+constexpr char kBaselineMagic[4] = {'S', 'T', 'B', 'L'};
+constexpr std::uint32_t kBaselineVersion = 1;
+
+/** Write bytes to path atomically via a temp file + rename. */
+bool
+atomicWrite(const fs::path &path, const void *data, std::size_t len)
+{
+    fs::path tmp = path;
+    tmp += ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = len == 0 || std::fwrite(data, 1, len, f) == len;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::int64_t
+secondsSince(fs::file_time_type t)
+{
+    auto now = fs::file_time_type::clock::now();
+    return std::chrono::duration_cast<std::chrono::seconds>(now - t)
+        .count();
+}
+
+/** A deletable unit: one baseline file, or a .trc/.meta pair. */
+struct EvictableEntry
+{
+    std::vector<fs::path> files;
+    std::uint64_t bytes = 0;
+    fs::file_time_type mtime;
+};
+
+} // namespace
+
+std::uint64_t
+storeDigest(const std::string &text)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+TraceStore::TraceStore(std::string dir)
+    : TraceStore(std::move(dir), Options())
+{
+}
+
+TraceStore::TraceStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / kTraceSubdir, ec);
+    if (!ec)
+        fs::create_directories(fs::path(dir_) / kBaselineSubdir, ec);
+    usable_ = !ec && fs::is_directory(dir_, ec);
+}
+
+std::string
+TraceStore::tracePath(const TraceKey &key, bool meta) const
+{
+    std::ostringstream os;
+    os << key.workload << '\n'
+       << key.records << '\n'
+       << key.seed << '\n'
+       << 'v' << kStoreFormatVersion;
+    fs::path p = fs::path(dir_) / kTraceSubdir /
+                 (hex16(storeDigest(os.str())) +
+                  (meta ? ".meta" : ".trc"));
+    return p.string();
+}
+
+std::string
+TraceStore::baselinePath(std::uint64_t trace_digest,
+                         std::uint64_t config_digest) const
+{
+    fs::path p = fs::path(dir_) / kBaselineSubdir /
+                 (hex16(trace_digest) + "-" + hex16(config_digest) +
+                  ".bl");
+    return p.string();
+}
+
+void
+TraceStore::touch(const std::string &path)
+{
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+}
+
+bool
+TraceStore::readMeta(const std::string &path, TraceEntryInfo &info)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    bool have_workload = false, have_records = false,
+         have_seed = false, have_count = false, have_digest = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            continue;
+        std::string k = line.substr(0, eq);
+        std::string v = line.substr(eq + 1);
+        char *end = nullptr;
+        if (k == "workload") {
+            info.key.workload = v;
+            have_workload = true;
+        } else if (k == "records") {
+            info.key.records = std::strtoull(v.c_str(), &end, 10);
+            have_records = end && *end == '\0';
+        } else if (k == "seed") {
+            info.key.seed = std::strtoull(v.c_str(), &end, 10);
+            have_seed = end && *end == '\0';
+        } else if (k == "count") {
+            info.records = std::strtoull(v.c_str(), &end, 10);
+            have_count = end && *end == '\0';
+        } else if (k == "digest") {
+            info.digest = std::strtoull(v.c_str(), &end, 16);
+            have_digest = end && *end == '\0';
+        }
+    }
+    return have_workload && have_records && have_seed && have_count &&
+           have_digest;
+}
+
+std::optional<TraceEntryInfo>
+TraceStore::findTrace(const TraceKey &key)
+{
+    if (!usable_)
+        return std::nullopt;
+    TraceEntryInfo info;
+    if (!readMeta(tracePath(key, /*meta=*/true), info))
+        return std::nullopt;
+    // Guard against key-hash collisions and hand-edited metas.
+    if (info.key.workload != key.workload ||
+        info.key.records != key.records || info.key.seed != key.seed)
+        return std::nullopt;
+    std::error_code ec;
+    info.bytes = fs::file_size(tracePath(key, /*meta=*/false), ec);
+    if (ec)
+        return std::nullopt; // meta without payload: incomplete entry
+    return info;
+}
+
+std::unique_ptr<TraceSource>
+TraceStore::openTrace(const TraceKey &key)
+{
+    if (!usable_) {
+        ++traceMisses_;
+        return nullptr;
+    }
+    std::string path = tracePath(key, /*meta=*/false);
+    auto src = MmapTraceSource::open(path);
+    if (!src) {
+        ++traceMisses_;
+        if (findTrace(key)) {
+            // Entry exists but its payload is unreadable/corrupt:
+            // drop it so the caller's regeneration can replace it.
+            dropTraceEntry(key);
+        }
+        return nullptr;
+    }
+    ++traceHits_;
+    touch(path);
+    return src;
+}
+
+bool
+TraceStore::loadTrace(const TraceKey &key, Trace &out)
+{
+    auto src = openTrace(key);
+    if (!src)
+        return false;
+    src->readAll(out);
+    if (out.size() != src->size()) {
+        // Payload decoded short despite the CRC: treat as corrupt.
+        dropTraceEntry(key);
+        return false;
+    }
+    return true;
+}
+
+void
+TraceStore::dropTraceEntry(const TraceKey &key)
+{
+    std::error_code ec;
+    fs::remove(tracePath(key, false), ec);
+    fs::remove(tracePath(key, true), ec);
+}
+
+std::optional<TraceEntryInfo>
+TraceStore::putTrace(const TraceKey &key, const Trace &trace)
+{
+    if (!usable_)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes = encodeTraceV2(trace);
+    TraceEntryInfo info;
+    info.key = key;
+    info.digest = traceDigest(trace);
+    info.records = trace.size();
+    info.bytes = bytes.size();
+
+    std::ostringstream meta;
+    meta << "workload=" << key.workload << '\n'
+         << "records=" << key.records << '\n'
+         << "seed=" << key.seed << '\n'
+         << "count=" << info.records << '\n'
+         << "digest=" << hex16(info.digest) << '\n';
+    std::string meta_str = meta.str();
+
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    // Payload first, meta last: a .meta file is the commit record,
+    // so a crash between the two leaves no visible entry.
+    if (!atomicWrite(tracePath(key, false), bytes.data(),
+                     bytes.size()))
+        return std::nullopt;
+    if (!atomicWrite(tracePath(key, true), meta_str.data(),
+                     meta_str.size())) {
+        std::error_code ec;
+        fs::remove(tracePath(key, false), ec);
+        return std::nullopt;
+    }
+    if (options_.sizeBudgetBytes > 0)
+        evictLockedWithin(options_.sizeBudgetBytes);
+    return info;
+}
+
+std::optional<StoredBaseline>
+TraceStore::loadBaseline(std::uint64_t trace_digest,
+                         std::uint64_t config_digest)
+{
+    if (!usable_) {
+        ++baselineMisses_;
+        return std::nullopt;
+    }
+    std::string path = baselinePath(trace_digest, config_digest);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        ++baselineMisses_;
+        return std::nullopt;
+    }
+    PackedBaseline p;
+    std::uint32_t stored_crc = 0;
+    bool ok = std::fread(&p, sizeof(p), 1, f) == 1 &&
+              std::fread(&stored_crc, sizeof(stored_crc), 1, f) == 1 &&
+              std::fgetc(f) == EOF;
+    std::fclose(f);
+    if (!ok ||
+        std::memcmp(p.magic, kBaselineMagic, sizeof(p.magic)) != 0 ||
+        p.version != kBaselineVersion ||
+        crc32(&p, sizeof(p)) != stored_crc) {
+        ++baselineMisses_;
+        std::error_code ec;
+        fs::remove(path, ec); // corrupt: drop so it gets recomputed
+        return std::nullopt;
+    }
+    ++baselineHits_;
+    touch(path);
+    StoredBaseline b;
+    b.misses = p.misses;
+    b.cycles = p.cycles;
+    b.strideCycles = p.strideCycles;
+    b.strideIpc = p.strideIpc;
+    b.haveStride = (p.flags & 1) != 0;
+    b.haveTiming = (p.flags & 2) != 0;
+    return b;
+}
+
+bool
+TraceStore::putBaseline(std::uint64_t trace_digest,
+                        std::uint64_t config_digest,
+                        const StoredBaseline &baseline)
+{
+    if (!usable_)
+        return false;
+    PackedBaseline p;
+    std::memcpy(p.magic, kBaselineMagic, sizeof(p.magic));
+    p.version = kBaselineVersion;
+    p.misses = baseline.misses;
+    p.cycles = baseline.cycles;
+    p.strideCycles = baseline.strideCycles;
+    p.strideIpc = baseline.strideIpc;
+    p.flags = static_cast<std::uint8_t>(
+        (baseline.haveStride ? 1 : 0) |
+        (baseline.haveTiming ? 2 : 0));
+    std::uint32_t crc = crc32(&p, sizeof(p));
+    std::vector<std::uint8_t> bytes(sizeof(p) + sizeof(crc));
+    std::memcpy(bytes.data(), &p, sizeof(p));
+    std::memcpy(bytes.data() + sizeof(p), &crc, sizeof(crc));
+
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return atomicWrite(baselinePath(trace_digest, config_digest),
+                       bytes.data(), bytes.size());
+}
+
+std::vector<StoreEntry>
+TraceStore::list()
+{
+    std::vector<StoreEntry> entries;
+    if (!usable_)
+        return entries;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kTraceSubdir, ec)) {
+        if (de.path().extension() != ".meta")
+            continue;
+        TraceEntryInfo info;
+        if (!readMeta(de.path().string(), info))
+            continue;
+        fs::path trc = de.path();
+        trc.replace_extension(".trc");
+        std::error_code fec;
+        StoreEntry e;
+        e.kind = StoreEntry::Kind::kTrace;
+        e.file = fs::relative(trc, dir_, fec).string();
+        std::ostringstream desc;
+        desc << info.key.workload << " records=" << info.key.records
+             << " seed=" << info.key.seed << " count=" << info.records
+             << " digest=" << hex16(info.digest);
+        e.description = desc.str();
+        e.bytes = fs::file_size(trc, fec);
+        if (fec)
+            continue;
+        e.ageSeconds = secondsSince(fs::last_write_time(trc, fec));
+        entries.push_back(std::move(e));
+    }
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kBaselineSubdir, ec)) {
+        if (de.path().extension() != ".bl")
+            continue;
+        std::error_code fec;
+        StoreEntry e;
+        e.kind = StoreEntry::Kind::kBaseline;
+        e.file = fs::relative(de.path(), dir_, fec).string();
+        e.description =
+            "baseline " + de.path().stem().string();
+        e.bytes = fs::file_size(de.path(), fec);
+        if (fec)
+            continue;
+        e.ageSeconds =
+            secondsSince(fs::last_write_time(de.path(), fec));
+        entries.push_back(std::move(e));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const StoreEntry &a, const StoreEntry &b) {
+                  return a.ageSeconds > b.ageSeconds;
+              });
+    return entries;
+}
+
+std::uint64_t
+TraceStore::totalBytes()
+{
+    std::uint64_t total = 0;
+    if (!usable_)
+        return total;
+    for (const char *sub : {kTraceSubdir, kBaselineSubdir}) {
+        std::error_code ec;
+        for (const auto &de :
+             fs::directory_iterator(fs::path(dir_) / sub, ec)) {
+            std::error_code fec;
+            std::uint64_t sz = de.is_regular_file(fec)
+                                   ? fs::file_size(de.path(), fec)
+                                   : 0;
+            if (!fec)
+                total += sz;
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+TraceStore::evictWithin(std::uint64_t budget_bytes)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return evictLockedWithin(budget_bytes);
+}
+
+std::uint64_t
+TraceStore::evictLockedWithin(std::uint64_t budget_bytes)
+{
+    if (!usable_)
+        return 0;
+
+    std::vector<EvictableEntry> units;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kTraceSubdir, ec)) {
+        if (de.path().extension() != ".trc")
+            continue;
+        std::error_code fec;
+        EvictableEntry u;
+        u.files.push_back(de.path());
+        u.bytes = fs::file_size(de.path(), fec);
+        u.mtime = fs::last_write_time(de.path(), fec);
+        if (fec)
+            continue;
+        fs::path meta = de.path();
+        meta.replace_extension(".meta");
+        std::error_code mec;
+        std::uint64_t msz = fs::file_size(meta, mec);
+        if (!mec) {
+            u.files.push_back(meta);
+            u.bytes += msz;
+        }
+        total += u.bytes;
+        units.push_back(std::move(u));
+    }
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kBaselineSubdir, ec)) {
+        if (de.path().extension() != ".bl")
+            continue;
+        std::error_code fec;
+        EvictableEntry u;
+        u.files.push_back(de.path());
+        u.bytes = fs::file_size(de.path(), fec);
+        u.mtime = fs::last_write_time(de.path(), fec);
+        if (fec)
+            continue;
+        total += u.bytes;
+        units.push_back(std::move(u));
+    }
+    if (total <= budget_bytes)
+        return 0;
+
+    std::sort(units.begin(), units.end(),
+              [](const EvictableEntry &a, const EvictableEntry &b) {
+                  return a.mtime < b.mtime;
+              });
+    std::uint64_t removed = 0;
+    for (const EvictableEntry &u : units) {
+        if (total - removed <= budget_bytes)
+            break;
+        for (const fs::path &p : u.files) {
+            std::error_code rec;
+            fs::remove(p, rec);
+        }
+        removed += u.bytes;
+    }
+    return removed;
+}
+
+} // namespace stems

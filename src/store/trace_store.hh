@@ -1,0 +1,208 @@
+/**
+ * @file
+ * TraceStore: a persistent, content-addressed on-disk cache of
+ * generated traces and baseline simulation results, so the trace
+ * generation and no-prefetch/stride baseline work the parallel
+ * ExperimentDriver amortizes *within* a process also survives
+ * *across* processes, benches, tools, and CI runs.
+ *
+ * Layout under the store root:
+ *
+ *   traces/<key-hash>.trc    v2-encoded trace (trace/trace_codec.hh)
+ *   traces/<key-hash>.meta   text metadata: the key fields, the
+ *                            record count, and the content digest
+ *   baselines/<trace-digest>-<config-digest>.bl
+ *                            binary baseline metrics (CRC-checked)
+ *
+ * Trace entries are keyed by (workload, records, seed, encoding
+ * version) — everything that determines a generated trace's content.
+ * Baseline entries are keyed by the *content digest* of the trace
+ * plus an opaque configuration digest supplied by the caller, so an
+ * imported external trace gets baseline caching exactly like a
+ * generated one.
+ *
+ * Writes are atomic (temp file + rename), so concurrent processes
+ * sharing a store directory at worst duplicate work, never corrupt
+ * entries. Reads touch the entry mtime; evictWithin() removes
+ * oldest-first until the store fits a size budget.
+ */
+
+#ifndef STEMS_STORE_TRACE_STORE_HH
+#define STEMS_STORE_TRACE_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/trace_source.hh"
+
+namespace stems {
+
+/** Identity of a generated trace: everything that determines its
+ *  content. For external (imported) traces use the import name as
+ *  `workload` with seed 0. */
+struct TraceKey
+{
+    std::string workload;
+    std::uint64_t records = 0;
+    std::uint64_t seed = 0;
+};
+
+/** Metadata of a stored trace entry. */
+struct TraceEntryInfo
+{
+    TraceKey key;
+    std::uint64_t digest = 0;  ///< content digest of the records
+    std::uint64_t records = 0; ///< actual record count
+    std::uint64_t bytes = 0;   ///< encoded size on disk
+};
+
+/** Cached baseline metrics for one (trace digest, config digest). */
+struct StoredBaseline
+{
+    std::uint64_t misses = 0; ///< no-prefetch off-chip read misses
+    double cycles = 0.0;      ///< no-prefetch cycles
+    double strideCycles = 0.0;
+    double strideIpc = 0.0;
+    bool haveStride = false;
+    bool haveTiming = false; ///< cycle fields are valid
+};
+
+/** One row of a store listing (`stems_trace cache ls`). */
+struct StoreEntry
+{
+    enum class Kind
+    {
+        kTrace,
+        kBaseline,
+    };
+    Kind kind = Kind::kTrace;
+    std::string file;        ///< path relative to the store root
+    std::string description; ///< human-readable key summary
+    std::uint64_t bytes = 0;
+    std::int64_t ageSeconds = 0; ///< since last touch
+};
+
+/** The persistent trace & baseline cache. Thread-safe. */
+class TraceStore
+{
+  public:
+    struct Options
+    {
+        /// Eviction threshold applied after every put; 0 disables
+        /// automatic eviction.
+        std::uint64_t sizeBudgetBytes = std::uint64_t{4} << 30;
+    };
+
+    /**
+     * Open (and create, if needed) a store rooted at `dir`.
+     * Construction never throws on I/O problems; a store whose
+     * directory cannot be created degrades to a pass-through
+     * (every lookup misses, every put fails).
+     */
+    explicit TraceStore(std::string dir);
+    TraceStore(std::string dir, Options options);
+
+    const std::string &dir() const { return dir_; }
+
+    /** True when the root directory exists and is usable. */
+    bool usable() const { return usable_; }
+
+    // ---- traces ----
+
+    /**
+     * Look up a trace entry's metadata without decoding its records
+     * (reads only the small .meta file).
+     */
+    std::optional<TraceEntryInfo> findTrace(const TraceKey &key);
+
+    /**
+     * Load a stored trace into memory. Decodes through the mmap
+     * replay source. @return false on miss or a corrupt entry (a
+     * corrupt entry is deleted so it can be regenerated).
+     */
+    bool loadTrace(const TraceKey &key, Trace &out);
+
+    /**
+     * Open a stored trace for zero-copy streaming replay without
+     * materializing the record vector. @return null on miss/corrupt.
+     */
+    std::unique_ptr<TraceSource> openTrace(const TraceKey &key);
+
+    /**
+     * Persist a trace under a key. Atomic; overwrites any existing
+     * entry for the key. @return the entry metadata (with the
+     * content digest) on success.
+     */
+    std::optional<TraceEntryInfo> putTrace(const TraceKey &key,
+                                           const Trace &trace);
+
+    // ---- baselines ----
+
+    std::optional<StoredBaseline>
+    loadBaseline(std::uint64_t trace_digest,
+                 std::uint64_t config_digest);
+
+    bool putBaseline(std::uint64_t trace_digest,
+                     std::uint64_t config_digest,
+                     const StoredBaseline &baseline);
+
+    // ---- maintenance ----
+
+    /** Every entry currently in the store, oldest first. */
+    std::vector<StoreEntry> list();
+
+    /** Total bytes of all entries. */
+    std::uint64_t totalBytes();
+
+    /**
+     * Evict oldest-touched entries until the store fits
+     * `budget_bytes` (a trace's .trc/.meta pair counts and is
+     * evicted as one unit). @return bytes removed.
+     */
+    std::uint64_t evictWithin(std::uint64_t budget_bytes);
+
+    // ---- diagnostics ----
+
+    std::uint64_t traceHits() const { return traceHits_; }
+    std::uint64_t traceMisses() const { return traceMisses_; }
+    std::uint64_t baselineHits() const { return baselineHits_; }
+    std::uint64_t baselineMisses() const { return baselineMisses_; }
+
+  private:
+    std::string tracePath(const TraceKey &key, bool meta) const;
+    std::string baselinePath(std::uint64_t trace_digest,
+                             std::uint64_t config_digest) const;
+    /** Parse a .meta file. @return false when missing/malformed. */
+    bool readMeta(const std::string &path, TraceEntryInfo &info);
+    void touch(const std::string &path);
+    void dropTraceEntry(const TraceKey &key);
+    /** evictWithin body; caller holds writeMutex_. */
+    std::uint64_t evictLockedWithin(std::uint64_t budget_bytes);
+
+    std::string dir_;
+    Options options_;
+    bool usable_ = false;
+
+    std::mutex writeMutex_; ///< serializes put + eviction scans
+
+    std::atomic<std::uint64_t> traceHits_{0};
+    std::atomic<std::uint64_t> traceMisses_{0};
+    std::atomic<std::uint64_t> baselineHits_{0};
+    std::atomic<std::uint64_t> baselineMisses_{0};
+};
+
+/**
+ * FNV-1a digest of a key/config string — the store's generic
+ * content-address hash for things that are not traces.
+ */
+std::uint64_t storeDigest(const std::string &text);
+
+} // namespace stems
+
+#endif // STEMS_STORE_TRACE_STORE_HH

@@ -1,0 +1,185 @@
+#include "trace/text_trace.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace stems {
+
+namespace {
+
+/** Split a line on commas/whitespace; '#' starts a comment. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                fields.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        fields.push_back(cur);
+    return fields;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    // Base 0: accepts 0x-prefixed hex and plain decimal.
+    unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || end == s.c_str() || *end != '\0' || s[0] == '-')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseOp(const std::string &s, AccessKind &kind)
+{
+    if (s.size() == 1) {
+        switch (std::toupper(static_cast<unsigned char>(s[0]))) {
+        case 'R':
+        case '0': // ChampSim is_write = 0
+            kind = AccessKind::kRead;
+            return true;
+        case 'W':
+        case '1': // ChampSim is_write = 1
+            kind = AccessKind::kWrite;
+            return true;
+        case 'I':
+            kind = AccessKind::kInvalidate;
+            return true;
+        default:
+            return false;
+        }
+    }
+    return false;
+}
+
+void
+setError(std::string *error, std::size_t line_no,
+         const std::string &what)
+{
+    if (error) {
+        *error =
+            "line " + std::to_string(line_no) + ": " + what;
+    }
+}
+
+} // namespace
+
+bool
+importTextTrace(const std::string &path, Trace &out,
+                std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    out.clear();
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::vector<std::string> f = tokenize(line);
+        if (f.empty())
+            continue; // blank or comment-only line
+        if (f.size() < 3 || f.size() > 5) {
+            setError(error, line_no,
+                     "expected pc,addr,op[,cpuOps[,depDist]], got " +
+                         std::to_string(f.size()) + " fields");
+            return false;
+        }
+        MemRecord r;
+        std::uint64_t v = 0;
+        if (!parseU64(f[0], v)) {
+            setError(error, line_no, "bad pc '" + f[0] + "'");
+            return false;
+        }
+        r.pc = v;
+        if (!parseU64(f[1], v)) {
+            setError(error, line_no, "bad addr '" + f[1] + "'");
+            return false;
+        }
+        r.vaddr = v;
+        if (!parseOp(f[2], r.kind)) {
+            setError(error, line_no,
+                     "bad op '" + f[2] + "' (want R/W/I or 0/1)");
+            return false;
+        }
+        if (f.size() > 3) {
+            if (!parseU64(f[3], v) || v > UINT32_MAX) {
+                setError(error, line_no, "bad cpuOps '" + f[3] + "'");
+                return false;
+            }
+            r.cpuOps = static_cast<std::uint32_t>(v);
+        }
+        if (f.size() > 4) {
+            if (!parseU64(f[4], v) || v > UINT32_MAX) {
+                setError(error, line_no,
+                         "bad depDist '" + f[4] + "'");
+                return false;
+            }
+            r.depDist = static_cast<std::uint32_t>(v);
+        }
+        out.push_back(r);
+    }
+    if (in.bad()) {
+        if (error)
+            *error = "I/O error reading " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+exportTextTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream outfile(path);
+    if (!outfile)
+        return false;
+    outfile << "# pc,addr,op[,cpuOps[,depDist]] — " << trace.size()
+            << " records\n";
+    char buf[96];
+    for (const MemRecord &r : trace) {
+        char op = r.isRead() ? 'R' : r.isWrite() ? 'W' : 'I';
+        int n = std::snprintf(
+            buf, sizeof(buf), "0x%llx,0x%llx,%c",
+            static_cast<unsigned long long>(r.pc),
+            static_cast<unsigned long long>(r.vaddr), op);
+        std::string lineout(buf, static_cast<std::size_t>(n));
+        if (r.depDist != 0) {
+            std::snprintf(buf, sizeof(buf), ",%u,%u", r.cpuOps,
+                          r.depDist);
+            lineout += buf;
+        } else if (r.cpuOps != 0) {
+            std::snprintf(buf, sizeof(buf), ",%u", r.cpuOps);
+            lineout += buf;
+        }
+        outfile << lineout << '\n';
+    }
+    outfile.flush();
+    return static_cast<bool>(outfile);
+}
+
+} // namespace stems

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * External text/CSV trace ingestion (ChampSim-style access lists).
+ *
+ * The import format is line-oriented:
+ *
+ *   pc,addr,op[,cpuOps[,depDist]]
+ *
+ * with fields separated by commas and/or whitespace. `pc` and `addr`
+ * accept hex (0x-prefixed) or decimal. `op` is R/W/I
+ * (read/write/invalidate, case-insensitive) or the ChampSim is_write
+ * convention 0/1. Blank lines and `#` comments are skipped. The
+ * optional trailing fields carry the repo's timing annotations for
+ * traces that round-trip through exportTextTrace.
+ *
+ * This is the bridge from traces we did not generate ourselves —
+ * simulator dumps, hardware-counter logs, other repos' workloads —
+ * into everything downstream: the binary formats, the TraceStore,
+ * the driver, and the analyses.
+ */
+
+#ifndef STEMS_TRACE_TEXT_TRACE_HH
+#define STEMS_TRACE_TEXT_TRACE_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace stems {
+
+/**
+ * Parse a text access trace.
+ *
+ * @param path   file to read.
+ * @param out    receives the records; cleared first.
+ * @param error  when non-null, receives a "line N: ..." description
+ *               of the first malformed line (or the I/O failure).
+ * @return true when every line parsed.
+ */
+bool importTextTrace(const std::string &path, Trace &out,
+                     std::string *error = nullptr);
+
+/**
+ * Write a trace in the canonical text form importTextTrace accepts:
+ * `0xPC,0xADDR,OP[,cpuOps[,depDist]]`, omitting trailing zero
+ * fields. import -> export -> import is exact.
+ *
+ * @return true on success.
+ */
+bool exportTextTrace(const std::string &path, const Trace &trace);
+
+} // namespace stems
+
+#endif // STEMS_TRACE_TEXT_TRACE_HH

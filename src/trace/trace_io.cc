@@ -4,14 +4,17 @@
 #include <cstring>
 #include <memory>
 
+#include "common/crc32.hh"
+#include "trace/trace_codec.hh"
+
 namespace stems {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'T', 'e', 'M', 'S', 't', 'r', 'c'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion1 = 1;
+constexpr std::uint32_t kVersion2 = 2;
 
-/** Packed on-disk record layout (29 bytes, no padding). */
+/** Packed v1 on-disk record layout (29 bytes, no padding). */
 struct PackedRecord
 {
     std::uint64_t vaddr;
@@ -32,6 +35,103 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/** True when the stream is exactly at end of file. */
+bool
+atEof(std::FILE *f)
+{
+    return std::fgetc(f) == EOF && !std::ferror(f);
+}
+
+/** Bytes remaining from the current position to end of file. */
+std::uint64_t
+remainingBytes(std::FILE *f)
+{
+    long here = std::ftell(f);
+    std::fseek(f, 0, SEEK_END);
+    long end = std::ftell(f);
+    std::fseek(f, here, SEEK_SET);
+    return here >= 0 && end >= here
+               ? static_cast<std::uint64_t>(end - here)
+               : 0;
+}
+
+bool
+readV1Body(std::FILE *f, std::uint64_t count, Trace &out)
+{
+    // Validate the (unchecksummed) count field against the actual
+    // file length before reserving anything: a corrupt count must
+    // fail cleanly, not abort on allocation.
+    std::uint64_t remaining = remainingBytes(f);
+    if (remaining < sizeof(std::uint32_t) ||
+        count != (remaining - sizeof(std::uint32_t)) /
+                     sizeof(PackedRecord) ||
+        count * sizeof(PackedRecord) + sizeof(std::uint32_t) !=
+            remaining) {
+        return false;
+    }
+    out.clear();
+    out.reserve(static_cast<std::size_t>(count));
+    std::uint32_t crc = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord p;
+        if (std::fread(&p, sizeof(p), 1, f) != 1)
+            return false; // truncated
+        crc = crc32Update(crc, &p, sizeof(p));
+        if (p.kind > 2)
+            return false;
+        MemRecord r;
+        r.vaddr = p.vaddr;
+        r.pc = p.pc;
+        r.cpuOps = p.cpuOps;
+        r.depDist = p.depDist;
+        r.kind = static_cast<AccessKind>(p.kind);
+        out.push_back(r);
+    }
+    std::uint32_t stored = 0;
+    if (std::fread(&stored, sizeof(stored), 1, f) != 1)
+        return false; // missing footer: truncated at a record boundary
+    return stored == crc && atEof(f);
+}
+
+bool
+readV2Body(std::FILE *f, std::uint64_t count, Trace &out)
+{
+    std::uint64_t payload_len = 0;
+    std::uint32_t crc = 0;
+    if (std::fread(&payload_len, sizeof(payload_len), 1, f) != 1 ||
+        std::fread(&crc, sizeof(crc), 1, f) != 1) {
+        return false;
+    }
+    // Validate both unchecksummed header fields against the file
+    // length before allocating (each record encodes to >= 2 bytes).
+    if (payload_len != remainingBytes(f) || count > payload_len ||
+        (count > 0 && count > payload_len / 2)) {
+        return false;
+    }
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(payload_len));
+    if (payload_len > 0 &&
+        std::fread(payload.data(), 1, payload.size(), f) !=
+            payload.size()) {
+        return false; // truncated
+    }
+    if (!atEof(f) || crc32(payload.data(), payload.size()) != crc)
+        return false;
+
+    out.clear();
+    out.reserve(static_cast<std::size_t>(count));
+    const std::uint8_t *cursor = payload.data();
+    const std::uint8_t *end = cursor + payload.size();
+    codec::DeltaState state;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        MemRecord r;
+        if (!codec::decodeRecord(cursor, end, r, state))
+            return false;
+        out.push_back(r);
+    }
+    return cursor == end; // payload must hold exactly `count` records
+}
+
 } // namespace
 
 bool
@@ -41,11 +141,13 @@ writeTraceFile(const std::string &path, const Trace &trace)
     if (!f)
         return false;
     std::uint64_t count = trace.size();
-    if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
-        std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1 ||
+    if (std::fwrite(codec::kTraceMagic, sizeof(codec::kTraceMagic), 1,
+                    f.get()) != 1 ||
+        std::fwrite(&kVersion1, sizeof(kVersion1), 1, f.get()) != 1 ||
         std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
         return false;
     }
+    std::uint32_t crc = 0;
     for (const MemRecord &r : trace) {
         PackedRecord p;
         p.vaddr = r.vaddr;
@@ -53,10 +155,51 @@ writeTraceFile(const std::string &path, const Trace &trace)
         p.cpuOps = r.cpuOps;
         p.depDist = r.depDist;
         p.kind = static_cast<std::uint8_t>(r.kind);
+        crc = crc32Update(crc, &p, sizeof(p));
         if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
             return false;
     }
-    return true;
+    return std::fwrite(&crc, sizeof(crc), 1, f.get()) == 1;
+}
+
+std::vector<std::uint8_t>
+encodeTraceV2(const Trace &trace)
+{
+    std::vector<std::uint8_t> payload;
+    // ~3 bytes/record is typical; reserve to avoid regrowth churn.
+    payload.reserve(trace.size() * 4);
+    codec::DeltaState state;
+    for (const MemRecord &r : trace)
+        codec::encodeRecord(payload, r, state);
+
+    std::vector<std::uint8_t> file(codec::kV2HeaderBytes +
+                                   payload.size());
+    std::memcpy(file.data(), codec::kTraceMagic,
+                sizeof(codec::kTraceMagic));
+    std::memcpy(file.data() + sizeof(codec::kTraceMagic), &kVersion2,
+                sizeof(kVersion2));
+    std::uint64_t count = trace.size();
+    std::uint64_t payload_len = payload.size();
+    std::uint32_t crc = crc32(payload.data(), payload.size());
+    std::memcpy(file.data() + codec::kV2CountOffset, &count,
+                sizeof(count));
+    std::memcpy(file.data() + codec::kV2PayloadLenOffset,
+                &payload_len, sizeof(payload_len));
+    std::memcpy(file.data() + codec::kV2CrcOffset, &crc, sizeof(crc));
+    std::memcpy(file.data() + codec::kV2HeaderBytes, payload.data(),
+                payload.size());
+    return file;
+}
+
+bool
+writeTraceFileV2(const std::string &path, const Trace &trace)
+{
+    std::vector<std::uint8_t> bytes = encodeTraceV2(trace);
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) ==
+           bytes.size();
 }
 
 bool
@@ -69,29 +212,41 @@ readTraceFile(const std::string &path, Trace &out)
     std::uint32_t version = 0;
     std::uint64_t count = 0;
     if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+        std::memcmp(magic, codec::kTraceMagic, sizeof(magic)) != 0 ||
         std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-        version != kVersion ||
         std::fread(&count, sizeof(count), 1, f.get()) != 1) {
         return false;
     }
-    out.clear();
-    out.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count; ++i) {
-        PackedRecord p;
-        if (std::fread(&p, sizeof(p), 1, f.get()) != 1)
-            return false;
-        if (p.kind > 2)
-            return false;
-        MemRecord r;
-        r.vaddr = p.vaddr;
-        r.pc = p.pc;
-        r.cpuOps = p.cpuOps;
-        r.depDist = p.depDist;
-        r.kind = static_cast<AccessKind>(p.kind);
-        out.push_back(r);
+    if (version == kVersion1)
+        return readV1Body(f.get(), count, out);
+    if (version == kVersion2)
+        return readV2Body(f.get(), count, out);
+    return false;
+}
+
+std::uint64_t
+traceDigest(const Trace &trace)
+{
+    // 64-bit FNV-1a over a canonical little-endian field serialization.
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](const void *data, std::size_t len) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    };
+    std::uint64_t count = trace.size();
+    mix(&count, sizeof(count));
+    for (const MemRecord &r : trace) {
+        mix(&r.vaddr, sizeof(r.vaddr));
+        mix(&r.pc, sizeof(r.pc));
+        mix(&r.cpuOps, sizeof(r.cpuOps));
+        mix(&r.depDist, sizeof(r.depDist));
+        std::uint8_t kind = static_cast<std::uint8_t>(r.kind);
+        mix(&kind, sizeof(kind));
     }
-    return true;
+    return h;
 }
 
 } // namespace stems

@@ -1,0 +1,20 @@
+#include "workloads/trace_workload.hh"
+
+namespace stems {
+
+FixedTraceWorkload::FixedTraceWorkload(std::string name, Trace trace,
+                                       WorkloadClass cls)
+    : name_(std::move(name)), trace_(std::move(trace)), class_(cls)
+{
+}
+
+Trace
+FixedTraceWorkload::generate(std::uint64_t seed,
+                             std::size_t target_records) const
+{
+    (void)seed;
+    (void)target_records;
+    return trace_;
+}
+
+} // namespace stems

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests for the persistent TraceStore and its driver integration:
+ * content-addressed trace entries, baseline caching keyed by trace
+ * digest, cross-process reuse (a fresh store instance over the same
+ * directory), eviction under a size budget, and the headline
+ * guarantee — a warm-store re-run of a (workloads x engines) sweep
+ * performs zero trace generations and zero baseline simulations and
+ * produces results bitwise identical to a cold run and to the serial
+ * ExperimentRunner reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "store/trace_store.hh"
+#include "trace/text_trace.hh"
+#include "trace/trace_io.hh"
+#include "workloads/registry.hh"
+#include "workloads/trace_workload.hh"
+
+namespace stems {
+namespace {
+
+const std::vector<std::string> kWorkloads = {"web-apache",
+                                             "dss-qry17", "em3d"};
+const std::vector<std::string> kEngines = {"tms", "sms", "stems"};
+
+ExperimentConfig
+smallConfig(bool timing)
+{
+    ExperimentConfig cfg;
+    cfg.traceRecords = 60000;
+    cfg.enableTiming = timing;
+    return cfg;
+}
+
+Trace
+sampleTrace(std::uint64_t salt = 0)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 500; ++i) {
+        b.read(0x10000 + (i * 64) + salt * 0x100000, 0x400 + i % 7,
+               i % 3, i % 5 == 1);
+        if (i % 20 == 0)
+            b.write(0x90000 + i * 64, 0x500);
+        if (i % 50 == 0)
+            b.invalidate(0x10000 + i * 64);
+    }
+    return b.take();
+}
+
+void
+expectSameTrace(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].vaddr, b[i].vaddr);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].cpuOps, b[i].cpuOps);
+        EXPECT_EQ(a[i].depDist, b[i].depDist);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+    }
+}
+
+void
+expectSameResults(const std::vector<WorkloadResult> &a,
+                  const std::vector<WorkloadResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].baselineMisses, b[i].baselineMisses);
+        // Bitwise, not approximate: determinism is the contract.
+        EXPECT_EQ(a[i].baselineIpc, b[i].baselineIpc);
+        EXPECT_EQ(a[i].baselineCycles, b[i].baselineCycles);
+        EXPECT_EQ(a[i].strideCycles, b[i].strideCycles);
+        ASSERT_EQ(a[i].engines.size(), b[i].engines.size());
+        for (std::size_t j = 0; j < a[i].engines.size(); ++j) {
+            const EngineResult &ea = a[i].engines[j];
+            const EngineResult &eb = b[i].engines[j];
+            EXPECT_EQ(ea.engine, eb.engine);
+            EXPECT_EQ(ea.coverage, eb.coverage);
+            EXPECT_EQ(ea.uncovered, eb.uncovered);
+            EXPECT_EQ(ea.overprediction, eb.overprediction);
+            EXPECT_EQ(ea.speedup, eb.speedup);
+            EXPECT_EQ(ea.stats.cycles, eb.stats.cycles);
+            EXPECT_EQ(ea.stats.offChipReads, eb.stats.offChipReads);
+            EXPECT_EQ(ea.stats.prefetchesIssued,
+                      eb.stats.prefetchesIssued);
+        }
+    }
+}
+
+class TraceStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Unique per test: ctest runs test processes concurrently.
+        dir_ = testing::TempDir() + "stems_store_test_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TEST_F(TraceStoreTest, PutFindLoadRoundTrip)
+{
+    TraceStore store(dir_);
+    ASSERT_TRUE(store.usable());
+    Trace t = sampleTrace();
+    TraceKey key{"unit-test", 500, 42};
+
+    EXPECT_FALSE(store.findTrace(key).has_value());
+    auto info = store.putTrace(key, t);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->digest, traceDigest(t));
+    EXPECT_EQ(info->records, t.size());
+
+    auto found = store.findTrace(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->digest, info->digest);
+    EXPECT_EQ(found->key.workload, "unit-test");
+
+    Trace loaded;
+    ASSERT_TRUE(store.loadTrace(key, loaded));
+    expectSameTrace(t, loaded);
+    EXPECT_EQ(store.traceHits(), 1u);
+
+    // Different records/seed are different entries.
+    EXPECT_FALSE(store.findTrace({"unit-test", 500, 43}).has_value());
+    EXPECT_FALSE(store.findTrace({"unit-test", 501, 42}).has_value());
+    EXPECT_FALSE(store.loadTrace({"other", 500, 42}, loaded));
+    EXPECT_GT(store.traceMisses(), 0u);
+}
+
+TEST_F(TraceStoreTest, CrossProcessReuse)
+{
+    Trace t = sampleTrace();
+    TraceKey key{"cross-proc", 500, 7};
+    std::uint64_t digest = 0;
+    {
+        TraceStore writer(dir_);
+        auto info = writer.putTrace(key, t);
+        ASSERT_TRUE(info.has_value());
+        digest = info->digest;
+    }
+    // A fresh instance over the same directory — as a new process
+    // would construct — sees the entry.
+    TraceStore reader(dir_);
+    auto found = reader.findTrace(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->digest, digest);
+    Trace loaded;
+    ASSERT_TRUE(reader.loadTrace(key, loaded));
+    expectSameTrace(t, loaded);
+}
+
+TEST_F(TraceStoreTest, OpenTraceStreamsViaMmap)
+{
+    TraceStore store(dir_);
+    Trace t = sampleTrace();
+    TraceKey key{"mmap", 500, 1};
+    ASSERT_TRUE(store.putTrace(key, t).has_value());
+    auto src = store.openTrace(key);
+    ASSERT_NE(src, nullptr);
+    EXPECT_EQ(src->size(), t.size());
+    Trace replayed;
+    src->readAll(replayed);
+    expectSameTrace(t, replayed);
+}
+
+TEST_F(TraceStoreTest, CorruptEntryIsDroppedNotServed)
+{
+    TraceStore store(dir_);
+    Trace t = sampleTrace();
+    TraceKey key{"corrupt", 500, 1};
+    ASSERT_TRUE(store.putTrace(key, t).has_value());
+
+    // Flip a payload byte of the stored .trc file.
+    for (const auto &de : std::filesystem::recursive_directory_iterator(
+             dir_)) {
+        if (de.path().extension() != ".trc")
+            continue;
+        std::fstream f(de.path(),
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        f.seekp(40);
+        f.put('\x7f');
+    }
+
+    Trace loaded;
+    EXPECT_FALSE(store.loadTrace(key, loaded));
+    // The corrupt entry was dropped entirely.
+    EXPECT_FALSE(store.findTrace(key).has_value());
+}
+
+TEST_F(TraceStoreTest, BaselineRoundTripIsBitExact)
+{
+    TraceStore store(dir_);
+    StoredBaseline b;
+    b.misses = 123456789;
+    b.cycles = 1.0 / 3.0;
+    b.strideCycles = 98765.4321e7;
+    b.strideIpc = 0.7071067811865476;
+    b.haveStride = true;
+    b.haveTiming = true;
+    ASSERT_TRUE(store.putBaseline(0xABCD, 0x1234, b));
+
+    auto loaded = store.loadBaseline(0xABCD, 0x1234);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->misses, b.misses);
+    EXPECT_EQ(loaded->cycles, b.cycles);
+    EXPECT_EQ(loaded->strideCycles, b.strideCycles);
+    EXPECT_EQ(loaded->strideIpc, b.strideIpc);
+    EXPECT_TRUE(loaded->haveStride);
+    EXPECT_TRUE(loaded->haveTiming);
+
+    EXPECT_FALSE(store.loadBaseline(0xABCD, 0x9999).has_value());
+    EXPECT_FALSE(store.loadBaseline(0xDCBA, 0x1234).has_value());
+    EXPECT_EQ(store.baselineHits(), 1u);
+    EXPECT_EQ(store.baselineMisses(), 2u);
+}
+
+TEST_F(TraceStoreTest, EvictionRemovesOldestFirstUnderBudget)
+{
+    TraceStore::Options opts;
+    opts.sizeBudgetBytes = 0; // manual gc only
+    TraceStore store(dir_, opts);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(store
+                        .putTrace({"evict", 500, i},
+                                  sampleTrace(i))
+                        .has_value());
+    }
+    // Assign explicit, strictly-increasing mtimes so LRU order is
+    // deterministic regardless of filesystem clock granularity.
+    int rank = 4;
+    std::vector<std::filesystem::path> trcs;
+    for (const auto &de : std::filesystem::directory_iterator(
+             dir_ + std::string("/traces")))
+        if (de.path().extension() == ".trc")
+            trcs.push_back(de.path());
+    ASSERT_EQ(trcs.size(), 4u);
+    std::sort(trcs.begin(), trcs.end());
+    auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &p : trcs)
+        std::filesystem::last_write_time(
+            p, now - std::chrono::seconds(rank--));
+
+    std::uint64_t total = store.totalBytes();
+    ASSERT_GT(total, 0u);
+    std::uint64_t per_entry = total / 4;
+    std::uint64_t removed =
+        store.evictWithin(total - per_entry); // force >= 1 eviction
+    EXPECT_GT(removed, 0u);
+    EXPECT_LE(store.totalBytes(), total - per_entry);
+
+    // The oldest-touched (first in trcs order) was evicted; the
+    // newest survives.
+    EXPECT_FALSE(std::filesystem::exists(trcs.front()));
+    EXPECT_TRUE(std::filesystem::exists(trcs.back()));
+
+    // Full gc empties the store.
+    store.evictWithin(0);
+    EXPECT_EQ(store.totalBytes(), 0u);
+    EXPECT_TRUE(store.list().empty());
+}
+
+TEST_F(TraceStoreTest, ListDescribesEntries)
+{
+    TraceStore store(dir_);
+    store.putTrace({"lister", 500, 9}, sampleTrace());
+    StoredBaseline b;
+    b.misses = 1;
+    store.putBaseline(1, 2, b);
+    auto entries = store.list();
+    ASSERT_EQ(entries.size(), 2u);
+    bool have_trace = false, have_baseline = false;
+    for (const StoreEntry &e : entries) {
+        if (e.kind == StoreEntry::Kind::kTrace) {
+            have_trace = true;
+            EXPECT_NE(e.description.find("lister"),
+                      std::string::npos);
+            EXPECT_GT(e.bytes, 0u);
+        } else {
+            have_baseline = true;
+        }
+    }
+    EXPECT_TRUE(have_trace);
+    EXPECT_TRUE(have_baseline);
+}
+
+TEST_F(TraceStoreTest, UnusableDirectoryDegradesGracefully)
+{
+    // A path under a regular file cannot be created.
+    std::string file = testing::TempDir() + "stems_store_blocker";
+    std::ofstream(file) << "x";
+    TraceStore store(file + "/store");
+    EXPECT_FALSE(store.usable());
+    EXPECT_FALSE(store.putTrace({"w", 1, 1}, sampleTrace())
+                     .has_value());
+    Trace t;
+    EXPECT_FALSE(store.loadTrace({"w", 1, 1}, t));
+    EXPECT_FALSE(store.loadBaseline(1, 2).has_value());
+    std::remove(file.c_str());
+}
+
+// ---- driver integration ----
+
+TEST_F(TraceStoreTest, WarmSweepDoesZeroGenerationsAndBaselines)
+{
+    ExperimentConfig cfg = smallConfig(true);
+
+    // Cold run: fresh store, everything computed and persisted.
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    auto cold_results = cold.run(kWorkloads, engineSpecs(kEngines));
+    EXPECT_EQ(cold.traceGenerations(), kWorkloads.size());
+    EXPECT_EQ(cold.baselineRuns(), 2 * kWorkloads.size());
+
+    // Warm run: fresh driver AND fresh store instance over the same
+    // directory, as a separate process would see it.
+    ExperimentDriver warm(cfg, 4);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    auto warm_results = warm.run(kWorkloads, engineSpecs(kEngines));
+    EXPECT_EQ(warm.traceGenerations(), 0u);
+    EXPECT_EQ(warm.baselineRuns(), 0u);
+    EXPECT_EQ(warm.store()->traceHits(), kWorkloads.size());
+
+    // Bitwise-identical merged results: warm vs cold...
+    expectSameResults(cold_results, warm_results);
+
+    // ...and both vs the independent serial reference.
+    ExperimentRunner runner(cfg);
+    std::vector<WorkloadResult> reference;
+    for (const std::string &name : kWorkloads) {
+        auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr);
+        reference.push_back(runner.runWorkload(*w, kEngines));
+    }
+    expectSameResults(reference, warm_results);
+}
+
+TEST_F(TraceStoreTest, SecondSweepInSameDriverUsesMemoryCache)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    ExperimentDriver driver(cfg, 2);
+    driver.setStore(std::make_shared<TraceStore>(dir_));
+    driver.run({"dss-qry17"}, engineSpecs({"sms"}));
+    std::uint64_t baseline_loads = driver.store()->baselineHits() +
+                                   driver.store()->baselineMisses();
+    driver.run({"dss-qry17"}, engineSpecs({"sms", "stems"}));
+    // The in-memory baseline cache answers first; the store is not
+    // probed again for baselines.
+    EXPECT_EQ(driver.store()->baselineHits() +
+                  driver.store()->baselineMisses(),
+              baseline_loads);
+    EXPECT_EQ(driver.traceGenerations(), 1u);
+}
+
+TEST_F(TraceStoreTest, FunctionalEntryDoesNotServeTimingRun)
+{
+    // A functional-only run persists baselines without cycle data; a
+    // later timing run must recompute rather than trust them.
+    ExperimentDriver functional(smallConfig(false), 2);
+    functional.setStore(std::make_shared<TraceStore>(dir_));
+    functional.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(functional.baselineRuns(), 1u);
+
+    ExperimentDriver timed(smallConfig(true), 2);
+    timed.setStore(std::make_shared<TraceStore>(dir_));
+    timed.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(timed.traceGenerations(), 0u); // trace still reused
+    EXPECT_EQ(timed.baselineRuns(), 2u);     // baselines recomputed
+
+    // The upgraded (timed) entry now serves both kinds of run.
+    ExperimentDriver warm(smallConfig(true), 2);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    warm.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(warm.baselineRuns(), 0u);
+}
+
+TEST_F(TraceStoreTest, DifferentSeedMissesTheStore)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    ExperimentDriver a(cfg, 2);
+    a.setStore(std::make_shared<TraceStore>(dir_));
+    a.run({"dss-qry17"}, engineSpecs({"sms"}));
+
+    cfg.seed = 43;
+    ExperimentDriver b(cfg, 2);
+    b.setStore(std::make_shared<TraceStore>(dir_));
+    b.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(b.traceGenerations(), 1u);
+    EXPECT_EQ(b.baselineRuns(), 1u);
+}
+
+TEST_F(TraceStoreTest, ForEachTraceReplaysFromStore)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    cfg.traceRecords = 20000;
+
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    std::vector<std::size_t> cold_sizes(kWorkloads.size());
+    cold.forEachTrace(kWorkloads,
+                      [&](std::size_t i, const Workload &,
+                          const Trace &t) { cold_sizes[i] = t.size(); });
+    EXPECT_EQ(cold.traceGenerations(), kWorkloads.size());
+
+    ExperimentDriver warm(cfg, 2);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    std::vector<std::size_t> warm_sizes(kWorkloads.size());
+    warm.forEachTrace(kWorkloads,
+                      [&](std::size_t i, const Workload &,
+                          const Trace &t) { warm_sizes[i] = t.size(); });
+    EXPECT_EQ(warm.traceGenerations(), 0u);
+    EXPECT_EQ(warm_sizes, cold_sizes);
+}
+
+TEST_F(TraceStoreTest, ExternalTraceDigestKeysStoredBaselines)
+{
+    // runWorkload with a caller-vouched content digest caches the
+    // baselines in the store even though the name-keyed paths are
+    // bypassed — this is what `stems_trace run --store` relies on.
+    Trace t = sampleTrace();
+    std::uint64_t digest = traceDigest(t);
+    FixedTraceWorkload w("captured", Trace(t));
+
+    ExperimentDriver first(smallConfig(false), 2);
+    first.setStore(std::make_shared<TraceStore>(dir_));
+    auto a = first.runWorkload(w, engineSpecs({"sms"}), digest);
+    EXPECT_EQ(first.baselineRuns(), 1u);
+
+    // Fresh driver + store instance (a new process): baseline hits.
+    ExperimentDriver second(smallConfig(false), 2);
+    second.setStore(std::make_shared<TraceStore>(dir_));
+    auto b = second.runWorkload(w, engineSpecs({"sms"}), digest);
+    EXPECT_EQ(second.baselineRuns(), 0u);
+    EXPECT_EQ(a.baselineMisses, b.baselineMisses);
+    EXPECT_EQ(a.find("sms")->coverage, b.find("sms")->coverage);
+
+    // Without a digest the store is (correctly) not consulted.
+    ExperimentDriver third(smallConfig(false), 2);
+    third.setStore(std::make_shared<TraceStore>(dir_));
+    third.runWorkload(w, engineSpecs({"sms"}));
+    EXPECT_EQ(third.baselineRuns(), 1u);
+}
+
+TEST_F(TraceStoreTest, ImportedTraceRunsThroughDriverWithAllEngines)
+{
+    // Round-trip a real workload capture through the external text
+    // format — as if it had been dumped by another simulator — then
+    // ingest it into the store and sweep every registered engine
+    // over it.
+    auto w = makeWorkload("oltp-db2");
+    ASSERT_NE(w, nullptr);
+    Trace captured = w->generate(42, 30000);
+    std::string csv = dir_ + "_external.csv";
+    ASSERT_TRUE(exportTextTrace(csv, captured));
+    Trace imported;
+    std::string error;
+    ASSERT_TRUE(importTextTrace(csv, imported, &error)) << error;
+    std::remove(csv.c_str());
+    expectSameTrace(captured, imported);
+
+    // Ingest into the store and replay out of it, as the tool does.
+    TraceStore store(dir_);
+    TraceKey key{"external:capture", imported.size(), 0};
+    ASSERT_TRUE(store.putTrace(key, imported).has_value());
+    Trace replayed;
+    ASSERT_TRUE(store.loadTrace(key, replayed));
+    expectSameTrace(imported, replayed);
+
+    // Drive every registered engine over it.
+    FixedTraceWorkload workload("external:capture",
+                                std::move(replayed));
+    ExperimentDriver driver(ExperimentConfig{}, 2);
+    WorkloadResult r = driver.runWorkload(
+        workload,
+        engineSpecs({"stride", "tms", "sms", "stems", "tms+sms"}));
+    ASSERT_EQ(r.engines.size(), 5u);
+    EXPECT_GT(r.baselineMisses, 0u);
+    double best = 0.0;
+    for (const EngineResult &e : r.engines) {
+        EXPECT_GE(e.coverage, 0.0) << e.engine;
+        best = std::max(best, e.coverage);
+    }
+    // The OLTP capture is predictable: some engine must cover it.
+    EXPECT_GT(best, 0.05);
+}
+
+} // namespace
+} // namespace stems

@@ -1,14 +1,19 @@
 /**
  * @file
- * Unit tests for trace records, the builder and binary trace I/O.
+ * Unit tests for trace records, the builder, binary trace I/O (both
+ * encodings, including corruption/truncation rejection), the
+ * TraceSource/mmap replay path, and text-trace import/export.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
+#include "trace/text_trace.hh"
 #include "trace/trace.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_source.hh"
 
 namespace stems {
 namespace {
@@ -71,13 +76,63 @@ TEST(TraceSummary, Counts)
     EXPECT_EQ(s.distinctRegions, 2u);
 }
 
+/**
+ * A trace exercising every MemRecord field: all three kinds,
+ * non-zero PCs, dependence links, compute gaps, huge and backward
+ * address jumps, and repeated-PC runs.
+ */
+Trace
+fullFieldTrace()
+{
+    TraceBuilder b;
+    b.read(0x1000, 0x400, 3);
+    b.read(0x2000, 0x404, 0, /*dep_on_prev_read=*/true);
+    b.write(0x2040, 0x404, 1);            // repeated PC
+    b.read((Addr{1} << 47) + 0x40, 0x9);  // forward jump
+    b.read(0x80, 0x9, 7, true);           // backward jump, dep
+    b.invalidate(0x2000);                 // pc 0
+    b.readWithProducer(0x3000, 0x500, 2, 0); // long dep link
+    b.write(0x3040, 0x500, 0);
+    b.invalidate((Addr{1} << 47) + 0x40);
+    b.read(0x3080, 0x500, UINT32_MAX); // cpuOps at the type limit
+    return b.take();
+}
+
+/** Current test name, safe for use in a filename (ctest runs test
+ *  processes concurrently, so shared fixed paths collide). */
+std::string
+uniqueTestTag()
+{
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    for (char &c : name)
+        if (c == '/')
+            c = '_';
+    return name;
+}
+
+void
+expectSameTrace(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].vaddr, b[i].vaddr) << "record " << i;
+        EXPECT_EQ(a[i].pc, b[i].pc) << "record " << i;
+        EXPECT_EQ(a[i].cpuOps, b[i].cpuOps) << "record " << i;
+        EXPECT_EQ(a[i].depDist, b[i].depDist) << "record " << i;
+        EXPECT_EQ(a[i].kind, b[i].kind) << "record " << i;
+    }
+}
+
 class TraceIoTest : public ::testing::Test
 {
   protected:
     void
     SetUp() override
     {
-        path_ = testing::TempDir() + "stems_trace_io_test.bin";
+        path_ = testing::TempDir() + "stems_trace_io_test_" +
+                uniqueTestTag() + ".bin";
     }
 
     void TearDown() override { std::remove(path_.c_str()); }
@@ -137,6 +192,322 @@ TEST_F(TraceIoTest, EmptyTraceRoundTrips)
     Trace loaded;
     ASSERT_TRUE(readTraceFile(path_, loaded));
     EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTripsV2)
+{
+    Trace empty;
+    ASSERT_TRUE(writeTraceFileV2(path_, empty));
+    Trace loaded;
+    ASSERT_TRUE(readTraceFile(path_, loaded));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(TraceIoTest, EveryFieldRoundTripsV1)
+{
+    Trace original = fullFieldTrace();
+    ASSERT_TRUE(writeTraceFile(path_, original));
+    Trace loaded;
+    ASSERT_TRUE(readTraceFile(path_, loaded));
+    expectSameTrace(original, loaded);
+}
+
+TEST_F(TraceIoTest, EveryFieldRoundTripsV2)
+{
+    Trace original = fullFieldTrace();
+    ASSERT_TRUE(writeTraceFileV2(path_, original));
+    Trace loaded;
+    ASSERT_TRUE(readTraceFile(path_, loaded));
+    expectSameTrace(original, loaded);
+}
+
+TEST_F(TraceIoTest, DigestIsOrderAndFieldSensitive)
+{
+    Trace t = fullFieldTrace();
+    std::uint64_t d = traceDigest(t);
+    Trace swapped = t;
+    std::swap(swapped[0], swapped[1]);
+    EXPECT_NE(traceDigest(swapped), d);
+    Trace tweaked = t;
+    tweaked[3].cpuOps += 1;
+    EXPECT_NE(traceDigest(tweaked), d);
+    EXPECT_EQ(traceDigest(t), d); // stable
+}
+
+TEST_F(TraceIoTest, V2IsSmallerThanV1)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 2000; ++i)
+        b.read(0x100000 + i * 64, 0x400, 2, i % 5 == 1);
+    Trace t = b.take();
+    ASSERT_TRUE(writeTraceFile(path_, t));
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long v1_bytes = std::ftell(f);
+    std::fclose(f);
+    ASSERT_TRUE(writeTraceFileV2(path_, t));
+    f = std::fopen(path_.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    long v2_bytes = std::ftell(f);
+    std::fclose(f);
+    EXPECT_LT(v2_bytes * 3, v1_bytes);
+}
+
+class TraceCorruptionTest : public TraceIoTest,
+                            public ::testing::WithParamInterface<bool>
+{
+  protected:
+    bool
+    writeTestFile(const Trace &t)
+    {
+        return GetParam() ? writeTraceFileV2(path_, t)
+                          : writeTraceFile(path_, t);
+    }
+
+    long
+    fileSize()
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "rb");
+        std::fseek(f, 0, SEEK_END);
+        long n = std::ftell(f);
+        std::fclose(f);
+        return n;
+    }
+
+    void
+    truncateTo(long bytes)
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "rb");
+        std::vector<char> data(static_cast<std::size_t>(bytes));
+        ASSERT_EQ(std::fread(data.data(), 1, data.size(), f),
+                  data.size());
+        std::fclose(f);
+        f = std::fopen(path_.c_str(), "wb");
+        ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f),
+                  data.size());
+        std::fclose(f);
+    }
+
+    void
+    flipByteAt(long offset)
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, offset, SEEK_SET);
+        int c = std::fgetc(f);
+        std::fseek(f, offset, SEEK_SET);
+        std::fputc(c ^ 0x5A, f);
+        std::fclose(f);
+    }
+};
+
+TEST_P(TraceCorruptionTest, TruncatedFileRejected)
+{
+    Trace t = fullFieldTrace();
+    ASSERT_TRUE(writeTestFile(t));
+    long full = fileSize();
+    // Every strictly-shorter prefix must be rejected — including
+    // cuts at record boundaries, which the pre-CRC v1 reader
+    // silently accepted as a partial trace.
+    for (long cut : {full - 1, full - 4, full - 5, full / 2, 21L}) {
+        ASSERT_TRUE(writeTestFile(t));
+        truncateTo(cut);
+        Trace loaded;
+        EXPECT_FALSE(readTraceFile(path_, loaded))
+            << "accepted a file truncated to " << cut << " of "
+            << full << " bytes";
+    }
+}
+
+TEST_P(TraceCorruptionTest, CorruptPayloadByteRejected)
+{
+    Trace t = fullFieldTrace();
+    ASSERT_TRUE(writeTestFile(t));
+    long full = fileSize();
+    // Flip single bytes across the record payload (past the
+    // 20/32-byte headers): the CRC must catch each one.
+    for (long off = 33; off < full - 4; off += 7) {
+        ASSERT_TRUE(writeTestFile(t));
+        flipByteAt(off);
+        Trace loaded;
+        EXPECT_FALSE(readTraceFile(path_, loaded))
+            << "accepted a corrupt byte at offset " << off;
+    }
+}
+
+TEST_P(TraceCorruptionTest, CorruptHeaderByteRejected)
+{
+    // The count/payload-length header fields are not covered by the
+    // record CRC; a corrupt value there must fail cleanly (no giant
+    // allocation, no crash), whatever byte it lands on.
+    Trace t = fullFieldTrace();
+    for (long off = 8; off < 32; ++off) {
+        ASSERT_TRUE(writeTestFile(t));
+        if (off >= fileSize())
+            break;
+        flipByteAt(off);
+        Trace loaded;
+        EXPECT_FALSE(readTraceFile(path_, loaded))
+            << "accepted a corrupt header byte at offset " << off;
+        if (GetParam()) {
+            EXPECT_EQ(MmapTraceSource::open(path_), nullptr);
+        }
+    }
+}
+
+TEST_P(TraceCorruptionTest, TrailingGarbageRejected)
+{
+    Trace t = fullFieldTrace();
+    ASSERT_TRUE(writeTestFile(t));
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    std::fputc('x', f);
+    std::fclose(f);
+    Trace loaded;
+    EXPECT_FALSE(readTraceFile(path_, loaded));
+}
+
+INSTANTIATE_TEST_SUITE_P(V1AndV2, TraceCorruptionTest,
+                         ::testing::Values(false, true),
+                         [](const auto &info) {
+                             return info.param ? "v2" : "v1";
+                         });
+
+TEST_F(TraceIoTest, MmapSourceReplaysExactly)
+{
+    Trace original = fullFieldTrace();
+    ASSERT_TRUE(writeTraceFileV2(path_, original));
+    auto src = MmapTraceSource::open(path_);
+    ASSERT_NE(src, nullptr);
+    EXPECT_EQ(src->size(), original.size());
+    Trace replayed;
+    src->readAll(replayed);
+    expectSameTrace(original, replayed);
+
+    // reset() rewinds to the first record.
+    src->reset();
+    MemRecord r;
+    ASSERT_TRUE(src->next(r));
+    EXPECT_EQ(r.vaddr, original[0].vaddr);
+}
+
+TEST_F(TraceIoTest, MmapSourceRejectsV1AndCorruptFiles)
+{
+    Trace t = fullFieldTrace();
+    ASSERT_TRUE(writeTraceFile(path_, t)); // v1
+    EXPECT_EQ(MmapTraceSource::open(path_), nullptr);
+    EXPECT_EQ(MmapTraceSource::open(path_ + ".missing"), nullptr);
+
+    // openTraceSource falls back to an in-memory source for v1.
+    auto src = openTraceSource(path_);
+    ASSERT_NE(src, nullptr);
+    Trace replayed;
+    src->readAll(replayed);
+    expectSameTrace(t, replayed);
+}
+
+class TextTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = testing::TempDir() + "stems_text_trace_test_" +
+                uniqueTestTag() + ".csv";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    void
+    writeText(const std::string &content)
+    {
+        std::ofstream out(path_);
+        out << content;
+    }
+
+    std::string path_;
+};
+
+TEST_F(TextTraceTest, ParsesChampSimStyleLines)
+{
+    writeText("# comment line\n"
+              "\n"
+              "0x400,0x10000,R\n"
+              "0x404 0x10040 W   # trailing comment\n"
+              "1028,65664,0\n" // decimal fields, is_write=0
+              "0x408,0x10080,1\n"
+              "0,0x10000,I\n"
+              "0x40c,0x100c0,r,3,2\n");
+    Trace t;
+    std::string error;
+    ASSERT_TRUE(importTextTrace(path_, t, &error)) << error;
+    ASSERT_EQ(t.size(), 6u);
+    EXPECT_EQ(t[0].pc, 0x400u);
+    EXPECT_EQ(t[0].vaddr, 0x10000u);
+    EXPECT_TRUE(t[0].isRead());
+    EXPECT_TRUE(t[1].isWrite());
+    EXPECT_EQ(t[2].pc, 1028u);
+    EXPECT_EQ(t[2].vaddr, 65664u);
+    EXPECT_TRUE(t[2].isRead());
+    EXPECT_TRUE(t[3].isWrite());
+    EXPECT_TRUE(t[4].isInvalidate());
+    EXPECT_EQ(t[5].cpuOps, 3u);
+    EXPECT_EQ(t[5].depDist, 2u);
+}
+
+TEST_F(TextTraceTest, RejectsMalformedLinesWithLineNumbers)
+{
+    struct Case
+    {
+        const char *text;
+        const char *needle;
+    };
+    const Case cases[] = {
+        {"0x400,0x1000\n", "line 1"},          // too few fields
+        {"0x400,0x1000,R\nzz,0x1,R\n", "line 2"},
+        {"0x400,0x1000,X\n", "bad op"},
+        {"0x400,0x1000,R,notanum\n", "bad cpuOps"},
+        {"0x400,0x1000,R,1,2,3\n", "fields"},  // too many fields
+    };
+    for (const Case &c : cases) {
+        writeText(c.text);
+        Trace t;
+        std::string error;
+        EXPECT_FALSE(importTextTrace(path_, t, &error)) << c.text;
+        EXPECT_NE(error.find(c.needle), std::string::npos)
+            << "error was: " << error;
+    }
+}
+
+TEST_F(TextTraceTest, ImportExportRoundTripIsExact)
+{
+    writeText("0x400,0x10000,R\n"
+              "0x404,0x10040,W,5\n"
+              "0,0x10000,I\n"
+              "0x408,0x10080,R,0,3\n");
+    Trace first;
+    ASSERT_TRUE(importTextTrace(path_, first, nullptr));
+
+    std::string exported = testing::TempDir() +
+                           "stems_text_trace_export_" +
+                           uniqueTestTag() + ".csv";
+    ASSERT_TRUE(exportTextTrace(exported, first));
+    Trace second;
+    std::string error;
+    ASSERT_TRUE(importTextTrace(exported, second, &error)) << error;
+    std::remove(exported.c_str());
+    expectSameTrace(first, second);
+}
+
+TEST_F(TextTraceTest, GeneratedWorkloadSurvivesTextRoundTrip)
+{
+    // Full-field records (dep links, cpuOps, invalidates) from the
+    // builder survive export -> import exactly.
+    Trace t = fullFieldTrace();
+    ASSERT_TRUE(exportTextTrace(path_, t));
+    Trace back;
+    std::string error;
+    ASSERT_TRUE(importTextTrace(path_, back, &error)) << error;
+    expectSameTrace(t, back);
 }
 
 } // namespace

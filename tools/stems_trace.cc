@@ -3,14 +3,28 @@
  * stems_trace — command-line trace utility.
  *
  *   stems_trace generate <workload> <records> <out.trc> [seed]
- *       Generate a workload trace and save it in the binary format.
+ *       Generate a workload trace and save it (compact v2 format).
  *   stems_trace info <trace.trc>
  *       Print summary statistics for a saved trace.
  *   stems_trace analyze <trace.trc>
  *       Run the Figure 6/8 characterization analyses on a trace.
- *   stems_trace run <trace.trc> <engine>
- *       Run a prefetch engine (stride|tms|sms|stems|tms+sms) over a
- *       trace and report coverage.
+ *   stems_trace run <trace.trc> <engines> [--jobs N] [--timing]
+ *                   [--store DIR]
+ *       Run prefetch engines (comma-separated registry names) over a
+ *       trace through the parallel ExperimentDriver and report
+ *       coverage and accuracy. With a store (--store or
+ *       $STEMS_STORE), baselines are cached under the trace's
+ *       content digest, so re-runs skip the baseline simulations.
+ *   stems_trace import <in.txt> <out.trc> [--store DIR] [--name N]
+ *       Convert an external text/CSV access trace (ChampSim-style
+ *       pc,addr,is_write lines; see trace/text_trace.hh) to the
+ *       binary format, optionally ingesting it into a TraceStore.
+ *   stems_trace export <trace.trc> <out.txt>
+ *       Write a binary trace back out as text (import-compatible).
+ *   stems_trace cache ls [--store DIR]
+ *   stems_trace cache gc <budget-bytes> [--store DIR]
+ *       List / evict entries of the persistent store (--store or
+ *       $STEMS_STORE selects the directory).
  *   stems_trace list
  *       List the built-in workloads.
  */
@@ -18,13 +32,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/correlation.hh"
 #include "analysis/coverage.hh"
-#include "sim/experiment.hh"
+#include "sim/driver.hh"
+#include "store/trace_store.hh"
+#include "trace/text_trace.hh"
 #include "trace/trace_io.hh"
 #include "workloads/registry.hh"
+#include "workloads/trace_workload.hh"
 
 using namespace stems;
 
@@ -40,9 +59,107 @@ usage()
         "[seed]\n"
         "  stems_trace info <trace.trc>\n"
         "  stems_trace analyze <trace.trc>\n"
-        "  stems_trace run <trace.trc> <engine>\n"
+        "  stems_trace run <trace.trc> <engine[,engine...]> "
+        "[--jobs N] [--timing] [--store DIR]\n"
+        "  stems_trace import <in.txt> <out.trc> [--store DIR] "
+        "[--name NAME]\n"
+        "  stems_trace export <trace.trc> <out.txt>\n"
+        "  stems_trace cache ls [--store DIR]\n"
+        "  stems_trace cache gc <budget-bytes> [--store DIR]\n"
         "  stems_trace list\n");
     return 1;
+}
+
+/** Consume `--flag value` pairs / bare flags from an argv tail. */
+struct ArgScanner
+{
+    std::vector<std::string> positional;
+    std::string storeDir;
+    std::string name;
+    unsigned jobs = 1;
+    bool timing = false;
+    bool ok = true;
+
+    ArgScanner(int argc, char **argv, int first)
+    {
+        if (const char *env = std::getenv("STEMS_STORE"))
+            storeDir = env;
+        for (int i = first; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s wants a value\n",
+                                 arg.c_str());
+                    ok = false;
+                    return "";
+                }
+                return argv[++i];
+            };
+            if (arg == "--store") {
+                storeDir = value();
+            } else if (arg == "--name") {
+                name = value();
+            } else if (arg == "--jobs" || arg == "-j") {
+                jobs = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 10));
+            } else if (arg == "--timing") {
+                timing = true;
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             arg.c_str());
+                ok = false;
+            } else {
+                positional.push_back(arg);
+            }
+        }
+    }
+};
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> items;
+    std::string cur;
+    for (char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                items.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        items.push_back(cur);
+    return items;
+}
+
+std::string
+baseName(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = base.find_last_of('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+std::unique_ptr<TraceStore>
+openStore(const std::string &dir)
+{
+    if (dir.empty()) {
+        std::fprintf(stderr,
+                     "no store directory (pass --store DIR or set "
+                     "STEMS_STORE)\n");
+        return nullptr;
+    }
+    auto store = std::make_unique<TraceStore>(dir);
+    if (!store->usable()) {
+        std::fprintf(stderr, "cannot open trace store '%s'\n",
+                     dir.c_str());
+        return nullptr;
+    }
+    return store;
 }
 
 int
@@ -67,7 +184,7 @@ cmdGenerate(int argc, char **argv)
     std::size_t records = std::atol(argv[3]);
     std::uint64_t seed = argc > 5 ? std::atoll(argv[5]) : 42;
     Trace t = w->generate(seed, records);
-    if (!writeTraceFile(argv[4], t)) {
+    if (!writeTraceFileV2(argv[4], t)) {
         std::fprintf(stderr, "failed to write %s\n", argv[4]);
         return 1;
     }
@@ -107,6 +224,8 @@ cmdInfo(int argc, char **argv)
     std::printf("instructions     : %llu\n",
                 static_cast<unsigned long long>(s.cpuOps +
                                                 s.records));
+    std::printf("digest           : %016llx\n",
+                static_cast<unsigned long long>(traceDigest(t)));
     return 0;
 }
 
@@ -150,34 +269,175 @@ cmdAnalyze(int argc, char **argv)
 int
 cmdRun(int argc, char **argv)
 {
+    ArgScanner args(argc, argv, 2);
+    if (!args.ok || args.positional.size() != 2)
+        return usage();
+    Trace t;
+    if (!loadTrace(args.positional[0].c_str(), t))
+        return 1;
+
+    std::vector<std::string> engines =
+        splitList(args.positional[1]);
+    const EngineRegistry &registry = EngineRegistry::instance();
+    for (const std::string &e : engines) {
+        if (!registry.contains(e)) {
+            std::fprintf(stderr, "unknown engine '%s'\n", e.c_str());
+            return 1;
+        }
+    }
+
+    std::uint64_t digest = traceDigest(t);
+    FixedTraceWorkload workload(baseName(args.positional[0]),
+                                std::move(t));
+    ExperimentConfig cfg;
+    cfg.enableTiming = args.timing;
+    ExperimentDriver driver(cfg, args.jobs);
+    if (!args.storeDir.empty()) {
+        auto store = std::make_shared<TraceStore>(args.storeDir);
+        if (store->usable()) {
+            // Content-digest keying gives imported/external traces
+            // cross-process baseline caching too.
+            driver.setStore(std::move(store));
+        } else {
+            std::fprintf(stderr,
+                         "warning: cannot open trace store '%s'; "
+                         "running without it\n",
+                         args.storeDir.c_str());
+        }
+    }
+    WorkloadResult r =
+        driver.runWorkload(workload, engineSpecs(engines), digest);
+
+    std::printf("trace %s: %llu baseline off-chip read misses\n\n",
+                workload.name().c_str(),
+                static_cast<unsigned long long>(r.baselineMisses));
+    std::printf("%-10s %9s %9s %9s %9s%s\n", "engine", "covered",
+                "uncovered", "overpred", "accuracy",
+                args.timing ? "   speedup" : "");
+    for (const EngineResult &e : r.engines) {
+        double accuracy =
+            e.stats.prefetchesIssued > 0
+                ? static_cast<double>(e.stats.covered()) /
+                      static_cast<double>(e.stats.prefetchesIssued)
+                : 0.0;
+        std::printf("%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%%",
+                    e.engine.c_str(), 100.0 * e.coverage,
+                    100.0 * e.uncovered, 100.0 * e.overprediction,
+                    100.0 * accuracy);
+        if (args.timing)
+            std::printf(" %+8.1f%%", 100.0 * (e.speedup - 1.0));
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdImport(int argc, char **argv)
+{
+    ArgScanner args(argc, argv, 2);
+    if (!args.ok || args.positional.size() != 2)
+        return usage();
+    const std::string &in = args.positional[0];
+    const std::string &out = args.positional[1];
+
+    Trace t;
+    std::string error;
+    if (!importTextTrace(in, t, &error)) {
+        std::fprintf(stderr, "import failed: %s\n", error.c_str());
+        return 1;
+    }
+    if (!writeTraceFileV2(out, t)) {
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("imported %zu records from %s to %s\n", t.size(),
+                in.c_str(), out.c_str());
+
+    // Optional: ingest into the persistent store so driver sweeps
+    // can replay it and cache baselines against its digest.
+    if (!args.storeDir.empty()) {
+        auto store = openStore(args.storeDir);
+        if (!store)
+            return 1;
+        std::string name = args.name.empty()
+                               ? "external:" + baseName(in)
+                               : args.name;
+        TraceKey key{name, t.size(), 0};
+        if (auto info = store->putTrace(key, t)) {
+            std::printf(
+                "stored as '%s' (digest %016llx, %llu bytes)\n",
+                name.c_str(),
+                static_cast<unsigned long long>(info->digest),
+                static_cast<unsigned long long>(info->bytes));
+        } else {
+            std::fprintf(stderr, "failed to store entry\n");
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int
+cmdExport(int argc, char **argv)
+{
     if (argc < 4)
         return usage();
     Trace t;
     if (!loadTrace(argv[2], t))
         return 1;
-
-    ExperimentRunner runner(ExperimentConfig{});
-    auto engine = runner.makeEngine(argv[3], false);
-    if (!engine) {
-        std::fprintf(stderr, "unknown engine '%s'\n", argv[3]);
+    if (!exportTextTrace(argv[3], t)) {
+        std::fprintf(stderr, "failed to write %s\n", argv[3]);
         return 1;
     }
-
-    SimParams sp;
-    PrefetchSimulator base(sp, nullptr);
-    base.run(t, t.size() / 2);
-    double denom = base.stats().offChipReads;
-
-    PrefetchSimulator sim(sp, engine.get());
-    sim.run(t, t.size() / 2);
-    std::printf("engine %s: covered %.1f%%  uncovered %.1f%%  "
-                "overpredicted %.1f%% (of %llu baseline misses)\n",
-                argv[3], 100.0 * sim.stats().covered() / denom,
-                100.0 * sim.stats().offChipReads / denom,
-                100.0 * sim.stats().overpredictions / denom,
-                static_cast<unsigned long long>(
-                    base.stats().offChipReads));
+    std::printf("exported %zu records to %s\n", t.size(), argv[3]);
     return 0;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string sub = argv[2];
+    ArgScanner args(argc, argv, 3);
+    if (!args.ok)
+        return usage();
+    auto store = openStore(args.storeDir);
+    if (!store)
+        return 1;
+
+    if (sub == "ls") {
+        auto entries = store->list();
+        std::uint64_t total = 0;
+        for (const StoreEntry &e : entries) {
+            std::printf("%-9s %10llu B  %6llds  %s\n",
+                        e.kind == StoreEntry::Kind::kTrace
+                            ? "trace"
+                            : "baseline",
+                        static_cast<unsigned long long>(e.bytes),
+                        static_cast<long long>(e.ageSeconds),
+                        e.description.c_str());
+            total += e.bytes;
+        }
+        std::printf("%zu entries, %llu bytes total in %s\n",
+                    entries.size(),
+                    static_cast<unsigned long long>(total),
+                    store->dir().c_str());
+        return 0;
+    }
+    if (sub == "gc") {
+        if (args.positional.empty())
+            return usage();
+        std::uint64_t budget =
+            std::strtoull(args.positional[0].c_str(), nullptr, 10);
+        std::uint64_t removed = store->evictWithin(budget);
+        std::printf("evicted %llu bytes; store now %llu bytes\n",
+                    static_cast<unsigned long long>(removed),
+                    static_cast<unsigned long long>(
+                        store->totalBytes()));
+        return 0;
+    }
+    return usage();
 }
 
 } // namespace
@@ -197,5 +457,11 @@ main(int argc, char **argv)
         return cmdAnalyze(argc, argv);
     if (std::strcmp(argv[1], "run") == 0)
         return cmdRun(argc, argv);
+    if (std::strcmp(argv[1], "import") == 0)
+        return cmdImport(argc, argv);
+    if (std::strcmp(argv[1], "export") == 0)
+        return cmdExport(argc, argv);
+    if (std::strcmp(argv[1], "cache") == 0)
+        return cmdCache(argc, argv);
     return usage();
 }
