@@ -66,5 +66,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Section 4.3): counters attain "
                  "the same coverage while\nroughly halving "
                  "overpredictions.\n";
+    reportStoreStats(driver);
     return 0;
 }

@@ -57,5 +57,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Section 4.3): lookahead 8 for "
                  "commercial workloads, 12 for\nscientific ones "
                  "(higher bandwidth requirements).\n";
+    reportStoreStats(driver);
     return 0;
 }

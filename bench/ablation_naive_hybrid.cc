@@ -54,5 +54,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Section 5.5): the side-by-side "
                  "combination generates\nroughly 2-3x the "
                  "overpredictions of STeMS in OLTP and web.\n";
+    reportStoreStats(driver);
     return 0;
 }

@@ -50,6 +50,7 @@ main(int argc, char **argv)
 
     EngineSpec stems_spec("stems");
     stems_spec.probe = displacementProbe;
+    stems_spec.probeId = "displacement-stats-v1";
 
     Table table({"workload", "placements", "in place", "|d|<=1",
                  "|d|<=2", "dropped"});
@@ -83,6 +84,7 @@ main(int argc, char **argv)
             EngineSpec spec("stems",
                             "+-" + std::to_string(window), o);
             spec.probe = displacementProbe;
+            spec.probeId = "displacement-stats-v1";
             specs.push_back(std::move(spec));
         }
         for (const WorkloadResult &r :
@@ -104,5 +106,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Section 4.3): searching at most "
                  "two elements forward or\nbackward places 99% of "
                  "addresses (92% in their original location).\n";
+    reportStoreStats(driver);
     return 0;
 }

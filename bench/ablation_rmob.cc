@@ -63,5 +63,6 @@ main(int argc, char **argv)
                  "reduces the buffer from\n384K entries (TMS) to 128K "
                  "(STeMS); for scientific access patterns the\n"
                  "reduction can be even more significant.\n";
+    reportStoreStats(driver);
     return 0;
 }

@@ -51,5 +51,6 @@ main(int argc, char **argv)
 
     std::cout << "\nPaper reference (Section 4.3): eight stream "
                  "queues, LRU-victimized.\n";
+    reportStoreStats(driver);
     return 0;
 }

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/report.hh"
 #include "prefetch/engine_registry.hh"
 #include "store/trace_store.hh"
 #include "workloads/registry.hh"
@@ -260,111 +261,41 @@ attachBenchStore(ExperimentDriver &driver,
     driver.setStore(std::move(store));
 }
 
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
-    return out;
-}
-
-/** Full-precision double that round-trips through a JSON parser. */
-std::string
-jsonDouble(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-} // namespace
-
 void
 maybeWriteJson(const BenchOptions &options,
                const std::vector<WorkloadResult> &results)
 {
     if (options.jsonPath.empty())
         return;
-    std::FILE *f = std::fopen(options.jsonPath.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n",
-                     options.jsonPath.c_str());
+    std::string error;
+    if (!writeResultsJson(options.jsonPath, options.records,
+                          options.seed, results, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
         std::exit(1);
     }
-    std::fprintf(f,
-                 "{\n  \"records\": %zu,\n  \"seed\": %llu,\n"
-                 "  \"workloads\": [\n",
-                 options.records,
-                 static_cast<unsigned long long>(options.seed));
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const WorkloadResult &r = results[i];
-        std::fprintf(
-            f,
-            "    {\n      \"workload\": \"%s\",\n"
-            "      \"class\": \"%s\",\n"
-            "      \"baselineMisses\": %llu,\n"
-            "      \"baselineIpc\": %s,\n"
-            "      \"baselineCycles\": %s,\n"
-            "      \"strideCycles\": %s,\n"
-            "      \"engines\": [\n",
-            jsonEscape(r.workload).c_str(),
-            jsonEscape(workloadClassName(r.workloadClass)).c_str(),
-            static_cast<unsigned long long>(r.baselineMisses),
-            jsonDouble(r.baselineIpc).c_str(),
-            jsonDouble(r.baselineCycles).c_str(),
-            jsonDouble(r.strideCycles).c_str());
-        for (std::size_t j = 0; j < r.engines.size(); ++j) {
-            const EngineResult &e = r.engines[j];
-            std::fprintf(
-                f,
-                "        {\"engine\": \"%s\", \"coverage\": %s, "
-                "\"uncovered\": %s, \"overprediction\": %s, "
-                "\"speedup\": %s, \"prefetchesIssued\": %llu, "
-                "\"offChipReads\": %llu",
-                jsonEscape(e.engine).c_str(),
-                jsonDouble(e.coverage).c_str(),
-                jsonDouble(e.uncovered).c_str(),
-                jsonDouble(e.overprediction).c_str(),
-                jsonDouble(e.speedup).c_str(),
-                static_cast<unsigned long long>(
-                    e.stats.prefetchesIssued),
-                static_cast<unsigned long long>(
-                    e.stats.offChipReads));
-            if (!e.extra.empty()) {
-                std::fprintf(f, ", \"extra\": {");
-                bool first = true;
-                for (const auto &kv : e.extra) {
-                    std::fprintf(f, "%s\"%s\": %s",
-                                 first ? "" : ", ",
-                                 jsonEscape(kv.first).c_str(),
-                                 jsonDouble(kv.second).c_str());
-                    first = false;
-                }
-                std::fprintf(f, "}");
-            }
-            std::fprintf(f, "}%s\n",
-                         j + 1 < r.engines.size() ? "," : "");
-        }
-        std::fprintf(f, "      ]\n    }%s\n",
-                     i + 1 < results.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
     std::printf("[json] wrote %s\n", options.jsonPath.c_str());
+}
+
+void
+reportStoreStats(const ExperimentDriver &driver)
+{
+    const std::shared_ptr<TraceStore> &store = driver.store();
+    if (!store)
+        return;
+    // stderr, not stdout: bench stdout must stay bitwise identical
+    // between cold and warm runs, while these counters differ.
+    std::fprintf(
+        stderr,
+        "[store] generations=%llu traceHits=%llu "
+        "baselineSims=%llu baselineHits=%llu "
+        "engineSims=%llu resultHits=%llu resultMisses=%llu\n",
+        static_cast<unsigned long long>(driver.traceGenerations()),
+        static_cast<unsigned long long>(store->traceHits()),
+        static_cast<unsigned long long>(driver.baselineRuns()),
+        static_cast<unsigned long long>(store->baselineHits()),
+        static_cast<unsigned long long>(driver.engineRuns()),
+        static_cast<unsigned long long>(store->resultHits()),
+        static_cast<unsigned long long>(store->resultMisses()));
 }
 
 std::string

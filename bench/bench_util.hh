@@ -110,11 +110,22 @@ void attachBenchStore(ExperimentDriver &driver,
 
 /**
  * When --json was given, write the sweep results to the selected
- * file (full doubles, stable key order) and print a one-line note.
- * Exits with an error if the file cannot be written.
+ * file (full doubles, stable key order; the writer is
+ * analysis/report.hh's writeResultsJson, the same format
+ * `stems_report` parses) and print a one-line note. Exits with an
+ * error if the file cannot be written.
  */
 void maybeWriteJson(const BenchOptions &options,
                     const std::vector<WorkloadResult> &results);
+
+/**
+ * When a store is attached, print the driver's cache diagnostics
+ * (trace generations/hits, baseline and engine simulations vs
+ * cache hits) to stderr — stderr so bench stdout stays bitwise
+ * identical between cold and warm runs. CI greps this line for
+ * `engineSims=0` on warm re-runs. No-op without a store.
+ */
+void reportStoreStats(const ExperimentDriver &driver);
 
 /** Standard bench banner (records, seed, jobs). */
 std::string banner(const std::string &title,

@@ -87,5 +87,6 @@ main(int argc, char **argv)
             << fmtPct(std::exp(log_stems_vs[2] / commercial) - 1)
             << "  (paper: 18%)\n";
     }
+    reportStoreStats(driver);
     return 0;
 }

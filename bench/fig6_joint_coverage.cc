@@ -76,5 +76,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Section 1): on average 32% "
                  "temporal, 54% spatial,\n70% joint; 34-38% of "
                  "OLTP/web misses unpredictable by either.\n";
+    reportStoreStats(driver);
     return 0;
 }

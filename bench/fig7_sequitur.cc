@@ -93,5 +93,6 @@ main(int argc, char **argv)
                  "region-granularity misses recur in\nrepetitive "
                  "sequences, similar to the 45% repetition of all "
                  "misses.\n";
+    reportStoreStats(driver);
     return 0;
 }

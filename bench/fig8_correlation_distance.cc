@@ -72,5 +72,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference (Section 5.4): +1 dominates; "
                  ">=86% within a window of 2,\n>=92% within 4; Qry16 "
                  "is the outlier.\n";
+    reportStoreStats(driver);
     return 0;
 }

@@ -69,5 +69,6 @@ main(int argc, char **argv)
                  "overpredicts 29%; coverage is equal to or higher\n"
                  "than the better of TMS/SMS on every commercial "
                  "workload.\n";
+    reportStoreStats(driver);
     return 0;
 }

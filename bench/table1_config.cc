@@ -71,5 +71,6 @@ main(int argc, char **argv)
                     100.0 * s.dependentReads / (s.reads ? s.reads : 1),
                     s.distinctRegions);
     }
+    reportStoreStats(driver);
     return 0;
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Fail when any Markdown file contains a relative link to a file
+# that does not exist. External (http/https/mailto) and pure-anchor
+# links are skipped; "path#anchor" links are checked for the path
+# part only (anchor existence is not verified).
+#
+# Usage: scripts/check_doc_links.sh [root-dir]
+set -u
+
+root="${1:-.}"
+status=0
+
+# Markdown files, excluding build trees and dot-directories.
+files=$(find "$root" \( -name build -o -name .git -o -name .claude \) \
+             -prune -o -name '*.md' -print)
+
+for f in $files; do
+    dir=$(dirname "$f")
+    # Extract every ](...) target, tolerating several links per
+    # line. Fenced code blocks are dropped first: a C++ lambda
+    # `[](...)` is not a Markdown link.
+    links=$(awk '/^[[:space:]]*```/ { fence = !fence; next }
+                 !fence { print }' "$f" |
+            grep -oE '\]\([^)]+\)' | sed 's/^](//; s/)$//')
+    while IFS= read -r link; do
+        [ -z "$link" ] && continue
+        case "$link" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${link%%#*}"      # strip an anchor suffix
+        path="${path%% *}"      # strip a '... "title"' suffix
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$f: dead link -> $link" >&2
+            status=1
+        fi
+    done <<EOF
+$links
+EOF
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "all Markdown relative links resolve"
+fi
+exit $status

@@ -1,8 +1,44 @@
 #include "prefetch/engine_registry.hh"
 
 #include <algorithm>
+#include <sstream>
 
 namespace stems {
+
+namespace {
+
+template <typename T>
+void
+describeField(std::ostream &os, const char *key,
+              const std::optional<T> &value)
+{
+    os << key << '=';
+    if (value)
+        os << *value;
+    else
+        os << "unset";
+    os << '\n';
+}
+
+} // namespace
+
+std::string
+describeEngineSpec(const std::string &name,
+                   const EngineOptions &options,
+                   const std::string &probe_id)
+{
+    std::ostringstream os;
+    os << "engine=" << name << '\n'
+       << "scientific=" << (options.scientific ? 1 : 0) << '\n';
+    describeField(os, "lookahead", options.lookahead);
+    describeField(os, "bufferEntries", options.bufferEntries);
+    describeField(os, "streamQueues", options.streamQueues);
+    describeField(os, "smsUseCounters", options.smsUseCounters);
+    describeField(os, "displacementWindow",
+                  options.displacementWindow);
+    os << "probe=" << (probe_id.empty() ? "none" : probe_id) << '\n';
+    return os.str();
+}
 
 EngineRegistry &
 EngineRegistry::instance()

@@ -58,6 +58,19 @@ using EngineFactory = std::function<std::unique_ptr<Prefetcher>(
     const SystemConfig &, const EngineOptions &)>;
 
 /**
+ * Stable, human-readable description of an engine instantiation:
+ * the registered name plus every EngineOptions field (unset fields
+ * included explicitly, so adding a field changes every description)
+ * and an optional probe identity. Two instantiations behave
+ * identically iff their descriptions (plus the SystemConfig) match,
+ * which makes a digest of this string the persistent-cache key for
+ * engine results (store/trace_store.hh).
+ */
+std::string describeEngineSpec(const std::string &name,
+                               const EngineOptions &options,
+                               const std::string &probe_id = {});
+
+/**
  * The process-wide engine registry. Thread-safe: registration and
  * lookup may race with driver worker threads instantiating engines.
  */

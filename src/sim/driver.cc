@@ -28,6 +28,9 @@ struct WorkloadShard
     std::once_flag traceOnce;
     Trace trace;
     std::size_t warmup = 0;
+    /// Record count of the materialized trace (outlives the early
+    /// trace release; informational, for result sidecars).
+    std::size_t traceSize = 0;
     std::atomic<std::size_t> remainingCells{0};
 
     bool needBaseline = false;
@@ -48,7 +51,30 @@ struct WorkloadShard
 
     std::vector<SimStats> engineStats;
     std::vector<std::map<std::string, double>> engineExtra;
+    /// Per engine: cell served from the store's result cache, so it
+    /// was never scheduled (and must not be re-persisted).
+    std::vector<std::uint8_t> engineFromCache;
 };
+
+/** A spec that carries an anonymous probe cannot be result-cached:
+ *  the probe's output is part of the result but its code has no
+ *  stable identity. Naming the probe (probeId) opts back in. */
+bool
+specResultCacheable(const EngineSpec &spec)
+{
+    return !spec.probe || !spec.probeId.empty();
+}
+
+/** Digest of everything (besides trace + system config) that
+ *  determines an engine cell's result. */
+std::uint64_t
+specResultDigest(const EngineSpec &spec, bool scientific)
+{
+    EngineOptions effective = spec.options;
+    effective.scientific = effective.scientific || scientific;
+    return storeDigest(describeEngineSpec(spec.engine, effective,
+                                          spec.probeId));
+}
 
 /** One unit of work: a single simulation over one shard's trace. */
 struct Cell
@@ -110,6 +136,13 @@ ExperimentDriver::setStore(std::shared_ptr<TraceStore> store)
         os << describeSystem(config_.system) << "\nwarmup="
            << std::setprecision(17) << config_.warmupFraction;
         configDigest_ = storeDigest(os.str());
+        // Engine results additionally depend on the timing mode (a
+        // functional run's stats carry no cycles) and their on-disk
+        // format version; baselines handle both via in-entry flags.
+        std::ostringstream ros;
+        ros << os.str() << "\ntiming=" << config_.enableTiming
+            << "\nresultv=1";
+        resultConfigDigest_ = storeDigest(ros.str());
     }
 }
 
@@ -204,6 +237,7 @@ ExperimentDriver::runCells(
     std::vector<Cell> cells;
     shards.reserve(workloads.size());
     std::size_t baseline_cells = 0;
+    std::size_t engine_cells = 0;
     for (const Workload *w : workloads) {
         auto shard = std::make_unique<WorkloadShard>();
         shard->workload = w;
@@ -211,6 +245,7 @@ ExperimentDriver::runCells(
             w->workloadClass() == WorkloadClass::kScientific;
         shard->engineStats.resize(engines.size());
         shard->engineExtra.resize(engines.size());
+        shard->engineFromCache.assign(engines.size(), 0);
 
         shard->needBaseline = true;
         shard->needStride = config_.enableTiming;
@@ -289,6 +324,27 @@ ExperimentDriver::runCells(
             }
         }
 
+        if (store_ && shard->digestValid) {
+            // Probe the engine-result cache at schedule time: a warm
+            // cell is merged straight from the store and never
+            // scheduled, so a fully warm sweep dispatches no work at
+            // all (and never even materializes the trace).
+            for (std::size_t j = 0; j < engines.size(); ++j) {
+                if (!spec_known[j] ||
+                    !specResultCacheable(engines[j]))
+                    continue;
+                if (auto r = store_->loadResult(
+                        shard->traceDigest,
+                        specResultDigest(engines[j],
+                                         shard->scientific),
+                        resultConfigDigest_)) {
+                    shard->engineStats[j] = r->stats;
+                    shard->engineExtra[j] = std::move(r->extra);
+                    shard->engineFromCache[j] = 1;
+                }
+            }
+        }
+
         std::size_t shard_index = shards.size();
         std::size_t count = 0;
         if (shard->needBaseline) {
@@ -302,10 +358,11 @@ ExperimentDriver::runCells(
             ++baseline_cells;
         }
         for (std::size_t j = 0; j < engines.size(); ++j) {
-            if (!spec_known[j])
+            if (!spec_known[j] || shard->engineFromCache[j])
                 continue;
             cells.push_back({shard_index, Cell::kEngine, j});
             ++count;
+            ++engine_cells;
         }
         shard->remainingCells.store(count);
         shards.push_back(std::move(shard));
@@ -334,6 +391,7 @@ ExperimentDriver::runCells(
                     config_.seed, config_.traceRecords);
                 traceGenerations_.fetch_add(1);
             }
+            shard.traceSize = shard.trace.size();
             shard.warmup = static_cast<std::size_t>(
                 shard.trace.size() * config_.warmupFraction);
         });
@@ -391,6 +449,7 @@ ExperimentDriver::runCells(
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         baselineRuns_ += baseline_cells;
+        engineRuns_ += engine_cells;
         for (const auto &shard : shards) {
             if (!cacheable ||
                 (!shard->needBaseline && !shard->needStride))
@@ -405,11 +464,13 @@ ExperimentDriver::runCells(
             }
         }
     }
+    bool store_wrote = false;
     if (store_) {
         for (const auto &shard : shards) {
             if (!shard->digestValid ||
                 (!shard->needBaseline && !shard->needStride))
                 continue;
+            store_wrote = true;
             StoredBaseline sb;
             sb.misses = shard->baselineMisses;
             sb.cycles = shard->baselineCycles;
@@ -448,9 +509,41 @@ ExperimentDriver::runCells(
             if (config_.enableTiming && er.stats.cycles > 0)
                 er.speedup = r.strideCycles / er.stats.cycles;
             er.extra = std::move(shard->engineExtra[j]);
+            if (store_ && shard->digestValid &&
+                !shard->engineFromCache[j] &&
+                specResultCacheable(engines[j])) {
+                StoredEngineResult sr;
+                sr.stats = er.stats;
+                sr.extra = er.extra;
+                StoredResultMeta meta;
+                meta.workload = r.workload;
+                meta.engine = er.engine;
+                // Registry workloads: the trace-key length. External
+                // traces: the actual replayed record count (their
+                // length is not a config knob).
+                meta.records = cacheable ? config_.traceRecords
+                                         : shard->traceSize;
+                meta.seed = cacheable ? config_.seed : 0;
+                meta.coverage = er.coverage;
+                meta.accuracy = ratio(er.stats.covered(),
+                                      er.stats.prefetchesIssued);
+                meta.speedup = er.speedup;
+                meta.timing = config_.enableTiming;
+                store_->putResult(
+                    shard->traceDigest,
+                    specResultDigest(engines[j],
+                                     shard->scientific),
+                    resultConfigDigest_, sr, meta);
+                store_wrote = true;
+            }
             r.engines.push_back(std::move(er));
         }
         results.push_back(std::move(r));
+    }
+    if (store_wrote) {
+        // One budget pass for the whole sweep's baseline/result
+        // writes (putTrace already self-enforces per trace).
+        store_->enforceBudget();
     }
     return results;
 }

@@ -11,11 +11,14 @@
  *  - releases each trace as soon as its last cell completes, bounding
  *    peak memory to the in-flight workloads, and
  *  - when a persistent TraceStore is attached (setStore), consults it
- *    before generating any trace or simulating any baseline, and
- *    fills it afterwards — so the amortization above also survives
- *    across processes: a warm-store re-run of a sweep performs zero
- *    workload generations and zero baseline simulations
- *    (traceGenerations() / baselineRuns() diagnostics pin this).
+ *    before generating any trace, simulating any baseline, or
+ *    simulating any engine cell (results are keyed by trace content
+ *    digest + engine-spec digest + config digest), and fills it
+ *    afterwards — so the amortization above also survives across
+ *    processes: a fully warm-store re-run of a sweep performs zero
+ *    workload generations, zero baseline simulations and zero engine
+ *    simulations (traceGenerations() / baselineRuns() / engineRuns()
+ *    diagnostics pin this), with bitwise-identical results.
  *
  * Determinism: every cell (one PrefetchSimulator over one trace) is
  * independent and seeded only by the trace, and results are merged in
@@ -76,6 +79,12 @@ struct EngineSpec
     /// engine-specific metrics into EngineResult::extra. Must not
     /// touch shared state.
     std::function<void(const Prefetcher &, EngineResult &)> probe;
+    /// Stable identity of `probe` for the persistent engine-result
+    /// cache. A probe is opaque code, so a spec that sets one is
+    /// only result-cacheable when it also names it here (bump the
+    /// id when the probe's meaning changes). Specs without a probe
+    /// are always cacheable.
+    std::string probeId;
 
     /** The label reported in results. */
     const std::string &resultLabel() const
@@ -168,6 +177,11 @@ class ExperimentDriver
     /** Baseline simulations actually executed (cache diagnostics). */
     std::uint64_t baselineRuns() const { return baselineRuns_; }
 
+    /** Engine-cell simulations actually executed, as opposed to
+     *  served from the store's engine-result cache (store
+     *  diagnostics; a fully warm sweep re-run reports 0). */
+    std::uint64_t engineRuns() const { return engineRuns_; }
+
     /** Workload traces actually generated, as opposed to replayed
      *  from the store (store diagnostics). */
     std::uint64_t traceGenerations() const
@@ -219,6 +233,11 @@ class ExperimentDriver
     std::shared_ptr<TraceStore> store_;
     /// Digest of (system config, warmup) keying stored baselines.
     std::uint64_t configDigest_ = 0;
+    /// Digest keying stored engine results: the baseline digest
+    /// inputs plus the timing mode and the result-format version
+    /// (functional and timed runs are distinct entries).
+    std::uint64_t resultConfigDigest_ = 0;
+    std::uint64_t engineRuns_ = 0;
     std::atomic<std::uint64_t> traceGenerations_{0};
 };
 

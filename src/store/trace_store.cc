@@ -6,9 +6,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <iterator>
 #include <sstream>
+#include <tuple>
 
 #include <unistd.h>
 
@@ -23,6 +27,7 @@ namespace {
 
 constexpr char kTraceSubdir[] = "traces";
 constexpr char kBaselineSubdir[] = "baselines";
+constexpr char kResultSubdir[] = "results";
 /// Bumped when the trace encoding or key scheme changes, so stale
 /// stores miss instead of decoding garbage.
 constexpr unsigned kStoreFormatVersion = 2;
@@ -49,6 +54,144 @@ struct PackedBaseline
 
 constexpr char kBaselineMagic[4] = {'S', 'T', 'B', 'L'};
 constexpr std::uint32_t kBaselineVersion = 1;
+
+constexpr char kResultMagic[4] = {'S', 'T', 'R', 'S'};
+/// Bumped when StoredEngineResult's serialized layout changes.
+constexpr std::uint32_t kResultVersion = 1;
+
+// -- little byte-buffer codec for the variable-length result entries
+
+void
+appendBytes(std::vector<std::uint8_t> &buf, const void *data,
+            std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf.insert(buf.end(), p, p + len);
+}
+
+template <typename T>
+void
+appendScalar(std::vector<std::uint8_t> &buf, T value)
+{
+    appendBytes(buf, &value, sizeof(value));
+}
+
+/** Bounds-checked sequential reader over a result entry's bytes. */
+struct ByteReader
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T value{};
+        if (pos + sizeof(T) > size) {
+            ok = false;
+            return value;
+        }
+        std::memcpy(&value, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return value;
+    }
+
+    std::string
+    str(std::size_t len)
+    {
+        if (pos + len > size) {
+            ok = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data + pos),
+                      len);
+        pos += len;
+        return s;
+    }
+};
+
+std::vector<std::uint8_t>
+encodeResult(const StoredEngineResult &r)
+{
+    std::vector<std::uint8_t> buf;
+    appendBytes(buf, kResultMagic, sizeof(kResultMagic));
+    appendScalar<std::uint32_t>(buf, kResultVersion);
+    const SimStats &s = r.stats;
+    appendScalar<std::uint64_t>(buf, s.records);
+    appendScalar<std::uint64_t>(buf, s.reads);
+    appendScalar<std::uint64_t>(buf, s.writes);
+    appendScalar<std::uint64_t>(buf, s.invalidates);
+    appendScalar<std::uint64_t>(buf, s.l1Hits);
+    appendScalar<std::uint64_t>(buf, s.l2Hits);
+    appendScalar<std::uint64_t>(buf, s.l2PrefetchHits);
+    appendScalar<std::uint64_t>(buf, s.svbHits);
+    appendScalar<std::uint64_t>(buf, s.offChipReads);
+    appendScalar<std::uint64_t>(buf, s.offChipWrites);
+    appendScalar<std::uint64_t>(buf, s.prefetchesIssued);
+    appendScalar<std::uint64_t>(buf, s.overpredictions);
+    appendScalar<double>(buf, s.cycles);
+    appendScalar<std::uint64_t>(buf, s.instructions);
+    appendScalar<std::uint32_t>(
+        buf, static_cast<std::uint32_t>(r.extra.size()));
+    for (const auto &kv : r.extra) { // std::map: stable key order
+        appendScalar<std::uint32_t>(
+            buf, static_cast<std::uint32_t>(kv.first.size()));
+        appendBytes(buf, kv.first.data(), kv.first.size());
+        appendScalar<double>(buf, kv.second);
+    }
+    std::uint32_t crc = crc32(buf.data(), buf.size());
+    appendScalar<std::uint32_t>(buf, crc);
+    return buf;
+}
+
+bool
+decodeResult(const std::vector<std::uint8_t> &bytes,
+             StoredEngineResult &out)
+{
+    if (bytes.size() < sizeof(kResultMagic) + 2 * sizeof(std::uint32_t))
+        return false;
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc,
+                bytes.data() + bytes.size() - sizeof(stored_crc),
+                sizeof(stored_crc));
+    if (crc32(bytes.data(), bytes.size() - sizeof(stored_crc)) !=
+        stored_crc)
+        return false;
+    ByteReader in{bytes.data(), bytes.size() - sizeof(stored_crc)};
+    char magic[4];
+    std::memcpy(magic, bytes.data(), sizeof(magic));
+    in.pos = sizeof(magic);
+    if (std::memcmp(magic, kResultMagic, sizeof(magic)) != 0)
+        return false;
+    if (in.scalar<std::uint32_t>() != kResultVersion)
+        return false;
+    SimStats &s = out.stats;
+    s.records = in.scalar<std::uint64_t>();
+    s.reads = in.scalar<std::uint64_t>();
+    s.writes = in.scalar<std::uint64_t>();
+    s.invalidates = in.scalar<std::uint64_t>();
+    s.l1Hits = in.scalar<std::uint64_t>();
+    s.l2Hits = in.scalar<std::uint64_t>();
+    s.l2PrefetchHits = in.scalar<std::uint64_t>();
+    s.svbHits = in.scalar<std::uint64_t>();
+    s.offChipReads = in.scalar<std::uint64_t>();
+    s.offChipWrites = in.scalar<std::uint64_t>();
+    s.prefetchesIssued = in.scalar<std::uint64_t>();
+    s.overpredictions = in.scalar<std::uint64_t>();
+    s.cycles = in.scalar<double>();
+    s.instructions = in.scalar<std::uint64_t>();
+    std::uint32_t extras = in.scalar<std::uint32_t>();
+    out.extra.clear();
+    for (std::uint32_t i = 0; in.ok && i < extras; ++i) {
+        std::uint32_t len = in.scalar<std::uint32_t>();
+        std::string key = in.str(len);
+        double value = in.scalar<double>();
+        out.extra.emplace(std::move(key), value);
+    }
+    return in.ok && in.pos == in.size;
+}
 
 /** Write bytes to path atomically via a temp file + rename. */
 bool
@@ -116,6 +259,8 @@ TraceStore::TraceStore(std::string dir, Options options)
     fs::create_directories(fs::path(dir_) / kTraceSubdir, ec);
     if (!ec)
         fs::create_directories(fs::path(dir_) / kBaselineSubdir, ec);
+    if (!ec)
+        fs::create_directories(fs::path(dir_) / kResultSubdir, ec);
     usable_ = !ec && fs::is_directory(dir_, ec);
 }
 
@@ -140,6 +285,18 @@ TraceStore::baselinePath(std::uint64_t trace_digest,
     fs::path p = fs::path(dir_) / kBaselineSubdir /
                  (hex16(trace_digest) + "-" + hex16(config_digest) +
                   ".bl");
+    return p.string();
+}
+
+std::string
+TraceStore::resultPath(std::uint64_t trace_digest,
+                       std::uint64_t spec_digest,
+                       std::uint64_t config_digest, bool meta) const
+{
+    fs::path p = fs::path(dir_) / kResultSubdir /
+                 (hex16(trace_digest) + "-" + hex16(spec_digest) +
+                  "-" + hex16(config_digest) +
+                  (meta ? ".meta" : ".res"));
     return p.string();
 }
 
@@ -357,6 +514,174 @@ TraceStore::putBaseline(std::uint64_t trace_digest,
                        bytes.data(), bytes.size());
 }
 
+std::optional<StoredEngineResult>
+TraceStore::loadResult(std::uint64_t trace_digest,
+                       std::uint64_t spec_digest,
+                       std::uint64_t config_digest)
+{
+    if (!usable_) {
+        ++resultMisses_;
+        return std::nullopt;
+    }
+    std::string path = resultPath(trace_digest, spec_digest,
+                                  config_digest, /*meta=*/false);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++resultMisses_;
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    StoredEngineResult result;
+    if (!decodeResult(bytes, result)) {
+        // Corrupt/truncated entry: drop both files so the caller's
+        // re-simulation replaces the pair.
+        ++resultMisses_;
+        std::error_code ec;
+        fs::remove(path, ec);
+        fs::remove(resultPath(trace_digest, spec_digest,
+                              config_digest, /*meta=*/true),
+                   ec);
+        return std::nullopt;
+    }
+    ++resultHits_;
+    touch(path);
+    return result;
+}
+
+bool
+TraceStore::putResult(std::uint64_t trace_digest,
+                      std::uint64_t spec_digest,
+                      std::uint64_t config_digest,
+                      const StoredEngineResult &result,
+                      const StoredResultMeta &meta)
+{
+    if (!usable_)
+        return false;
+    std::vector<std::uint8_t> bytes = encodeResult(result);
+
+    std::ostringstream ms;
+    ms << "workload=" << meta.workload << '\n'
+       << "engine=" << meta.engine << '\n'
+       << "records=" << meta.records << '\n'
+       << "seed=" << meta.seed << '\n'
+       << std::setprecision(17) //
+       << "coverage=" << meta.coverage << '\n'
+       << "accuracy=" << meta.accuracy << '\n'
+       << "speedup=" << meta.speedup << '\n'
+       << "timing=" << (meta.timing ? 1 : 0) << '\n'
+       << "savedAtUnix=" << std::time(nullptr) << '\n'
+       << "trace=" << hex16(trace_digest) << '\n'
+       << "spec=" << hex16(spec_digest) << '\n'
+       << "config=" << hex16(config_digest) << '\n';
+    std::string meta_str = ms.str();
+
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    // Payload first, meta last — same commit order as traces.
+    if (!atomicWrite(resultPath(trace_digest, spec_digest,
+                                config_digest, false),
+                     bytes.data(), bytes.size()))
+        return false;
+    if (!atomicWrite(resultPath(trace_digest, spec_digest,
+                                config_digest, true),
+                     meta_str.data(), meta_str.size())) {
+        std::error_code ec;
+        fs::remove(resultPath(trace_digest, spec_digest,
+                              config_digest, false),
+                   ec);
+        return false;
+    }
+    // No per-put eviction: result entries are a few hundred bytes
+    // and a sweep writes one per cell, so scanning the whole store
+    // each time would dominate. The driver calls enforceBudget()
+    // once per sweep instead.
+    return true;
+}
+
+std::uint64_t
+TraceStore::enforceBudget()
+{
+    if (!usable_ || options_.sizeBudgetBytes == 0)
+        return 0;
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return evictLockedWithin(options_.sizeBudgetBytes);
+}
+
+std::vector<StoredResultInfo>
+TraceStore::listResults()
+{
+    std::vector<StoredResultInfo> infos;
+    if (!usable_)
+        return infos;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kResultSubdir, ec)) {
+        if (de.path().extension() != ".meta")
+            continue;
+        std::ifstream in(de.path());
+        if (!in)
+            continue;
+        StoredResultInfo info;
+        std::string line;
+        while (std::getline(in, line)) {
+            auto eq = line.find('=');
+            if (eq == std::string::npos)
+                continue;
+            std::string k = line.substr(0, eq);
+            std::string v = line.substr(eq + 1);
+            if (k == "workload")
+                info.meta.workload = v;
+            else if (k == "engine")
+                info.meta.engine = v;
+            else if (k == "records")
+                info.meta.records =
+                    std::strtoull(v.c_str(), nullptr, 10);
+            else if (k == "seed")
+                info.meta.seed =
+                    std::strtoull(v.c_str(), nullptr, 10);
+            else if (k == "coverage")
+                info.meta.coverage = std::strtod(v.c_str(), nullptr);
+            else if (k == "accuracy")
+                info.meta.accuracy = std::strtod(v.c_str(), nullptr);
+            else if (k == "speedup")
+                info.meta.speedup = std::strtod(v.c_str(), nullptr);
+            else if (k == "timing")
+                info.meta.timing = v == "1";
+            else if (k == "savedAtUnix")
+                info.savedAtUnix =
+                    std::strtoll(v.c_str(), nullptr, 10);
+            else if (k == "trace")
+                info.traceDigest =
+                    std::strtoull(v.c_str(), nullptr, 16);
+            else if (k == "spec")
+                info.specDigest =
+                    std::strtoull(v.c_str(), nullptr, 16);
+            else if (k == "config")
+                info.configDigest =
+                    std::strtoull(v.c_str(), nullptr, 16);
+        }
+        if (info.meta.workload.empty() || info.meta.engine.empty())
+            continue; // malformed sidecar
+        fs::path res = de.path();
+        res.replace_extension(".res");
+        std::error_code fec;
+        info.bytes = fs::file_size(res, fec);
+        if (fec)
+            continue; // sidecar without payload: incomplete entry
+        infos.push_back(std::move(info));
+    }
+    std::sort(infos.begin(), infos.end(),
+              [](const StoredResultInfo &a,
+                 const StoredResultInfo &b) {
+                  if (a.savedAtUnix != b.savedAtUnix)
+                      return a.savedAtUnix < b.savedAtUnix;
+                  return std::tie(a.meta.workload, a.meta.engine) <
+                         std::tie(b.meta.workload, b.meta.engine);
+              });
+    return infos;
+}
+
 std::vector<StoreEntry>
 TraceStore::list()
 {
@@ -405,6 +730,28 @@ TraceStore::list()
             secondsSince(fs::last_write_time(de.path(), fec));
         entries.push_back(std::move(e));
     }
+    for (const StoredResultInfo &info : listResults()) {
+        std::error_code fec;
+        fs::path res =
+            fs::path(dir_) / kResultSubdir /
+            (hex16(info.traceDigest) + "-" +
+             hex16(info.specDigest) + "-" +
+             hex16(info.configDigest) + ".res");
+        StoreEntry e;
+        e.kind = StoreEntry::Kind::kResult;
+        e.file = fs::relative(res, dir_, fec).string();
+        std::ostringstream desc;
+        desc << info.meta.workload << " x " << info.meta.engine
+             << " records=" << info.meta.records
+             << " seed=" << info.meta.seed
+             << (info.meta.timing ? " timed" : "");
+        e.description = desc.str();
+        e.bytes = info.bytes;
+        e.ageSeconds = secondsSince(fs::last_write_time(res, fec));
+        if (fec)
+            continue;
+        entries.push_back(std::move(e));
+    }
     std::sort(entries.begin(), entries.end(),
               [](const StoreEntry &a, const StoreEntry &b) {
                   return a.ageSeconds > b.ageSeconds;
@@ -418,7 +765,8 @@ TraceStore::totalBytes()
     std::uint64_t total = 0;
     if (!usable_)
         return total;
-    for (const char *sub : {kTraceSubdir, kBaselineSubdir}) {
+    for (const char *sub :
+         {kTraceSubdir, kBaselineSubdir, kResultSubdir}) {
         std::error_code ec;
         for (const auto &de :
              fs::directory_iterator(fs::path(dir_) / sub, ec)) {
@@ -482,6 +830,30 @@ TraceStore::evictLockedWithin(std::uint64_t budget_bytes)
         u.mtime = fs::last_write_time(de.path(), fec);
         if (fec)
             continue;
+        total += u.bytes;
+        units.push_back(std::move(u));
+    }
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kResultSubdir, ec)) {
+        // A result's .res/.meta pair is one evictable unit, like a
+        // trace's .trc/.meta pair.
+        if (de.path().extension() != ".res")
+            continue;
+        std::error_code fec;
+        EvictableEntry u;
+        u.files.push_back(de.path());
+        u.bytes = fs::file_size(de.path(), fec);
+        u.mtime = fs::last_write_time(de.path(), fec);
+        if (fec)
+            continue;
+        fs::path meta = de.path();
+        meta.replace_extension(".meta");
+        std::error_code mec;
+        std::uint64_t msz = fs::file_size(meta, mec);
+        if (!mec) {
+            u.files.push_back(meta);
+            u.bytes += msz;
+        }
         total += u.bytes;
         units.push_back(std::move(u));
     }

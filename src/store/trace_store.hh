@@ -1,10 +1,10 @@
 /**
  * @file
  * TraceStore: a persistent, content-addressed on-disk cache of
- * generated traces and baseline simulation results, so the trace
- * generation and no-prefetch/stride baseline work the parallel
- * ExperimentDriver amortizes *within* a process also survives
- * *across* processes, benches, tools, and CI runs.
+ * generated traces, baseline simulation results, and per-engine
+ * simulation results, so the work the parallel ExperimentDriver
+ * amortizes *within* a process also survives *across* processes,
+ * benches, tools, and CI runs.
  *
  * Layout under the store root:
  *
@@ -13,18 +13,27 @@
  *                            record count, and the content digest
  *   baselines/<trace-digest>-<config-digest>.bl
  *                            binary baseline metrics (CRC-checked)
+ *   results/<trace-digest>-<spec-digest>-<config-digest>.res
+ *                            binary engine-cell result (CRC-checked)
+ *   results/<...same...>.meta
+ *                            text sidecar: workload/engine names,
+ *                            headline metrics, save timestamp
  *
  * Trace entries are keyed by (workload, records, seed, encoding
  * version) — everything that determines a generated trace's content.
  * Baseline entries are keyed by the *content digest* of the trace
  * plus an opaque configuration digest supplied by the caller, so an
  * imported external trace gets baseline caching exactly like a
- * generated one.
+ * generated one. Engine-result entries add a digest of the engine
+ * specification (registered name + every EngineOptions override +
+ * probe identity; see describeEngineSpec()), so one warm cell of a
+ * sweep is exactly one stored result.
  *
  * Writes are atomic (temp file + rename), so concurrent processes
  * sharing a store directory at worst duplicate work, never corrupt
  * entries. Reads touch the entry mtime; evictWithin() removes
- * oldest-first until the store fits a size budget.
+ * oldest-first across all three entry kinds until the store fits a
+ * size budget.
  */
 
 #ifndef STEMS_STORE_TRACE_STORE_HH
@@ -32,12 +41,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "sim/prefetch_sim.hh"
 #include "trace/trace.hh"
 #include "trace/trace_source.hh"
 
@@ -73,6 +84,45 @@ struct StoredBaseline
     bool haveTiming = false; ///< cycle fields are valid
 };
 
+/**
+ * One engine cell's raw simulation output: everything the driver
+ * needs to merge the cell without running it. The normalized metrics
+ * (coverage, speedup, ...) are recomputed at merge time from these
+ * stats plus the baseline, so a warm cell is bitwise identical to a
+ * cold one.
+ */
+struct StoredEngineResult
+{
+    SimStats stats;
+    /// Probe-collected extras (EngineResult::extra).
+    std::map<std::string, double> extra;
+};
+
+/** Human-readable identity written to a result's .meta sidecar. */
+struct StoredResultMeta
+{
+    std::string workload;
+    std::string engine; ///< result label
+    std::uint64_t records = 0;
+    std::uint64_t seed = 0;
+    double coverage = 0.0;
+    double accuracy = 0.0;
+    double speedup = 0.0;
+    bool timing = false;
+};
+
+/** A result entry as enumerated from the store (`stems_report
+ *  history`, `stems_trace cache ls`). */
+struct StoredResultInfo
+{
+    StoredResultMeta meta;
+    std::uint64_t traceDigest = 0;
+    std::uint64_t specDigest = 0;
+    std::uint64_t configDigest = 0;
+    std::int64_t savedAtUnix = 0; ///< put-time wall clock
+    std::uint64_t bytes = 0;      ///< .res payload size
+};
+
 /** One row of a store listing (`stems_trace cache ls`). */
 struct StoreEntry
 {
@@ -80,6 +130,7 @@ struct StoreEntry
     {
         kTrace,
         kBaseline,
+        kResult,
     };
     Kind kind = Kind::kTrace;
     std::string file;        ///< path relative to the store root
@@ -152,6 +203,31 @@ class TraceStore
                      std::uint64_t config_digest,
                      const StoredBaseline &baseline);
 
+    // ---- engine results ----
+
+    /**
+     * Look up a cached engine cell. A corrupt or truncated entry is
+     * rejected (CRC + bounds checks), deleted, and counted as a
+     * miss, so the caller falls back to simulation.
+     */
+    std::optional<StoredEngineResult>
+    loadResult(std::uint64_t trace_digest, std::uint64_t spec_digest,
+               std::uint64_t config_digest);
+
+    /**
+     * Persist one engine cell's result plus its human-readable .meta
+     * sidecar. Atomic; overwrites any existing entry for the key.
+     */
+    bool putResult(std::uint64_t trace_digest,
+                   std::uint64_t spec_digest,
+                   std::uint64_t config_digest,
+                   const StoredEngineResult &result,
+                   const StoredResultMeta &meta);
+
+    /** Every result entry with a readable sidecar, ordered by save
+     *  time (oldest first). */
+    std::vector<StoredResultInfo> listResults();
+
     // ---- maintenance ----
 
     /** Every entry currently in the store, oldest first. */
@@ -162,10 +238,20 @@ class TraceStore
 
     /**
      * Evict oldest-touched entries until the store fits
-     * `budget_bytes` (a trace's .trc/.meta pair counts and is
-     * evicted as one unit). @return bytes removed.
+     * `budget_bytes` (a trace's .trc/.meta pair and a result's
+     * .res/.meta pair each count and are evicted as one unit).
+     * @return bytes removed.
      */
     std::uint64_t evictWithin(std::uint64_t budget_bytes);
+
+    /**
+     * Evict down to the configured size budget (no-op when the
+     * budget is 0/disabled). putTrace applies this automatically;
+     * the cheap putBaseline/putResult writes do not, so batch
+     * writers (the driver, once per sweep) call this when done.
+     * @return bytes removed.
+     */
+    std::uint64_t enforceBudget();
 
     // ---- diagnostics ----
 
@@ -173,11 +259,17 @@ class TraceStore
     std::uint64_t traceMisses() const { return traceMisses_; }
     std::uint64_t baselineHits() const { return baselineHits_; }
     std::uint64_t baselineMisses() const { return baselineMisses_; }
+    std::uint64_t resultHits() const { return resultHits_; }
+    std::uint64_t resultMisses() const { return resultMisses_; }
 
   private:
     std::string tracePath(const TraceKey &key, bool meta) const;
     std::string baselinePath(std::uint64_t trace_digest,
                              std::uint64_t config_digest) const;
+    std::string resultPath(std::uint64_t trace_digest,
+                           std::uint64_t spec_digest,
+                           std::uint64_t config_digest,
+                           bool meta) const;
     /** Parse a .meta file. @return false when missing/malformed. */
     bool readMeta(const std::string &path, TraceEntryInfo &info);
     void touch(const std::string &path);
@@ -195,6 +287,8 @@ class TraceStore
     std::atomic<std::uint64_t> traceMisses_{0};
     std::atomic<std::uint64_t> baselineHits_{0};
     std::atomic<std::uint64_t> baselineMisses_{0};
+    std::atomic<std::uint64_t> resultHits_{0};
+    std::atomic<std::uint64_t> resultMisses_{0};
 };
 
 /**

@@ -5,9 +5,10 @@
  * digest, cross-process reuse (a fresh store instance over the same
  * directory), eviction under a size budget, and the headline
  * guarantee — a warm-store re-run of a (workloads x engines) sweep
- * performs zero trace generations and zero baseline simulations and
- * produces results bitwise identical to a cold run and to the serial
- * ExperimentRunner reference.
+ * performs zero trace generations, zero baseline simulations and
+ * zero engine simulations (every cell served from the engine-result
+ * cache) and produces results bitwise identical to a cold run and to
+ * the serial ExperimentRunner reference.
  */
 
 #include <gtest/gtest.h>
@@ -329,15 +330,22 @@ TEST_F(TraceStoreTest, WarmSweepDoesZeroGenerationsAndBaselines)
     auto cold_results = cold.run(kWorkloads, engineSpecs(kEngines));
     EXPECT_EQ(cold.traceGenerations(), kWorkloads.size());
     EXPECT_EQ(cold.baselineRuns(), 2 * kWorkloads.size());
+    EXPECT_EQ(cold.engineRuns(),
+              kWorkloads.size() * kEngines.size());
 
     // Warm run: fresh driver AND fresh store instance over the same
-    // directory, as a separate process would see it.
+    // directory, as a separate process would see it. Every engine
+    // cell is served from the result cache, so nothing at all is
+    // simulated — not even the traces are decoded.
     ExperimentDriver warm(cfg, 4);
     warm.setStore(std::make_shared<TraceStore>(dir_));
     auto warm_results = warm.run(kWorkloads, engineSpecs(kEngines));
     EXPECT_EQ(warm.traceGenerations(), 0u);
     EXPECT_EQ(warm.baselineRuns(), 0u);
-    EXPECT_EQ(warm.store()->traceHits(), kWorkloads.size());
+    EXPECT_EQ(warm.engineRuns(), 0u);
+    EXPECT_EQ(warm.store()->resultHits(),
+              kWorkloads.size() * kEngines.size());
+    EXPECT_EQ(warm.store()->traceHits(), 0u);
 
     // Bitwise-identical merged results: warm vs cold...
     expectSameResults(cold_results, warm_results);
@@ -384,6 +392,9 @@ TEST_F(TraceStoreTest, FunctionalEntryDoesNotServeTimingRun)
     timed.run({"dss-qry17"}, engineSpecs({"sms"}));
     EXPECT_EQ(timed.traceGenerations(), 0u); // trace still reused
     EXPECT_EQ(timed.baselineRuns(), 2u);     // baselines recomputed
+    // The functional run's cached engine result carries no cycle
+    // data; the timing run keys results separately and re-simulates.
+    EXPECT_EQ(timed.engineRuns(), 1u);
 
     // The upgraded (timed) entry now serves both kinds of run.
     ExperimentDriver warm(smallConfig(true), 2);
@@ -500,6 +511,288 @@ TEST_F(TraceStoreTest, ImportedTraceRunsThroughDriverWithAllEngines)
     }
     // The OLTP capture is predictable: some engine must cover it.
     EXPECT_GT(best, 0.05);
+}
+
+// ---- engine-result cache ----
+
+TEST_F(TraceStoreTest, EngineResultRoundTripIsBitExact)
+{
+    TraceStore store(dir_);
+    StoredEngineResult r;
+    r.stats.records = 123456;
+    r.stats.reads = 100000;
+    r.stats.writes = 20000;
+    r.stats.invalidates = 3456;
+    r.stats.l1Hits = 90000;
+    r.stats.l2Hits = 5000;
+    r.stats.l2PrefetchHits = 1234;
+    r.stats.svbHits = 2345;
+    r.stats.offChipReads = 1421;
+    r.stats.offChipWrites = 777;
+    r.stats.prefetchesIssued = 4242;
+    r.stats.overpredictions = 663;
+    r.stats.cycles = 1.0 / 7.0;
+    r.stats.instructions = 987654321;
+    r.extra["placed"] = 0.30000000000000004;
+    r.extra["within2"] = 0.9999999999999999;
+    ASSERT_TRUE(store.putResult(0xA, 0xB, 0xC, r,
+                                {"wl", "eng", 1000, 42, 0.5, 0.9,
+                                 1.25, true}));
+
+    auto loaded = store.loadResult(0xA, 0xB, 0xC);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->stats.records, r.stats.records);
+    EXPECT_EQ(loaded->stats.l2PrefetchHits,
+              r.stats.l2PrefetchHits);
+    EXPECT_EQ(loaded->stats.svbHits, r.stats.svbHits);
+    EXPECT_EQ(loaded->stats.offChipReads, r.stats.offChipReads);
+    EXPECT_EQ(loaded->stats.prefetchesIssued,
+              r.stats.prefetchesIssued);
+    EXPECT_EQ(loaded->stats.overpredictions,
+              r.stats.overpredictions);
+    EXPECT_EQ(loaded->stats.cycles, r.stats.cycles); // bitwise
+    EXPECT_EQ(loaded->stats.instructions, r.stats.instructions);
+    EXPECT_EQ(loaded->extra, r.extra);
+
+    // Any other key misses.
+    EXPECT_FALSE(store.loadResult(0xA, 0xB, 0xD).has_value());
+    EXPECT_FALSE(store.loadResult(0xA, 0xD, 0xC).has_value());
+    EXPECT_FALSE(store.loadResult(0xD, 0xB, 0xC).has_value());
+    EXPECT_EQ(store.resultHits(), 1u);
+    EXPECT_EQ(store.resultMisses(), 3u);
+
+    // The sidecar is enumerable.
+    auto infos = store.listResults();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].meta.workload, "wl");
+    EXPECT_EQ(infos[0].meta.engine, "eng");
+    EXPECT_EQ(infos[0].meta.records, 1000u);
+    EXPECT_EQ(infos[0].meta.coverage, 0.5);
+    EXPECT_TRUE(infos[0].meta.timing);
+    EXPECT_GT(infos[0].savedAtUnix, 0);
+}
+
+TEST_F(TraceStoreTest, CorruptResultEntryFallsBackToSimulation)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    auto cold_results = cold.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(cold.engineRuns(), 1u);
+
+    // Flip a byte in the middle of the stored .res payload.
+    for (const auto &de :
+         std::filesystem::recursive_directory_iterator(dir_)) {
+        if (de.path().extension() != ".res")
+            continue;
+        std::fstream f(de.path(), std::ios::in | std::ios::out |
+                                      std::ios::binary);
+        f.seekp(24);
+        f.put('\x7f');
+    }
+
+    ExperimentDriver warm(cfg, 2);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    auto warm_results = warm.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(warm.engineRuns(), 1u); // cache rejected, re-simulated
+    EXPECT_EQ(warm.store()->resultHits(), 0u);
+    expectSameResults(cold_results, warm_results);
+
+    // The re-simulation re-persisted a good entry.
+    ExperimentDriver third(cfg, 2);
+    third.setStore(std::make_shared<TraceStore>(dir_));
+    expectSameResults(cold_results,
+                      third.run({"dss-qry17"}, engineSpecs({"sms"})));
+    EXPECT_EQ(third.engineRuns(), 0u);
+}
+
+TEST_F(TraceStoreTest, TruncatedResultEntryFallsBackToSimulation)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    auto cold_results = cold.run({"dss-qry17"}, engineSpecs({"sms"}));
+
+    for (const auto &de :
+         std::filesystem::recursive_directory_iterator(dir_)) {
+        if (de.path().extension() != ".res")
+            continue;
+        std::filesystem::resize_file(de.path(), 10);
+    }
+
+    ExperimentDriver warm(cfg, 2);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    auto warm_results = warm.run({"dss-qry17"}, engineSpecs({"sms"}));
+    EXPECT_EQ(warm.engineRuns(), 1u);
+    expectSameResults(cold_results, warm_results);
+}
+
+TEST_F(TraceStoreTest, EvictionSharesBudgetAcrossAllEntryKinds)
+{
+    TraceStore::Options opts;
+    opts.sizeBudgetBytes = 0; // manual gc only
+    TraceStore store(dir_, opts);
+    ASSERT_TRUE(
+        store.putTrace({"evict", 500, 1}, sampleTrace(1)).has_value());
+    StoredBaseline b;
+    b.misses = 7;
+    ASSERT_TRUE(store.putBaseline(1, 2, b));
+    StoredEngineResult r;
+    r.stats.records = 1;
+    ASSERT_TRUE(store.putResult(1, 2, 3, r,
+                                {"wl", "eng", 500, 1, 0, 0, 0,
+                                 false}));
+
+    // totalBytes counts all three kinds.
+    std::uint64_t total = store.totalBytes();
+    std::uint64_t listed = 0;
+    bool have_result = false;
+    for (const StoreEntry &e : store.list()) {
+        listed += e.bytes;
+        have_result |= e.kind == StoreEntry::Kind::kResult;
+    }
+    EXPECT_TRUE(have_result);
+    // list() reports payload bytes; meta sidecars add the rest.
+    EXPECT_LE(listed, total);
+    EXPECT_GT(listed, 0u);
+
+    // Make the result entry the oldest; evicting to just below the
+    // total must remove it first, as a .res/.meta pair.
+    auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &de :
+         std::filesystem::recursive_directory_iterator(dir_)) {
+        bool is_result = de.path().parent_path().filename() ==
+                         "results";
+        std::filesystem::last_write_time(
+            de.path(),
+            now - std::chrono::seconds(is_result ? 1000 : 10));
+    }
+    std::uint64_t removed = store.evictWithin(total - 1);
+    EXPECT_GT(removed, 0u);
+    EXPECT_FALSE(store.loadResult(1, 2, 3).has_value());
+    EXPECT_TRUE(store.listResults().empty());
+    // The newer trace and baseline survive.
+    EXPECT_TRUE(store.findTrace({"evict", 500, 1}).has_value());
+    EXPECT_TRUE(store.loadBaseline(1, 2).has_value());
+
+    // Full gc removes everything, results included.
+    store.evictWithin(0);
+    EXPECT_EQ(store.totalBytes(), 0u);
+    EXPECT_TRUE(store.list().empty());
+}
+
+TEST_F(TraceStoreTest, ExternalTraceHitsResultCacheByDigest)
+{
+    // stems_trace run --store: the caller vouches for the trace's
+    // content digest, so even the engine cells of an external trace
+    // become incremental across processes.
+    Trace t = sampleTrace();
+    std::uint64_t digest = traceDigest(t);
+    FixedTraceWorkload w("captured", Trace(t));
+
+    ExperimentDriver first(smallConfig(false), 2);
+    first.setStore(std::make_shared<TraceStore>(dir_));
+    auto a =
+        first.runWorkload(w, engineSpecs({"sms", "stems"}), digest);
+    EXPECT_EQ(first.engineRuns(), 2u);
+
+    ExperimentDriver second(smallConfig(false), 2);
+    second.setStore(std::make_shared<TraceStore>(dir_));
+    auto b =
+        second.runWorkload(w, engineSpecs({"sms", "stems"}), digest);
+    EXPECT_EQ(second.engineRuns(), 0u);
+    EXPECT_EQ(second.baselineRuns(), 0u);
+    EXPECT_EQ(second.store()->resultHits(), 2u);
+    expectSameResults({a}, {b});
+
+    // Without a digest nothing is cached or served.
+    ExperimentDriver third(smallConfig(false), 2);
+    third.setStore(std::make_shared<TraceStore>(dir_));
+    third.runWorkload(w, engineSpecs({"sms", "stems"}));
+    EXPECT_EQ(third.engineRuns(), 2u);
+}
+
+TEST_F(TraceStoreTest, AnonymousProbeBypassesResultCache)
+{
+    // A probe is opaque code: without a stable probeId the cell must
+    // re-simulate every run (the cached extras could be stale).
+    ExperimentConfig cfg = smallConfig(false);
+    EngineSpec spec("stems");
+    spec.probe = [](const Prefetcher &, EngineResult &er) {
+        er.extra["marker"] = 1.0;
+    };
+
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    cold.run({"dss-qry17"}, {spec});
+    EXPECT_EQ(cold.engineRuns(), 1u);
+
+    ExperimentDriver warm(cfg, 2);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    auto results = warm.run({"dss-qry17"}, {spec});
+    EXPECT_EQ(warm.engineRuns(), 1u); // not served from the cache
+    EXPECT_EQ(results.at(0).engines.at(0).extra.at("marker"), 1.0);
+}
+
+TEST_F(TraceStoreTest, NamedProbeRoundTripsExtrasThroughCache)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    EngineSpec spec("stems");
+    spec.probe = [](const Prefetcher &, EngineResult &er) {
+        er.extra["marker"] = 2.5;
+        er.extra["other"] = -0.125;
+    };
+    spec.probeId = "marker-probe-v1";
+
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    auto cold_results = cold.run({"dss-qry17"}, {spec});
+    EXPECT_EQ(cold.engineRuns(), 1u);
+
+    ExperimentDriver warm(cfg, 2);
+    warm.setStore(std::make_shared<TraceStore>(dir_));
+    auto warm_results = warm.run({"dss-qry17"}, {spec});
+    EXPECT_EQ(warm.engineRuns(), 0u);
+    const auto &extra = warm_results.at(0).engines.at(0).extra;
+    EXPECT_EQ(extra.at("marker"), 2.5);
+    EXPECT_EQ(extra.at("other"), -0.125);
+    expectSameResults(cold_results, warm_results);
+
+    // A different probe identity is a different cache key.
+    spec.probeId = "marker-probe-v2";
+    ExperimentDriver bumped(cfg, 2);
+    bumped.setStore(std::make_shared<TraceStore>(dir_));
+    bumped.run({"dss-qry17"}, {spec});
+    EXPECT_EQ(bumped.engineRuns(), 1u);
+}
+
+TEST_F(TraceStoreTest, DifferentEngineOptionsAreDifferentResults)
+{
+    ExperimentConfig cfg = smallConfig(false);
+    EngineOptions small_rmob;
+    small_rmob.bufferEntries = 256;
+
+    ExperimentDriver cold(cfg, 2);
+    cold.setStore(std::make_shared<TraceStore>(dir_));
+    cold.run({"dss-qry17"}, {EngineSpec("stems")});
+    EXPECT_EQ(cold.engineRuns(), 1u);
+
+    // Same engine name, different overrides: must not be served
+    // from the default-options entry.
+    ExperimentDriver swept(cfg, 2);
+    swept.setStore(std::make_shared<TraceStore>(dir_));
+    swept.run({"dss-qry17"},
+              {EngineSpec("stems", "stems-small", small_rmob)});
+    EXPECT_EQ(swept.engineRuns(), 1u);
+
+    // While a *label-only* change shares the entry (labels are
+    // cosmetic; the simulation is identical).
+    ExperimentDriver relabeled(cfg, 2);
+    relabeled.setStore(std::make_shared<TraceStore>(dir_));
+    auto results = relabeled.run(
+        {"dss-qry17"}, {EngineSpec("stems", "stems-renamed")});
+    EXPECT_EQ(relabeled.engineRuns(), 0u);
+    EXPECT_EQ(results.at(0).engines.at(0).engine, "stems-renamed");
 }
 
 } // namespace

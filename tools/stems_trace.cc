@@ -13,8 +13,9 @@
  *       Run prefetch engines (comma-separated registry names) over a
  *       trace through the parallel ExperimentDriver and report
  *       coverage and accuracy. With a store (--store or
- *       $STEMS_STORE), baselines are cached under the trace's
- *       content digest, so re-runs skip the baseline simulations.
+ *       $STEMS_STORE), baselines and per-engine results are cached
+ *       under the trace's content digest, so re-runs skip both the
+ *       baseline and the engine simulations.
  *   stems_trace import <in.txt> <out.trc> [--store DIR] [--name N]
  *       Convert an external text/CSV access trace (ChampSim-style
  *       pc,addr,is_write lines; see trace/text_trace.hh) to the
@@ -410,10 +411,12 @@ cmdCache(int argc, char **argv)
         auto entries = store->list();
         std::uint64_t total = 0;
         for (const StoreEntry &e : entries) {
-            std::printf("%-9s %10llu B  %6llds  %s\n",
-                        e.kind == StoreEntry::Kind::kTrace
-                            ? "trace"
-                            : "baseline",
+            const char *kind = "trace";
+            if (e.kind == StoreEntry::Kind::kBaseline)
+                kind = "baseline";
+            else if (e.kind == StoreEntry::Kind::kResult)
+                kind = "result";
+            std::printf("%-9s %10llu B  %6llds  %s\n", kind,
                         static_cast<unsigned long long>(e.bytes),
                         static_cast<long long>(e.ageSeconds),
                         e.description.c_str());
