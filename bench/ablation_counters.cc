@@ -34,7 +34,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     Table table({"workload", "mode", "covered", "overpred"});
     double over_counter = 0, over_bitvec = 0, cov_counter = 0,

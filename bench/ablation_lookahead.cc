@@ -31,7 +31,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     Table table({"workload", "lookahead", "covered", "overpred",
                  "speedup"});

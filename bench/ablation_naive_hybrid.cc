@@ -25,7 +25,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
     Table table({"workload", "engine", "covered", "overpred",
                  "over ratio"});
     const std::vector<std::string> workloads = benchWorkloads(

@@ -46,7 +46,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     EngineSpec stems_spec("stems");
     stems_spec.probe = displacementProbe;

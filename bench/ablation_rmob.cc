@@ -36,7 +36,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     Table table({"workload", "entries", "STeMS covered",
                  "TMS covered"});

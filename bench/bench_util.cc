@@ -56,6 +56,11 @@ usage(const char *argv0, int status)
         "  --no-store         disable the store even if STEMS_STORE\n"
         "                     is set\n"
         "  --json FILE        also write results as JSON\n"
+        "  --batch            batched execution: one trace pass\n"
+        "                     advances all of a workload's cells\n"
+        "                     (default)\n"
+        "  --no-batch         one task per cell, re-iterating the\n"
+        "                     trace (same results, bitwise)\n"
         "  --list             list registered workloads/engines\n"
         "  --help             this message\n",
         argv0);
@@ -132,6 +137,10 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
             no_store = true;
         } else if (arg == "--json") {
             options.jsonPath = value();
+        } else if (arg == "--batch") {
+            options.batch = true;
+        } else if (arg == "--no-batch") {
+            options.batch = false;
         } else if (!arg.empty() && arg[0] != '-') {
             // Historical positional trace-length override; 0 keeps
             // the bench default.
@@ -247,9 +256,10 @@ requireNoJson(const BenchOptions &options, const char *reason)
 }
 
 void
-attachBenchStore(ExperimentDriver &driver,
-                 const BenchOptions &options)
+configureBenchDriver(ExperimentDriver &driver,
+                     const BenchOptions &options)
 {
+    driver.setBatching(options.batch);
     if (options.storeDir.empty())
         return;
     auto store = std::make_shared<TraceStore>(options.storeDir);
@@ -288,14 +298,16 @@ reportStoreStats(const ExperimentDriver &driver)
         stderr,
         "[store] generations=%llu traceHits=%llu "
         "baselineSims=%llu baselineHits=%llu "
-        "engineSims=%llu resultHits=%llu resultMisses=%llu\n",
+        "engineSims=%llu resultHits=%llu resultMisses=%llu "
+        "batchedSims=%llu\n",
         static_cast<unsigned long long>(driver.traceGenerations()),
         static_cast<unsigned long long>(store->traceHits()),
         static_cast<unsigned long long>(driver.baselineRuns()),
         static_cast<unsigned long long>(store->baselineHits()),
         static_cast<unsigned long long>(driver.engineRuns()),
         static_cast<unsigned long long>(store->resultHits()),
-        static_cast<unsigned long long>(store->resultMisses()));
+        static_cast<unsigned long long>(store->resultMisses()),
+        static_cast<unsigned long long>(driver.batchedRuns()));
 }
 
 std::string

@@ -9,7 +9,7 @@
  *   bench [records] [--records N] [--jobs N] [--seed N]
  *         [--workloads a,b,c] [--engines x,y]
  *         [--store DIR] [--no-store] [--json FILE]
- *         [--list] [--help]
+ *         [--batch] [--no-batch] [--list] [--help]
  *
  * The bare positional `records` argument is the historical interface
  * (e.g. `fig9_streaming_comparison 500000` for a quick run) and keeps
@@ -20,6 +20,10 @@
  * disk instead of regenerating/resimulating them; `--no-store` forces
  * the store off even when STEMS_STORE is set. `--json FILE` writes
  * the sweep results machine-readably for perf-trajectory tracking.
+ * `--no-batch` disables the driver's batched execution (one trace
+ * pass advancing all of a workload's cells) in favor of the
+ * one-task-per-cell dispatch; results are bitwise identical either
+ * way.
  */
 
 #ifndef STEMS_BENCH_BENCH_UTIL_HH
@@ -49,6 +53,9 @@ struct BenchOptions
     std::string storeDir;
     /// Machine-readable results output path; empty = none.
     std::string jsonPath;
+    /// Batched execution (one trace pass per workload); --no-batch
+    /// restores the per-cell dispatch.
+    bool batch = true;
 };
 
 /**
@@ -102,11 +109,13 @@ void requireNoWorkloadSelection(const BenchOptions &options,
 void requireNoJson(const BenchOptions &options, const char *reason);
 
 /**
- * Attach the persistent TraceStore selected by --store/STEMS_STORE
- * to a driver (no-op when the options carry no store directory).
+ * Apply the execution options to a driver: the batch toggle
+ * (--batch/--no-batch) and the persistent TraceStore selected by
+ * --store/STEMS_STORE (skipped when the options carry no store
+ * directory).
  */
-void attachBenchStore(ExperimentDriver &driver,
-                      const BenchOptions &options);
+void configureBenchDriver(ExperimentDriver &driver,
+                          const BenchOptions &options);
 
 /**
  * When --json was given, write the sweep results to the selected

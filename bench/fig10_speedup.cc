@@ -29,7 +29,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     Table table({"workload", "base IPC", "TMS", "SMS", "STeMS"});
     // Geometric means over the commercial workloads, as the paper's

@@ -66,7 +66,7 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     std::vector<Sequitur::Classification> all(workloads.size());
     std::vector<Sequitur::Classification> trig(workloads.size());

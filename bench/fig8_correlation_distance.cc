@@ -43,7 +43,7 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     std::vector<CorrelationAnalyzer> analyzers(workloads.size());
     driver.forEachTrace(

@@ -31,7 +31,7 @@ main(int argc, char **argv)
         benchEngines(opts, {"tms", "sms", "stems"});
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
 
     Table table({"workload", "base misses", "engine", "covered",
                  "uncovered", "overpred"});

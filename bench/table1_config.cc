@@ -50,7 +50,7 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads = benchWorkloads(opts);
     ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
     std::vector<TraceSummary> summaries(workloads.size());
     driver.forEachTrace(
         workloads,

@@ -131,7 +131,7 @@ main(int argc, char **argv)
     // 2. Run the engines on it by name, through the driver.
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
     const std::vector<std::string> engines =
         benchEngines(opts, {"tms", "sms", "stems"});
     const auto results =

@@ -86,7 +86,7 @@ main(int argc, char **argv)
 
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
     const std::vector<std::string> engines = benchEngines(
         opts, {"stride", "tms", "sms", "stems"});
     WorkloadResult r =

@@ -32,7 +32,7 @@ main(int argc, char **argv)
     // over a thread pool.
     ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
                             opts.jobs);
-    attachBenchStore(driver, opts);
+    configureBenchDriver(driver, opts);
     const auto results = driver.run(workloads, engineSpecs(engines));
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {

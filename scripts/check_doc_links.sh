@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Fail when any Markdown file contains a relative link to a file
-# that does not exist. External (http/https/mailto) and pure-anchor
-# links are skipped; "path#anchor" links are checked for the path
-# part only (anchor existence is not verified).
+# Fail when any Markdown file contains a dead relative link or a
+# dead heading anchor:
+#
+#  - "path" / "path#anchor": the path must exist relative to the
+#    file; when the target is a Markdown file and an anchor is given,
+#    the anchor must match one of its headings;
+#  - "#anchor": the current file must contain a matching heading.
+#
+# External (http/https/mailto) links are skipped. Anchors are
+# matched GitHub-style: headings lowercased, punctuation stripped,
+# spaces turned into hyphens (a trailing -N disambiguator is
+# accepted for duplicate headings). Every *.md outside build/dot
+# directories is scanned — including root-level files such as
+# ISSUE.md and CHANGES.md.
 #
 # Usage: scripts/check_doc_links.sh [root-dir]
 set -u
@@ -11,8 +21,37 @@ root="${1:-.}"
 status=0
 
 # Markdown files, excluding build trees and dot-directories.
-files=$(find "$root" \( -name build -o -name .git -o -name .claude \) \
+files=$(find "$root" \( -name 'build*' -o -name .git -o -name .claude \) \
              -prune -o -name '*.md' -print)
+
+# ATX headings of a file (fenced code blocks dropped), one per line.
+# (No {1,6} interval: mawk, Debian's default awk, lacks them.)
+headings() {
+    awk '/^[[:space:]]*```/ { fence = !fence; next }
+         !fence && /^#+ / { sub(/^#+[[:space:]]*/, ""); print }' \
+        "$1"
+}
+
+# GitHub-style slug: lowercase, drop everything but alphanumerics,
+# underscores, spaces and hyphens, then spaces -> hyphens.
+slugify() {
+    printf '%s' "$1" | tr '[:upper:]' '[:lower:]' |
+        sed 's/[^a-z0-9_ -]//g; s/ /-/g'
+}
+
+# Does file $1 contain a heading matching anchor $2?
+has_anchor() {
+    local file="$1" anchor="$2" base h
+    # Accept a -N suffix (GitHub's duplicate-heading disambiguator).
+    base=$(printf '%s' "$anchor" | sed 's/-[0-9][0-9]*$//')
+    while IFS= read -r h; do
+        h=$(slugify "$h")
+        [ "$h" = "$anchor" ] || [ "$h" = "$base" ] && return 0
+    done <<EOF
+$(headings "$file")
+EOF
+    return 1
+}
 
 for f in $files; do
     dir=$(dirname "$f")
@@ -25,14 +64,30 @@ for f in $files; do
     while IFS= read -r link; do
         [ -z "$link" ] && continue
         case "$link" in
-            http://*|https://*|mailto:*|\#*) continue ;;
+            http://*|https://*|mailto:*) continue ;;
         esac
-        path="${link%%#*}"      # strip an anchor suffix
+        path="${link%%#*}"      # path part ('' for pure anchors)
         path="${path%% *}"      # strip a '... "title"' suffix
-        [ -z "$path" ] && continue
-        if [ ! -e "$dir/$path" ]; then
+        anchor=""
+        case "$link" in
+            *\#*) anchor="${link#*#}"; anchor="${anchor%% *}" ;;
+        esac
+        if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
             echo "$f: dead link -> $link" >&2
             status=1
+            continue
+        fi
+        if [ -n "$anchor" ]; then
+            target="$f"
+            [ -n "$path" ] && target="$dir/$path"
+            case "$target" in
+                *.md)
+                    if ! has_anchor "$target" "$anchor"; then
+                        echo "$f: dead anchor -> $link" >&2
+                        status=1
+                    fi
+                    ;;
+            esac
         fi
     done <<EOF
 $links
@@ -40,6 +95,6 @@ EOF
 done
 
 if [ "$status" -eq 0 ]; then
-    echo "all Markdown relative links resolve"
+    echo "all Markdown links and anchors resolve"
 fi
 exit $status

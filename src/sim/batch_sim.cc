@@ -1,0 +1,126 @@
+#include "sim/batch_sim.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace stems {
+
+std::size_t
+BatchSimulator::addLane(const SimParams &params, Prefetcher *engine,
+                        std::size_t warmup_records)
+{
+    Lane lane;
+    lane.sim = std::make_unique<PrefetchSimulator>(params, engine);
+    lane.warmup = warmup_records;
+    if (lane.warmup > 0)
+        lane.sim->setMeasuring(false);
+    lanes_.push_back(std::move(lane));
+    return lanes_.size() - 1;
+}
+
+void
+BatchSimulator::runLaneChunk(Lane &lane, const MemRecord *records,
+                             std::size_t first, std::size_t count)
+{
+    // Mirrors PrefetchSimulator::run exactly: the measuring flip at
+    // index == warmup is a no-op for warmup == 0 lanes (already on),
+    // so the lane's step sequence matches a standalone run bitwise.
+    PrefetchSimulator &sim = *lane.sim;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (first + i == lane.warmup)
+            sim.setMeasuring(true);
+        sim.step(records[i]);
+    }
+}
+
+void
+BatchSimulator::runChunk(const MemRecord *records, std::size_t first,
+                         std::size_t count, unsigned jobs)
+{
+    // Lane-major within the chunk: a lane's tables stay hot for the
+    // whole chunk while the chunk's records are served from cache
+    // for every lane after the first. (Record-major — all lanes per
+    // record — reloads every lane's working set per record and is
+    // measurably slower.)
+    std::size_t workers =
+        std::min<std::size_t>(jobs, lanes_.size());
+    if (workers <= 1) {
+        for (Lane &lane : lanes_)
+            runLaneChunk(lane, records, first, count);
+        return;
+    }
+
+    // Lanes are mutually independent, so they can advance through
+    // the shared chunk concurrently; threads claim lanes dynamically
+    // to absorb heterogeneous lane costs.
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    auto body = [&] {
+        for (;;) {
+            std::size_t li =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (li >= lanes_.size())
+                break;
+            try {
+                runLaneChunk(lanes_[li], records, first, count);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t)
+        pool.emplace_back(body);
+    body();
+    for (std::thread &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+BatchSimulator::finishAll()
+{
+    for (Lane &lane : lanes_)
+        lane.sim->finish();
+}
+
+void
+BatchSimulator::run(const Trace &trace, unsigned jobs)
+{
+    for (std::size_t start = 0; start < trace.size();
+         start += kChunkRecords) {
+        std::size_t count =
+            std::min(trace.size() - start, kChunkRecords);
+        runChunk(trace.data() + start, start, count, jobs);
+    }
+    finishAll();
+}
+
+void
+BatchSimulator::run(TraceSource &source, unsigned jobs)
+{
+    source.reset();
+    std::vector<MemRecord> chunk(kChunkRecords);
+    std::size_t first = 0;
+    for (;;) {
+        std::size_t count = 0;
+        while (count < kChunkRecords && source.next(chunk[count]))
+            ++count;
+        if (count == 0)
+            break;
+        runChunk(chunk.data(), first, count, jobs);
+        first += count;
+        if (count < kChunkRecords)
+            break;
+    }
+    finishAll();
+}
+
+} // namespace stems

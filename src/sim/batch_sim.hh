@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Batched trace execution: one pass over a trace advances N
+ * independent simulation lanes.
+ *
+ * Each lane is a full PrefetchSimulator — its own MemoryHierarchy,
+ * SVB, timing model, SimStats, and (optionally) prefetch engine — so
+ * lanes never share mutable state and a lane's statistics are bitwise
+ * identical to what a standalone PrefetchSimulator::run over the same
+ * trace would produce (tests/sim_test.cc pins this). What the batch
+ * amortizes is the trace traversal itself: every record is fetched
+ * (or decoded, for a TraceSource replay) exactly once and stepped
+ * through every lane, instead of once per lane. Records are
+ * processed in chunks, lane-major within each chunk, so a lane's
+ * working set stays cache-hot across the chunk while the chunk's
+ * records are re-served from cache to every subsequent lane.
+ *
+ * This is the single-pass, multi-consumer structure trace-driven
+ * simulators use to evaluate many configurations per trace read; the
+ * ExperimentDriver uses it to run a workload's baseline, stride and
+ * engine cells in one traversal (see sim/driver.hh `setBatching`).
+ */
+
+#ifndef STEMS_SIM_BATCH_SIM_HH
+#define STEMS_SIM_BATCH_SIM_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/prefetch_sim.hh"
+
+namespace stems {
+
+/**
+ * Advances several independent PrefetchSimulators from a single
+ * decode of each trace record.
+ */
+class BatchSimulator
+{
+  public:
+    /**
+     * Add one simulation lane.
+     *
+     * @param params  system configuration for this lane.
+     * @param engine  attached engine; may be null (the no-prefetch
+     *                baseline). Not owned; must outlive run().
+     * @param warmup_records  leading records that train this lane
+     *                without being measured (lanes may differ).
+     * @return the lane's index, for stats()/simulator().
+     */
+    std::size_t addLane(const SimParams &params, Prefetcher *engine,
+                        std::size_t warmup_records = 0);
+
+    /** Number of lanes added. */
+    std::size_t lanes() const { return lanes_.size(); }
+
+    /**
+     * One pass over an in-memory trace: each record is stepped
+     * through every lane, honoring per-lane warmup, then every lane
+     * is finalized. Call at most once per BatchSimulator.
+     *
+     * @param jobs  worker threads advancing lanes within each chunk
+     *              (lanes are mutually independent, so lane-level
+     *              parallelism cannot change any lane's results;
+     *              clamped to the lane count, 1 = serial).
+     */
+    void run(const Trace &trace, unsigned jobs = 1);
+
+    /**
+     * One pass over a TraceSource (the source is reset first): each
+     * record is decoded exactly once and stepped through every lane.
+     * Record-for-record equivalent to run(const Trace &) over the
+     * materialized trace.
+     */
+    void run(TraceSource &source, unsigned jobs = 1);
+
+    /** Statistics of one lane's measured window (valid after run). */
+    const SimStats &stats(std::size_t lane) const
+    {
+        return lanes_.at(lane).sim->stats();
+    }
+
+    /** The lane's underlying simulator (e.g. for probe access). */
+    PrefetchSimulator &simulator(std::size_t lane)
+    {
+        return *lanes_.at(lane).sim;
+    }
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<PrefetchSimulator> sim;
+        std::size_t warmup = 0;
+    };
+
+    /// Records stepped per lane before switching lanes (or, with
+    /// jobs > 1, the lane-parallel synchronization quantum): big
+    /// enough to amortize reloading a lane's working set and the
+    /// per-chunk thread handoff, small enough that the chunk (2 MiB
+    /// of records) stays cache-resident for the next lane.
+    static constexpr std::size_t kChunkRecords = 65536;
+
+    /** Step `count` records (trace positions [first, first+count))
+     *  through every lane, lane-major, on up to `jobs` threads. */
+    void runChunk(const MemRecord *records, std::size_t first,
+                  std::size_t count, unsigned jobs);
+
+    /** One lane's share of a chunk. */
+    void runLaneChunk(Lane &lane, const MemRecord *records,
+                      std::size_t first, std::size_t count);
+
+    void finishAll();
+
+    std::vector<Lane> lanes_;
+};
+
+} // namespace stems
+
+#endif // STEMS_SIM_BATCH_SIM_HH

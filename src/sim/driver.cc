@@ -9,6 +9,7 @@
 
 #include "common/stats.hh"
 #include "prefetch/engine_registry.hh"
+#include "sim/batch_sim.hh"
 #include "store/trace_store.hh"
 #include "trace/trace_io.hh"
 #include "workloads/registry.hh"
@@ -374,9 +375,7 @@ ExperimentDriver::runCells(
     sim_params.enableTiming = config_.enableTiming;
     sim_params.timing = config_.system.timing;
 
-    auto run_cell = [&](std::size_t index) {
-        const Cell &cell = cells[index];
-        WorkloadShard &shard = *shards[cell.shard];
+    auto materialize_shard = [&](WorkloadShard &shard) {
         std::call_once(shard.traceOnce, [&] {
             if (shard.storeEligible) {
                 std::optional<std::uint64_t> digest;
@@ -395,40 +394,45 @@ ExperimentDriver::runCells(
             shard.warmup = static_cast<std::size_t>(
                 shard.trace.size() * config_.warmupFraction);
         });
+    };
 
-        switch (cell.kind) {
-        case Cell::kBaseline: {
-            PrefetchSimulator sim(sim_params, nullptr);
-            sim.run(shard.trace, shard.warmup);
-            shard.baselineMisses = sim.stats().offChipReads;
-            shard.baselineCycles = sim.stats().cycles;
-            break;
-        }
-        case Cell::kStride: {
+    /** Build the cell's engine (null for the baseline cell). */
+    auto make_cell_engine =
+        [&](const Cell &cell,
+            const WorkloadShard &shard) -> std::unique_ptr<Prefetcher> {
+        if (cell.kind == Cell::kBaseline)
+            return nullptr;
+        if (cell.kind == Cell::kStride) {
             EngineOptions options;
             options.scientific = shard.scientific;
-            auto stride = registry.make("stride", config_.system,
-                                        options);
-            PrefetchSimulator sim(sim_params, stride.get());
-            sim.run(shard.trace, shard.warmup);
-            shard.strideCycles = sim.stats().cycles;
-            shard.strideIpc = sim.stats().ipc();
-            break;
+            return registry.make("stride", config_.system, options);
         }
+        const EngineSpec &spec = engines[cell.spec];
+        EngineOptions options = spec.options;
+        options.scientific = options.scientific || shard.scientific;
+        return registry.make(spec.engine, config_.system, options);
+    };
+
+    /** Record one finished cell's statistics into its shard. */
+    auto collect_cell = [&](const Cell &cell, WorkloadShard &shard,
+                            const SimStats &stats,
+                            Prefetcher *engine) {
+        switch (cell.kind) {
+        case Cell::kBaseline:
+            shard.baselineMisses = stats.offChipReads;
+            shard.baselineCycles = stats.cycles;
+            break;
+        case Cell::kStride:
+            shard.strideCycles = stats.cycles;
+            shard.strideIpc = stats.ipc();
+            break;
         case Cell::kEngine: {
             const EngineSpec &spec = engines[cell.spec];
-            EngineOptions options = spec.options;
-            options.scientific =
-                options.scientific || shard.scientific;
-            auto engine = registry.make(spec.engine, config_.system,
-                                        options);
-            PrefetchSimulator sim(sim_params, engine.get());
-            sim.run(shard.trace, shard.warmup);
-            shard.engineStats[cell.spec] = sim.stats();
+            shard.engineStats[cell.spec] = stats;
             if (spec.probe) {
                 EngineResult scratch;
                 scratch.engine = spec.resultLabel();
-                scratch.stats = sim.stats();
+                scratch.stats = stats;
                 spec.probe(*engine, scratch);
                 shard.engineExtra[cell.spec] =
                     std::move(scratch.extra);
@@ -436,6 +440,18 @@ ExperimentDriver::runCells(
             break;
         }
         }
+    };
+
+    auto run_cell = [&](std::size_t index) {
+        const Cell &cell = cells[index];
+        WorkloadShard &shard = *shards[cell.shard];
+        materialize_shard(shard);
+
+        std::unique_ptr<Prefetcher> engine =
+            make_cell_engine(cell, shard);
+        PrefetchSimulator sim(sim_params, engine.get());
+        sim.run(shard.trace, shard.warmup);
+        collect_cell(cell, shard, sim.stats(), engine.get());
 
         if (shard.remainingCells.fetch_sub(1) == 1) {
             // Last cell of this workload: release the trace early so
@@ -443,13 +459,66 @@ ExperimentDriver::runCells(
             Trace().swap(shard.trace);
         }
     };
-    dispatch(cells.size(), run_cell);
+
+    // Batched: all of a workload's schedulable cells become one task
+    // that traverses the trace once, each cell an isolated lane of a
+    // BatchSimulator. Unbatched: one task per cell, every cell
+    // re-iterating the shared trace. Per-cell simulation state is
+    // identical either way, so results are bitwise equal; what
+    // changes is traversal count and dispatch granularity.
+    if (batching_) {
+        std::vector<std::vector<Cell>> shard_cells(shards.size());
+        for (const Cell &cell : cells)
+            shard_cells[cell.shard].push_back(cell);
+        std::vector<std::size_t> batch_shards;
+        for (std::size_t i = 0; i < shards.size(); ++i)
+            if (!shard_cells[i].empty())
+                batch_shards.push_back(i);
+
+        // Batching coarsens dispatch to one task per workload; when
+        // that leaves worker threads idle (fewer workloads than
+        // jobs), hand the slack to each task as lane-level
+        // parallelism inside its single trace pass. Lane results
+        // cannot depend on this (lanes are independent), so any
+        // split stays bitwise deterministic.
+        unsigned lane_jobs = static_cast<unsigned>(std::max<std::size_t>(
+            1, jobs_ / std::max<std::size_t>(1, batch_shards.size())));
+
+        auto run_batch = [&](std::size_t task) {
+            WorkloadShard &shard = *shards[batch_shards[task]];
+            const std::vector<Cell> &batch =
+                shard_cells[batch_shards[task]];
+            materialize_shard(shard);
+
+            BatchSimulator sim;
+            std::vector<std::unique_ptr<Prefetcher>> lane_engines;
+            lane_engines.reserve(batch.size());
+            for (const Cell &cell : batch) {
+                lane_engines.push_back(
+                    make_cell_engine(cell, shard));
+                sim.addLane(sim_params, lane_engines.back().get(),
+                            shard.warmup);
+            }
+            sim.run(shard.trace, lane_jobs);
+            for (std::size_t k = 0; k < batch.size(); ++k)
+                collect_cell(batch[k], shard, sim.stats(k),
+                             lane_engines[k].get());
+            // The task owns all of this workload's cells: release
+            // the trace as soon as its single pass completes.
+            Trace().swap(shard.trace);
+        };
+        dispatch(batch_shards.size(), run_batch);
+    } else {
+        dispatch(cells.size(), run_cell);
+    }
 
     // ---- update the baseline caches (in-memory, then store) ----
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         baselineRuns_ += baseline_cells;
         engineRuns_ += engine_cells;
+        if (batching_)
+            batchedRuns_ += cells.size();
         for (const auto &shard : shards) {
             if (!cacheable ||
                 (!shard->needBaseline && !shard->needStride))

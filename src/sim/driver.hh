@@ -6,6 +6,12 @@
  * Compared with the serial ExperimentRunner, the driver
  *  - generates each workload's trace exactly once and shares it
  *    read-only across every engine run over that workload,
+ *  - by default *batches* each workload's cold cells: one
+ *    BatchSimulator pass traverses the trace once and advances the
+ *    baseline, stride and every engine cell together instead of
+ *    re-iterating the trace per cell (setBatching(false) restores
+ *    the one-task-per-cell dispatch; results are bitwise identical
+ *    either way),
  *  - caches the no-prefetch and stride baselines per workload across
  *    run() calls instead of recomputing them per call,
  *  - releases each trace as soon as its last cell completes, bounding
@@ -174,13 +180,35 @@ class ExperimentDriver
         return store_;
     }
 
+    /**
+     * Enable/disable batched execution (default: enabled). Batched,
+     * each workload's schedulable cells run as one task that
+     * traverses the trace once through a BatchSimulator; unbatched,
+     * every cell is its own task re-iterating the shared trace.
+     * Purely an execution-strategy knob: results are bitwise
+     * identical either way (tests/driver_test.cc pins this), so it
+     * does not participate in any cache key.
+     */
+    void setBatching(bool on) { batching_ = on; }
+
+    /** Whether batched execution is enabled. */
+    bool batching() const { return batching_; }
+
     /** Baseline simulations actually executed (cache diagnostics). */
     std::uint64_t baselineRuns() const { return baselineRuns_; }
 
     /** Engine-cell simulations actually executed, as opposed to
      *  served from the store's engine-result cache (store
-     *  diagnostics; a fully warm sweep re-run reports 0). */
+     *  diagnostics; a fully warm sweep re-run reports 0). Counts
+     *  batched and unbatched executions alike — the split between
+     *  the two is batchedRuns(). */
     std::uint64_t engineRuns() const { return engineRuns_; }
+
+    /** Cell simulations (baseline, stride and engine cells alike)
+     *  executed inside batched trace passes. 0 when batching is
+     *  disabled; on a fully warm sweep 0 either way (warm cells are
+     *  merged from the store and join no batch). */
+    std::uint64_t batchedRuns() const { return batchedRuns_; }
 
     /** Workload traces actually generated, as opposed to replayed
      *  from the store (store diagnostics). */
@@ -238,6 +266,8 @@ class ExperimentDriver
     /// (functional and timed runs are distinct entries).
     std::uint64_t resultConfigDigest_ = 0;
     std::uint64_t engineRuns_ = 0;
+    std::uint64_t batchedRuns_ = 0;
+    bool batching_ = true;
     std::atomic<std::uint64_t> traceGenerations_{0};
 };
 

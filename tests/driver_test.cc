@@ -2,16 +2,20 @@
  * @file
  * Tests for the parallel ExperimentDriver: bitwise determinism
  * across thread counts, equivalence with the serial
- * ExperimentRunner reference, baseline caching, engine overrides,
- * probes, and the forEachTrace analysis path.
+ * ExperimentRunner reference, batched-vs-unbatched execution
+ * identity (including mixed warm/cold batches over a persistent
+ * store and anonymous-probe cells), baseline caching, engine
+ * overrides, probes, and the forEachTrace analysis path.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
+#include "store/trace_store.hh"
 #include "workloads/registry.hh"
 
 namespace stems {
@@ -101,6 +105,133 @@ TEST(Driver, MatchesSerialRunnerReference)
     ExperimentDriver driver(cfg, 4);
     auto results = driver.run(kWorkloads, engineSpecs(kEngines));
     expectSameResults(reference, results);
+}
+
+TEST(Driver, BatchedMatchesUnbatchedAcrossJobs)
+{
+    // The batch toggle is pure execution strategy: for every
+    // (jobs, batching) combination the sweep must be bitwise
+    // identical, and the diagnostics must attribute the work to the
+    // right mode.
+    ExperimentConfig cfg = smallConfig(true);
+    std::vector<std::vector<WorkloadResult>> runs;
+    for (unsigned jobs : {1u, 8u}) {
+        for (bool batch : {true, false}) {
+            ExperimentDriver driver(cfg, jobs);
+            driver.setBatching(batch);
+            runs.push_back(
+                driver.run(kWorkloads, engineSpecs(kEngines)));
+            if (batch)
+                EXPECT_GT(driver.batchedRuns(), 0u);
+            else
+                EXPECT_EQ(driver.batchedRuns(), 0u);
+        }
+    }
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        expectSameResults(runs[0], runs[i]);
+}
+
+/** Unique-per-test temporary store directory (ctest runs test
+ *  binaries concurrently). */
+std::string
+tempStoreDir()
+{
+    std::string dir = testing::TempDir() + "stems_driver_store_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(Driver, BatchMergesWarmCellsAndBatchesColdOnes)
+{
+    // A batch over a partially warm store must only simulate the
+    // cold cells; warm neighbors merge from the cache, and the
+    // combined result is bitwise identical to a storeless sweep.
+    std::string dir = tempStoreDir();
+    ExperimentConfig cfg = smallConfig(false);
+    {
+        auto store = std::make_shared<TraceStore>(dir);
+        ASSERT_TRUE(store->usable());
+        ExperimentDriver cold(cfg, 4);
+        cold.setStore(store);
+        cold.run({"dss-qry17"}, engineSpecs({"tms", "sms"}));
+        EXPECT_EQ(cold.engineRuns(), 2u);
+    }
+    auto store = std::make_shared<TraceStore>(dir);
+    ASSERT_TRUE(store->usable());
+    ExperimentDriver mixed(cfg, 4);
+    mixed.setStore(store);
+    auto results =
+        mixed.run({"dss-qry17"}, engineSpecs({"tms", "sms", "stems"}));
+    // Only the stems cell was cold; the baseline and the other two
+    // engine cells came from the store.
+    EXPECT_EQ(mixed.engineRuns(), 1u);
+    EXPECT_EQ(mixed.baselineRuns(), 0u);
+    EXPECT_EQ(mixed.batchedRuns(), 1u);
+
+    ExperimentDriver reference(cfg, 4);
+    auto expected = reference.run({"dss-qry17"},
+                                  engineSpecs({"tms", "sms", "stems"}));
+    expectSameResults(expected, results);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Driver, AnonymousProbeJoinsBatchWithoutPoisoningCache)
+{
+    // An anonymous probe (no probeId) makes a spec uncacheable: its
+    // cell must re-simulate inside the batch even when a cached
+    // result for the same engine exists, must not overwrite that
+    // cached entry, and warm neighbors must stay warm.
+    std::string dir = tempStoreDir();
+    ExperimentConfig cfg = smallConfig(false);
+    {
+        auto store = std::make_shared<TraceStore>(dir);
+        ASSERT_TRUE(store->usable());
+        ExperimentDriver warm(cfg, 2);
+        warm.setStore(store);
+        warm.run({"dss-qry17"}, engineSpecs({"stems", "sms"}));
+        EXPECT_EQ(warm.engineRuns(), 2u);
+    }
+
+    EngineSpec probed("stems");
+    probed.probe = [](const Prefetcher &engine, EngineResult &er) {
+        er.extra["bufferCapacity"] =
+            static_cast<double>(engine.bufferCapacity());
+    };
+    {
+        auto store = std::make_shared<TraceStore>(dir);
+        ASSERT_TRUE(store->usable());
+        ExperimentDriver driver(cfg, 2);
+        driver.setStore(store);
+        auto results = driver.run({"dss-qry17"},
+                                  {probed, EngineSpec("sms")});
+        EXPECT_EQ(driver.engineRuns(), 1u); // probed cell only
+        EXPECT_EQ(driver.batchedRuns(), 1u);
+        ASSERT_EQ(results.size(), 1u);
+        const EngineResult *stems = results[0].find("stems");
+        ASSERT_NE(stems, nullptr);
+        EXPECT_EQ(stems->extra.count("bufferCapacity"), 1u);
+    }
+
+    // The probed run did not poison the cache: a plain stems sweep
+    // is still served entirely from the store, probe-free and
+    // bitwise identical to a storeless reference.
+    auto store = std::make_shared<TraceStore>(dir);
+    ASSERT_TRUE(store->usable());
+    ExperimentDriver replay(cfg, 2);
+    replay.setStore(store);
+    auto cached = replay.run({"dss-qry17"}, engineSpecs({"stems"}));
+    EXPECT_EQ(replay.engineRuns(), 0u);
+    ASSERT_EQ(cached.size(), 1u);
+    EXPECT_TRUE(cached[0].find("stems")->extra.empty());
+
+    ExperimentDriver reference(cfg, 2);
+    auto expected =
+        reference.run({"dss-qry17"}, engineSpecs({"stems"}));
+    expectSameResults(expected, cached);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Driver, BaselinesCachedAcrossCalls)

@@ -1,15 +1,19 @@
 /**
  * @file
  * Unit tests for the timing model, the prefetch simulator's coverage
- * and overprediction accounting, and the experiment runner.
+ * and overprediction accounting, the batched multi-lane simulator,
+ * and the experiment runner.
  */
 
 #include <gtest/gtest.h>
 
+#include "prefetch/engine_registry.hh"
+#include "sim/batch_sim.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/prefetch_sim.hh"
 #include "sim/timing.hh"
+#include "trace/trace_source.hh"
 #include "workloads/registry.hh"
 
 namespace stems {
@@ -280,6 +284,133 @@ TEST(PrefetchSim, BaselineHasNoPrefetchActivity)
     sim.run(b.take());
     EXPECT_EQ(sim.stats().prefetchesIssued, 0u);
     EXPECT_EQ(sim.stats().covered(), 0u);
+}
+
+// ---- batched multi-lane simulator ----
+
+void
+expectBitwiseEqualStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.invalidates, b.invalidates);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2PrefetchHits, b.l2PrefetchHits);
+    EXPECT_EQ(a.svbHits, b.svbHits);
+    EXPECT_EQ(a.offChipReads, b.offChipReads);
+    EXPECT_EQ(a.offChipWrites, b.offChipWrites);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+    EXPECT_EQ(a.overpredictions, b.overpredictions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(BatchSim, LanesMatchStandaloneSimulators)
+{
+    // A batched pass must reproduce each lane's standalone run
+    // bitwise — including cycles, so the timing model is exercised.
+    auto w = makeWorkload("dss-qry17");
+    Trace t = w->generate(7, 30000);
+    std::size_t warmup = t.size() / 2;
+
+    SystemConfig system = defaultSystemConfig();
+    SimParams params;
+    params.hierarchy = system.hierarchy;
+    params.enableTiming = true;
+    params.timing = system.timing;
+
+    const std::vector<const char *> engines = {"stride", "sms",
+                                               "stems"};
+    const EngineRegistry &registry = EngineRegistry::instance();
+
+    BatchSimulator batch;
+    std::vector<std::unique_ptr<Prefetcher>> lane_engines;
+    lane_engines.push_back(nullptr); // no-prefetch baseline lane
+    batch.addLane(params, nullptr, warmup);
+    for (const char *name : engines) {
+        lane_engines.push_back(registry.make(name, system, {}));
+        batch.addLane(params, lane_engines.back().get(), warmup);
+    }
+    batch.run(t);
+
+    for (std::size_t lane = 0; lane < lane_engines.size(); ++lane) {
+        std::unique_ptr<Prefetcher> engine =
+            lane == 0 ? nullptr
+                      : registry.make(engines[lane - 1], system, {});
+        PrefetchSimulator solo(params, engine.get());
+        solo.run(t, warmup);
+        expectBitwiseEqualStats(solo.stats(), batch.stats(lane));
+    }
+}
+
+TEST(BatchSim, ParallelLanesMatchSerialLanes)
+{
+    // Lane-level parallelism is an execution detail: jobs > 1 must
+    // not change any lane's statistics.
+    auto w = makeWorkload("web-apache");
+    Trace t = w->generate(3, 20000);
+    std::size_t warmup = t.size() / 2;
+    SystemConfig system = defaultSystemConfig();
+    SimParams params;
+    params.hierarchy = system.hierarchy;
+    const EngineRegistry &registry = EngineRegistry::instance();
+
+    auto run_with = [&](unsigned jobs) {
+        BatchSimulator batch;
+        std::vector<std::unique_ptr<Prefetcher>> lane_engines;
+        for (const char *name : {"stride", "tms", "sms", "stems"}) {
+            lane_engines.push_back(registry.make(name, system, {}));
+            batch.addLane(params, lane_engines.back().get(),
+                          warmup);
+        }
+        batch.run(t, jobs);
+        std::vector<SimStats> out;
+        for (std::size_t i = 0; i < batch.lanes(); ++i)
+            out.push_back(batch.stats(i));
+        return out;
+    };
+
+    auto serial = run_with(1);
+    auto parallel = run_with(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectBitwiseEqualStats(serial[i], parallel[i]);
+}
+
+TEST(BatchSim, TraceSourceRunMatchesVectorRun)
+{
+    auto w = makeWorkload("em3d");
+    Trace t = w->generate(11, 15000);
+    SimParams params = tinySystem();
+
+    BatchSimulator from_vector;
+    from_vector.addLane(params, nullptr, 100);
+    from_vector.run(t);
+
+    BatchSimulator from_source;
+    from_source.addLane(params, nullptr, 100);
+    VectorTraceSource source(t);
+    from_source.run(source);
+
+    expectBitwiseEqualStats(from_vector.stats(0),
+                            from_source.stats(0));
+}
+
+TEST(BatchSim, PerLaneWarmupIsHonored)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 200; ++i)
+        b.read(0x100000 + Addr(i) * 0x10000, 0x1);
+    Trace t = b.take();
+
+    BatchSimulator batch;
+    batch.addLane(tinySystem(), nullptr, 0);
+    batch.addLane(tinySystem(), nullptr, 120);
+    batch.run(t);
+    EXPECT_EQ(batch.stats(0).records, 200u);
+    EXPECT_EQ(batch.stats(1).records, 80u);
 }
 
 // ---- experiment runner ----

@@ -9,10 +9,12 @@
  *   stems_trace analyze <trace.trc>
  *       Run the Figure 6/8 characterization analyses on a trace.
  *   stems_trace run <trace.trc> <engines> [--jobs N] [--timing]
- *                   [--store DIR]
+ *                   [--store DIR] [--batch|--no-batch]
  *       Run prefetch engines (comma-separated registry names) over a
  *       trace through the parallel ExperimentDriver and report
- *       coverage and accuracy. With a store (--store or
+ *       coverage and accuracy. By default all cells advance together
+ *       in one batched trace pass; --no-batch runs one pass per cell
+ *       (bitwise-identical results). With a store (--store or
  *       $STEMS_STORE), baselines and per-engine results are cached
  *       under the trace's content digest, so re-runs skip both the
  *       baseline and the engine simulations.
@@ -61,7 +63,7 @@ usage()
         "  stems_trace info <trace.trc>\n"
         "  stems_trace analyze <trace.trc>\n"
         "  stems_trace run <trace.trc> <engine[,engine...]> "
-        "[--jobs N] [--timing] [--store DIR]\n"
+        "[--jobs N] [--timing] [--store DIR] [--batch|--no-batch]\n"
         "  stems_trace import <in.txt> <out.trc> [--store DIR] "
         "[--name NAME]\n"
         "  stems_trace export <trace.trc> <out.txt>\n"
@@ -79,6 +81,7 @@ struct ArgScanner
     std::string name;
     unsigned jobs = 1;
     bool timing = false;
+    bool batch = true;
     bool ok = true;
 
     ArgScanner(int argc, char **argv, int first)
@@ -105,6 +108,10 @@ struct ArgScanner
                     std::strtoul(value(), nullptr, 10));
             } else if (arg == "--timing") {
                 timing = true;
+            } else if (arg == "--batch") {
+                batch = true;
+            } else if (arg == "--no-batch") {
+                batch = false;
             } else if (!arg.empty() && arg[0] == '-') {
                 std::fprintf(stderr, "unknown option '%s'\n",
                              arg.c_str());
@@ -293,6 +300,7 @@ cmdRun(int argc, char **argv)
     ExperimentConfig cfg;
     cfg.enableTiming = args.timing;
     ExperimentDriver driver(cfg, args.jobs);
+    driver.setBatching(args.batch);
     if (!args.storeDir.empty()) {
         auto store = std::make_shared<TraceStore>(args.storeDir);
         if (store->usable()) {
