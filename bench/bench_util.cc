@@ -61,6 +61,17 @@ usage(const char *argv0, int status)
         "                     (default)\n"
         "  --no-batch         one task per cell, re-iterating the\n"
         "                     trace (same results, bitwise)\n"
+        "  --segments K       segmented execution: checkpoint each\n"
+        "                     cell at K segment boundaries and\n"
+        "                     resume warm prefixes (needs --store;\n"
+        "                     same results, bitwise)\n"
+        "  --checkpoint-every N\n"
+        "                     checkpoint every N records instead of\n"
+        "                     at relative segment cuts (stable\n"
+        "                     boundaries across --records values)\n"
+        "  --warmup-records N warm up exactly N records instead of\n"
+        "                     50%% of the trace (keeps prefixes\n"
+        "                     comparable across --records values)\n"
         "  --list             list registered workloads/engines\n"
         "  --help             this message\n",
         argv0);
@@ -141,6 +152,17 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
             options.batch = true;
         } else if (arg == "--no-batch") {
             options.batch = false;
+        } else if (arg == "--segments") {
+            std::uint64_t v =
+                numberArg(argv[0], "--segments", value());
+            options.segments =
+                v > 0 ? static_cast<unsigned>(v) : 1;
+        } else if (arg == "--checkpoint-every") {
+            options.checkpointEvery = static_cast<std::size_t>(
+                numberArg(argv[0], "--checkpoint-every", value()));
+        } else if (arg == "--warmup-records") {
+            options.warmupRecords = static_cast<std::size_t>(
+                numberArg(argv[0], "--warmup-records", value()));
         } else if (!arg.empty() && arg[0] != '-') {
             // Historical positional trace-length override; 0 keeps
             // the bench default.
@@ -159,6 +181,15 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
     } else if (options.storeDir.empty()) {
         if (const char *env = std::getenv("STEMS_STORE"))
             options.storeDir = env;
+    }
+
+    if ((options.segments > 1 || options.checkpointEvery > 0) &&
+        options.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "%s: --segments/--checkpoint-every need a "
+                     "--store to keep checkpoints in\n",
+                     argv[0]);
+        std::exit(1);
     }
 
     for (const std::string &w : options.workloads) {
@@ -191,6 +222,7 @@ benchConfig(const BenchOptions &options, bool enable_timing)
     config.traceRecords = options.records;
     config.seed = options.seed;
     config.enableTiming = enable_timing;
+    config.warmupRecords = options.warmupRecords;
     return config;
 }
 
@@ -260,6 +292,8 @@ configureBenchDriver(ExperimentDriver &driver,
                      const BenchOptions &options)
 {
     driver.setBatching(options.batch);
+    driver.setSegments(options.segments);
+    driver.setCheckpointEvery(options.checkpointEvery);
     if (options.storeDir.empty())
         return;
     auto store = std::make_shared<TraceStore>(options.storeDir);
@@ -299,7 +333,8 @@ reportStoreStats(const ExperimentDriver &driver)
         "[store] generations=%llu traceHits=%llu "
         "baselineSims=%llu baselineHits=%llu "
         "engineSims=%llu resultHits=%llu resultMisses=%llu "
-        "batchedSims=%llu\n",
+        "batchedSims=%llu resumedSims=%llu "
+        "skippedRecords=%llu checkpointsWritten=%llu\n",
         static_cast<unsigned long long>(driver.traceGenerations()),
         static_cast<unsigned long long>(store->traceHits()),
         static_cast<unsigned long long>(driver.baselineRuns()),
@@ -307,17 +342,27 @@ reportStoreStats(const ExperimentDriver &driver)
         static_cast<unsigned long long>(driver.engineRuns()),
         static_cast<unsigned long long>(store->resultHits()),
         static_cast<unsigned long long>(store->resultMisses()),
-        static_cast<unsigned long long>(driver.batchedRuns()));
+        static_cast<unsigned long long>(driver.batchedRuns()),
+        static_cast<unsigned long long>(driver.resumedRuns()),
+        static_cast<unsigned long long>(
+            driver.resumedRecordsSkipped()),
+        static_cast<unsigned long long>(
+            driver.checkpointsWritten()));
 }
 
 std::string
 banner(const std::string &title, const BenchOptions &options)
 {
     unsigned jobs = ExperimentDriver::resolveJobs(options.jobs);
+    std::string warmup =
+        options.warmupRecords > 0
+            ? std::to_string(options.warmupRecords) +
+                  "-record warmup"
+            : std::string("50% warmup");
     return "=== " + title + " ===\n(traces: " +
            std::to_string(options.records) + " records/workload, seed " +
            std::to_string(options.seed) +
-           ", measurement after 50% warmup, " + std::to_string(jobs) +
+           ", measurement after " + warmup + ", " + std::to_string(jobs) +
            (jobs == 1 ? " job" : " jobs") +
            (options.storeDir.empty() ? ""
                                      : ", store " + options.storeDir) +

@@ -9,7 +9,9 @@
  *   bench [records] [--records N] [--jobs N] [--seed N]
  *         [--workloads a,b,c] [--engines x,y]
  *         [--store DIR] [--no-store] [--json FILE]
- *         [--batch] [--no-batch] [--list] [--help]
+ *         [--batch] [--no-batch]
+ *         [--segments K] [--checkpoint-every N]
+ *         [--warmup-records N] [--list] [--help]
  *
  * The bare positional `records` argument is the historical interface
  * (e.g. `fig9_streaming_comparison 500000` for a quick run) and keeps
@@ -24,6 +26,15 @@
  * pass advancing all of a workload's cells) in favor of the
  * one-task-per-cell dispatch; results are bitwise identical either
  * way.
+ *
+ * `--segments K` / `--checkpoint-every N` enable segmented execution
+ * (requires a store): every cell persists simulator checkpoints at
+ * segment boundaries and resumes from the newest matching one, so a
+ * re-run — including one extended to more --records — simulates only
+ * the unseen suffix. `--warmup-records N` pins the warmup boundary
+ * absolutely (instead of the 50% fraction), which keeps the prefix
+ * identical across record counts; results stay bitwise identical to
+ * an unsegmented run either way.
  */
 
 #ifndef STEMS_BENCH_BENCH_UTIL_HH
@@ -56,6 +67,13 @@ struct BenchOptions
     /// Batched execution (one trace pass per workload); --no-batch
     /// restores the per-cell dispatch.
     bool batch = true;
+    /// Segmented execution: segment count (1 = off).
+    unsigned segments = 1;
+    /// Segmented execution: absolute checkpoint interval (0 = off;
+    /// wins over `segments` when both are set).
+    std::size_t checkpointEvery = 0;
+    /// Absolute warmup-record override (0 = 50% fraction).
+    std::size_t warmupRecords = 0;
 };
 
 /**

@@ -97,6 +97,48 @@ class CircularBuffer
         return storage_[static_cast<std::size_t>(pos % storage_.size())];
     }
 
+    /**
+     * Serialize the buffer state (checkpointing): the append frontier
+     * plus every still-live entry in logical-position order.
+     *
+     * @param save_entry  (Writer &, const T &) serializer.
+     */
+    template <typename Writer, typename SaveFn>
+    void
+    saveState(Writer &w, SaveFn &&save_entry) const
+    {
+        w.u64(storage_.size());
+        w.u64(next_);
+        for (Position p = oldest(); p < next_; ++p)
+            save_entry(
+                w, storage_[static_cast<std::size_t>(p %
+                                                     storage_.size())]);
+    }
+
+    /**
+     * Restore state written by saveState into a buffer of identical
+     * capacity (fails the reader otherwise). Overwritten positions
+     * are unobservable, so only live entries are restored.
+     *
+     * @param load_entry  (Reader &, T &) deserializer.
+     */
+    template <typename Reader, typename LoadFn>
+    void
+    loadState(Reader &r, LoadFn &&load_entry)
+    {
+        if (r.u64() != storage_.size()) {
+            r.fail();
+            return;
+        }
+        next_ = r.u64();
+        for (T &e : storage_)
+            e = T{};
+        for (Position p = oldest(); p < next_ && r.ok(); ++p)
+            load_entry(
+                r, storage_[static_cast<std::size_t>(p %
+                                                     storage_.size())]);
+    }
+
   private:
     std::vector<T> storage_;
     Position next_ = 0;

@@ -127,6 +127,59 @@ class LruTable
                 fn(s.key, s.value);
     }
 
+    /**
+     * Serialize the full table state (checkpointing). Slot positions
+     * are preserved exactly: which way of a set holds an entry decides
+     * future victim scans, so positional identity is part of the
+     * behavioural state.
+     *
+     * @param save_value  (Writer &, const V &) serializer for values.
+     */
+    template <typename Writer, typename SaveFn>
+    void
+    saveState(Writer &w, SaveFn &&save_value) const
+    {
+        w.u64(ways_);
+        w.u64(sets_);
+        w.u64(clock_);
+        for (const Slot &s : slots_) {
+            w.boolean(s.valid);
+            if (s.valid) {
+                w.u64(s.key);
+                w.u64(s.lru);
+                save_value(w, s.value);
+            }
+        }
+    }
+
+    /**
+     * Restore state written by saveState into a table of identical
+     * geometry (fails the reader otherwise).
+     *
+     * @param load_value  (Reader &, V &) deserializer for values.
+     */
+    template <typename Reader, typename LoadFn>
+    void
+    loadState(Reader &r, LoadFn &&load_value)
+    {
+        if (r.u64() != ways_ || r.u64() != sets_) {
+            r.fail();
+            return;
+        }
+        clock_ = r.u64();
+        for (Slot &s : slots_) {
+            s = Slot{};
+            s.valid = r.boolean();
+            if (s.valid) {
+                s.key = r.u64();
+                s.lru = r.u64();
+                load_value(r, s.value);
+            }
+            if (!r.ok())
+                return;
+        }
+    }
+
   private:
     struct Slot
     {

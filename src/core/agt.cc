@@ -1,5 +1,7 @@
 #include "core/agt.hh"
 
+#include "common/state_codec.hh"
+
 namespace stems {
 
 StemsAgt::StemsAgt(StemsAgtParams params)
@@ -39,6 +41,63 @@ StemsAgt::blockRemoved(Addr a)
         if (onEnd_)
             onEnd_(finished);
     }
+}
+
+namespace {
+constexpr std::uint32_t kAgtTag = stateTag('S', 'A', 'G', 'T');
+} // namespace
+
+void
+StemsAgt::saveState(StateWriter &w) const
+{
+    w.tag(kAgtTag);
+    table_.saveState(w, [](StateWriter &sw,
+                           const StemsGeneration &g) {
+        sw.u64(g.regionBase);
+        sw.u32(g.triggerPc16);
+        sw.u8(g.triggerOffset);
+        sw.u64(g.index);
+        sw.u32(g.mask);
+        sw.u32(g.accessMask);
+        sw.u64(g.sequence.size());
+        for (const SpatialElement &el : g.sequence) {
+            sw.u8(el.offset);
+            sw.u8(el.delta);
+        }
+        sw.u64(g.lastSeq);
+        sw.u32(g.predictedMask);
+        sw.boolean(g.spatialChecked);
+    });
+}
+
+void
+StemsAgt::loadState(StateReader &r)
+{
+    r.tag(kAgtTag);
+    table_.loadState(r, [](StateReader &sr, StemsGeneration &g) {
+        g.regionBase = sr.u64();
+        g.triggerPc16 = static_cast<std::uint16_t>(sr.u32());
+        g.triggerOffset = sr.u8();
+        g.index = sr.u64();
+        g.mask = sr.u32();
+        g.accessMask = sr.u32();
+        std::uint64_t n = sr.u64();
+        // A generation records at most one element per block offset.
+        if (n > kBlocksPerRegion) {
+            sr.fail();
+            return;
+        }
+        g.sequence.clear();
+        for (std::uint64_t i = 0; i < n && sr.ok(); ++i) {
+            SpatialElement el;
+            el.offset = sr.u8();
+            el.delta = sr.u8();
+            g.sequence.push_back(el);
+        }
+        g.lastSeq = sr.u64();
+        g.predictedMask = sr.u32();
+        g.spatialChecked = sr.boolean();
+    });
 }
 
 } // namespace stems

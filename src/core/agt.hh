@@ -21,6 +21,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /** One active STeMS generation. */
 struct StemsGeneration
 {
@@ -88,6 +91,13 @@ class StemsAgt
 
     /** Active generation count (diagnostics). */
     std::size_t active() const { return table_.occupancy(); }
+
+    /** Serialize every active generation (checkpointing). The end
+     *  callback is wiring; the owner re-registers it. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an identical geometry. */
+    void loadState(StateReader &r);
 
   private:
     LruTable<StemsGeneration> table_; ///< keyed by region number

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/state_codec.hh"
+
 namespace stems {
 
 PatternSequenceTable::PatternSequenceTable(PstParams params)
@@ -80,6 +82,36 @@ PatternSequenceTable::predictedMask(std::uint64_t index) const
         if (e->counter[off] >= params_.predictThreshold)
             mask |= 1u << off;
     return mask;
+}
+
+namespace {
+constexpr std::uint32_t kPstTag = stateTag('P', 'S', 'T', '1');
+} // namespace
+
+void
+PatternSequenceTable::saveState(StateWriter &w) const
+{
+    w.tag(kPstTag);
+    table_.saveState(w, [](StateWriter &sw, const Entry &e) {
+        for (unsigned off = 0; off < kBlocksPerRegion; ++off) {
+            sw.u8(e.counter[off]);
+            sw.u8(e.delta[off]);
+            sw.u8(e.order[off]);
+        }
+    });
+}
+
+void
+PatternSequenceTable::loadState(StateReader &r)
+{
+    r.tag(kPstTag);
+    table_.loadState(r, [](StateReader &sr, Entry &e) {
+        for (unsigned off = 0; off < kBlocksPerRegion; ++off) {
+            e.counter[off] = sr.u8();
+            e.delta[off] = sr.u8();
+            e.order[off] = sr.u8();
+        }
+    });
 }
 
 } // namespace stems

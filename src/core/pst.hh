@@ -23,6 +23,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /**
  * STeMS pattern index: the 16-bit PC stored in RMOB/AGT entries
  * combined with the block offset (the SMS "PC+offset" index).
@@ -98,6 +101,12 @@ class PatternSequenceTable
 
     /** Number of trained patterns (diagnostics). */
     std::size_t trainedPatterns() const { return table_.occupancy(); }
+
+    /** Serialize the full table (checkpointing). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an identical geometry. */
+    void loadState(StateReader &r);
 
   private:
     /** Per-index storage: 2-bit counter, delta, order per block. */

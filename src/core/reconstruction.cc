@@ -1,6 +1,37 @@
 #include "core/reconstruction.hh"
 
+#include "common/state_codec.hh"
+
 namespace stems {
+
+namespace {
+
+constexpr std::uint32_t kReconTag = stateTag('R', 'C', 'O', 'N');
+
+void
+saveHistogram(StateWriter &w, const Histogram &h)
+{
+    const auto &buckets = h.buckets();
+    w.u64(buckets.size());
+    for (const auto &kv : buckets) { // std::map: stable key order
+        w.i64(kv.first);
+        w.u64(kv.second);
+    }
+}
+
+void
+loadHistogram(StateReader &r, Histogram &h)
+{
+    h = Histogram();
+    std::uint64_t buckets = r.u64();
+    for (std::uint64_t i = 0; i < buckets && r.ok(); ++i) {
+        std::int64_t bucket = r.i64();
+        std::uint64_t count = r.u64();
+        h.add(bucket, count);
+    }
+}
+
+} // namespace
 
 Reconstructor::Reconstructor(const RegionMissOrderBuffer &rmob,
                              const PatternSequenceTable &pst,
@@ -118,6 +149,24 @@ Reconstructor::reconstruct(
         if (a != 0)
             w.sequence.push_back(a);
     return w;
+}
+
+void
+Reconstructor::saveState(StateWriter &w) const
+{
+    w.tag(kReconTag);
+    saveHistogram(w, displacements_);
+    w.u64(dropped_);
+    w.u64(windows_);
+}
+
+void
+Reconstructor::loadState(StateReader &r)
+{
+    r.tag(kReconTag);
+    loadHistogram(r, displacements_);
+    dropped_ = r.u64();
+    windows_ = r.u64();
 }
 
 } // namespace stems

@@ -26,6 +26,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /** Reconstruction configuration (paper defaults). */
 struct ReconstructionParams
 {
@@ -82,6 +85,14 @@ class Reconstructor
 
     /** Windows reconstructed (diagnostics). */
     std::uint64_t windows() const { return windows_; }
+
+    /** Serialize the reconstruction statistics (checkpointing). The
+     *  RMOB/PST references are wiring; their state is saved by their
+     *  owners. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state written by saveState. */
+    void loadState(StateReader &r);
 
   private:
     /** Place an address near a slot; updates displacement stats. */

@@ -1,5 +1,7 @@
 #include "core/rmob.hh"
 
+#include "common/state_codec.hh"
+
 namespace stems {
 
 RegionMissOrderBuffer::RegionMissOrderBuffer(std::size_t entries)
@@ -36,6 +38,44 @@ RegionMissOrderBuffer::lookup(Addr block_addr) const
     if (!entry.has_value() || entry->addr != blockAlign(block_addr))
         return std::nullopt; // overwritten: stale index entry
     return it->second;
+}
+
+namespace {
+constexpr std::uint32_t kRmobTag = stateTag('R', 'M', 'O', 'B');
+} // namespace
+
+void
+RegionMissOrderBuffer::saveState(StateWriter &w) const
+{
+    w.tag(kRmobTag);
+    buffer_.saveState(w, [](StateWriter &sw, const RmobEntry &e) {
+        sw.u64(e.addr);
+        sw.u32(e.pc16);
+        sw.u8(e.delta);
+    });
+    w.u64(index_.size());
+    for (const auto &kv : index_) {
+        w.u64(kv.first);
+        w.u64(kv.second);
+    }
+}
+
+void
+RegionMissOrderBuffer::loadState(StateReader &r)
+{
+    r.tag(kRmobTag);
+    buffer_.loadState(r, [](StateReader &sr, RmobEntry &e) {
+        e.addr = sr.u64();
+        e.pc16 = static_cast<std::uint16_t>(sr.u32());
+        e.delta = sr.u8();
+    });
+    std::uint64_t entries = r.u64();
+    index_.clear();
+    for (std::uint64_t i = 0; i < entries && r.ok(); ++i) {
+        Addr a = r.u64();
+        Position p = r.u64();
+        index_[a] = p;
+    }
 }
 
 } // namespace stems

@@ -27,6 +27,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /** One RMOB record (paper: 5 B address + 16 b PC + 8 b delta). */
 struct RmobEntry
 {
@@ -71,6 +74,12 @@ class RegionMissOrderBuffer
 
     /** Entries currently resident. */
     std::size_t live() const { return buffer_.live(); }
+
+    /** Serialize buffer + address index (checkpointing). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an equal-capacity buffer. */
+    void loadState(StateReader &r);
 
   private:
     CircularBuffer<RmobEntry> buffer_;

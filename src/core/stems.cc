@@ -54,6 +54,26 @@ StemsPrefetcher::noteReconstructedRegion(Addr region,
     reconIndex_.findOrInsert(regionNumber(region)) = index;
 }
 
+StreamQueueSet::RefillFn
+StemsPrefetcher::temporalRefill()
+{
+    // The stream's resume position travels in the queue's refill
+    // cursor, not in the closure, so a checkpointed queue set can
+    // serialize it and reattach this (stateless) closure on restore.
+    return [this](std::deque<Addr> &pending,
+                  std::uint64_t &resume_pos) {
+        Reconstructor::Window more = recon_.reconstruct(
+            resume_pos, [this](Addr region, std::uint64_t index) {
+                noteReconstructedRegion(region, index);
+            });
+        if (!more.valid)
+            return;
+        resume_pos = more.nextPos;
+        pending.insert(pending.end(), more.sequence.begin(),
+                       more.sequence.end());
+    };
+}
+
 void
 StemsPrefetcher::startTemporalStream(
     RegionMissOrderBuffer::Position pos)
@@ -70,20 +90,9 @@ StemsPrefetcher::startTemporalStream(
     std::vector<Addr> initial(w.sequence.begin() + 1,
                               w.sequence.end());
 
-    auto resume_pos =
-        std::make_shared<RegionMissOrderBuffer::Position>(w.nextPos);
-    auto refill = [this, resume_pos,
-                   note](std::deque<Addr> &pending) {
-        Reconstructor::Window more =
-            recon_.reconstruct(*resume_pos, note);
-        if (!more.valid)
-            return;
-        *resume_pos = more.nextPos;
-        pending.insert(pending.end(), more.sequence.begin(),
-                       more.sequence.end());
-    };
-
-    streams_.allocate(std::move(initial), std::move(refill));
+    streams_.allocate(std::move(initial), temporalRefill(),
+                      /*confirmed=*/false,
+                      /*refill_state=*/w.nextPos);
 }
 
 void
@@ -226,6 +235,48 @@ void
 StemsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
 {
     streams_.drainRequests(out);
+}
+
+namespace {
+constexpr std::uint32_t kStemsTag = stateTag('S', 'T', 'M', 'S');
+} // namespace
+
+void
+StemsPrefetcher::saveState(StateWriter &w) const
+{
+    w.tag(kStemsTag);
+    agt_.saveState(w);
+    pst_.saveState(w);
+    rmob_.saveState(w);
+    recon_.saveState(w);
+    streams_.saveState(w);
+    reconIndex_.saveState(
+        w, [](StateWriter &sw, const std::uint64_t &v) {
+            sw.u64(v);
+        });
+    w.boolean(haveLastAppend_);
+    w.u64(lastAppendSeq_);
+    w.u64(filtered_);
+    w.u64(spatialOnlyStreams_);
+}
+
+void
+StemsPrefetcher::loadState(StateReader &r)
+{
+    r.tag(kStemsTag);
+    agt_.loadState(r);
+    pst_.loadState(r);
+    rmob_.loadState(r);
+    recon_.loadState(r);
+    streams_.loadState(r, temporalRefill());
+    reconIndex_.loadState(r,
+                          [](StateReader &sr, std::uint64_t &v) {
+                              v = sr.u64();
+                          });
+    haveLastAppend_ = r.boolean();
+    lastAppendSeq_ = r.u64();
+    filtered_ = r.u64();
+    spatialOnlyStreams_ = r.u64();
 }
 
 } // namespace stems

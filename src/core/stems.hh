@@ -75,6 +75,9 @@ class StemsPrefetcher : public Prefetcher
 
     void drainRequests(std::vector<PrefetchRequest> &out) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     /** Component access for diagnostics and the ablation benches. */
     const PatternSequenceTable &pst() const { return pst_; }
     const RegionMissOrderBuffer &rmob() const { return rmob_; }
@@ -93,6 +96,9 @@ class StemsPrefetcher : public Prefetcher
 
   private:
     void onGenerationEnd(const StemsGeneration &gen);
+    /** The shared refill closure of temporal streams (state-free;
+     *  the resume position lives in the stream queue's cursor). */
+    StreamQueueSet::RefillFn temporalRefill();
     void startTemporalStream(RegionMissOrderBuffer::Position pos);
     void maybeStartSpatialOnlyStream(const StemsGeneration &gen,
                                      bool trigger_covered);

@@ -15,7 +15,7 @@ StreamQueueSet::maybeRefill(Stream &s)
     if (s.pending.size() >= params_.refillLowWater)
         return;
     std::size_t before = s.pending.size();
-    s.refill(s.pending);
+    s.refill(s.pending, s.refillState);
     if (s.pending.size() == before)
         s.exhausted = true;
 }
@@ -61,7 +61,7 @@ StreamQueueSet::decodeId(int stream_id, std::size_t *index_out)
 
 int
 StreamQueueSet::allocate(std::vector<Addr> initial, RefillFn refill,
-                         bool confirmed)
+                         bool confirmed, std::uint64_t refill_state)
 {
     std::size_t victim = 0;
     for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -85,6 +85,7 @@ StreamQueueSet::allocate(std::vector<Addr> initial, RefillFn refill,
     s.confirmed = confirmed;
     s.pending.assign(initial.begin(), initial.end());
     s.refill = std::move(refill);
+    s.refillState = refill_state;
     s.lru = ++clock_;
     ++allocated_;
     int id = encodeId(victim, s.generation);
@@ -165,6 +166,71 @@ StreamQueueSet::drainRequests(std::vector<PrefetchRequest> &out)
 {
     out.insert(out.end(), pendingReqs_.begin(), pendingReqs_.end());
     pendingReqs_.clear();
+}
+
+namespace {
+constexpr std::uint32_t kStreamsTag = stateTag('S', 'T', 'Q', 'S');
+} // namespace
+
+void
+StreamQueueSet::saveState(StateWriter &w) const
+{
+    w.tag(kStreamsTag);
+    w.i64(globalInFlight_);
+    w.u64(clock_);
+    w.u64(allocated_);
+    w.u64(streams_.size());
+    for (const Stream &s : streams_) {
+        w.boolean(s.active);
+        w.boolean(s.confirmed);
+        w.boolean(s.exhausted);
+        w.u64(s.pending.size());
+        for (Addr a : s.pending)
+            w.u64(a);
+        w.boolean(static_cast<bool>(s.refill));
+        w.u64(s.refillState);
+        w.u64(s.lru);
+        w.i64(s.inFlight);
+        w.u32(s.generation);
+    }
+    savePrefetchRequests(w, pendingReqs_);
+}
+
+void
+StreamQueueSet::loadState(StateReader &r, const RefillFn &refill)
+{
+    r.tag(kStreamsTag);
+    globalInFlight_ = static_cast<int>(r.i64());
+    clock_ = r.u64();
+    allocated_ = r.u64();
+    if (r.u64() != streams_.size()) {
+        r.fail();
+        return;
+    }
+    for (Stream &s : streams_) {
+        s = Stream{};
+        s.active = r.boolean();
+        s.confirmed = r.boolean();
+        s.exhausted = r.boolean();
+        std::uint64_t pending = r.u64();
+        // Queues hold reconstruction windows: cap the restored size
+        // so a corrupt count cannot balloon memory.
+        if (pending > (std::uint64_t{1} << 20)) {
+            r.fail();
+            return;
+        }
+        for (std::uint64_t i = 0; i < pending && r.ok(); ++i)
+            s.pending.push_back(r.u64());
+        if (r.boolean())
+            s.refill = refill;
+        s.refillState = r.u64();
+        s.lru = r.u64();
+        s.inFlight = static_cast<int>(r.i64());
+        s.generation = r.u32();
+        if (!r.ok())
+            return;
+    }
+    loadPrefetchRequests(r, pendingReqs_);
 }
 
 } // namespace stems

@@ -14,6 +14,7 @@
 #ifndef STEMS_CORE_STREAM_HH
 #define STEMS_CORE_STREAM_HH
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -48,22 +49,35 @@ class StreamQueueSet
     /**
      * Refill source: append more predicted addresses to the queue;
      * appending nothing marks the stream exhausted.
+     *
+     * The second argument is the stream's persistent refill cursor
+     * (for temporal streams: the RMOB position to resume
+     * reconstruction from). It lives in the queue, not in the
+     * closure, so the queue set can serialize it at a checkpoint and
+     * the owner can reattach a stateless closure on restore. The
+     * closure itself must therefore capture only immortal context
+     * (the owning engine), never per-stream state.
      */
-    using RefillFn = std::function<void(std::deque<Addr> &)>;
+    using RefillFn =
+        std::function<void(std::deque<Addr> &, std::uint64_t &)>;
 
     explicit StreamQueueSet(StreamParams params = {});
 
     /**
      * Allocate a stream (victimizing an idle or the LRU queue).
      *
-     * @param initial    predicted addresses, in order.
-     * @param refill     refill source (may be null: finite stream).
-     * @param confirmed  start past the confidence ramp (spatial-only
-     *                   streams trust the pattern immediately).
+     * @param initial       predicted addresses, in order.
+     * @param refill        refill source (may be null: finite
+     *                      stream).
+     * @param confirmed     start past the confidence ramp
+     *                      (spatial-only streams trust the pattern
+     *                      immediately).
+     * @param refill_state  initial refill cursor handed to `refill`.
      * @return the stream id.
      */
     int allocate(std::vector<Addr> initial, RefillFn refill,
-                 bool confirmed = false);
+                 bool confirmed = false,
+                 std::uint64_t refill_state = 0);
 
     /**
      * Demand miss resync: when the address sits near the head of a
@@ -88,6 +102,21 @@ class StreamQueueSet
     /** Streams allocated so far (diagnostics). */
     std::uint64_t streamsAllocated() const { return allocated_; }
 
+    /** Serialize the full queue-set state (checkpointing). A
+     *  stream's refill closure is represented by a has-refill flag
+     *  plus its cursor; the owner reattaches the closure on load. */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state written by saveState.
+     *
+     * @param refill  closure attached to every restored stream that
+     *                had one (all refilling streams of one owner
+     *                share the same stateless closure; per-stream
+     *                state travels in the serialized cursor).
+     */
+    void loadState(StateReader &r, const RefillFn &refill);
+
   private:
     struct Stream
     {
@@ -96,6 +125,8 @@ class StreamQueueSet
         bool exhausted = false; ///< refill produced nothing
         std::deque<Addr> pending;
         RefillFn refill;
+        /** Persistent cursor passed to `refill` (see RefillFn). */
+        std::uint64_t refillState = 0;
         std::uint64_t lru = 0;
         int inFlight = 0;
         /** Reallocation tag: SVB entries issued by a previous owner

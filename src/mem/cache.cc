@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "common/log.hh"
+#include "common/state_codec.hh"
 
 namespace stems {
 
@@ -123,6 +124,57 @@ Cache::unreferencedPrefetches() const
         if (l.valid && l.prefetched && !l.referenced)
             ++n;
     return n;
+}
+
+namespace {
+constexpr std::uint32_t kCacheTag = stateTag('C', 'A', 'C', 'H');
+} // namespace
+
+void
+Cache::saveState(StateWriter &w) const
+{
+    w.tag(kCacheTag);
+    w.u64(sets_);
+    w.u64(ways_);
+    w.u64(clock_);
+    w.u64(accesses_);
+    w.u64(misses_);
+    // Line positions within a set decide future victim scans, so
+    // every line is written positionally, invalid ones included.
+    for (const Line &l : lines_) {
+        w.boolean(l.valid);
+        if (!l.valid)
+            continue;
+        w.u64(l.tag);
+        w.u64(l.lru);
+        w.boolean(l.prefetched);
+        w.boolean(l.referenced);
+    }
+}
+
+void
+Cache::loadState(StateReader &r)
+{
+    r.tag(kCacheTag);
+    if (r.u64() != sets_ || r.u64() != ways_) {
+        r.fail();
+        return;
+    }
+    clock_ = r.u64();
+    accesses_ = r.u64();
+    misses_ = r.u64();
+    for (Line &l : lines_) {
+        l = Line{};
+        l.valid = r.boolean();
+        if (!l.valid)
+            continue;
+        l.tag = r.u64();
+        l.lru = r.u64();
+        l.prefetched = r.boolean();
+        l.referenced = r.boolean();
+        if (!r.ok())
+            return;
+    }
 }
 
 } // namespace stems

@@ -20,6 +20,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /**
  * A single-level, set-associative, LRU-replaced cache of 64 B blocks.
  */
@@ -97,6 +100,13 @@ class Cache
 
     /** Demand misses observed. */
     std::uint64_t misses() const { return misses_; }
+
+    /** Serialize the full cache state (checkpointing). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an identically-shaped cache; fails
+     *  the reader on a geometry mismatch. */
+    void loadState(StateReader &r);
 
   private:
     struct Line

@@ -69,4 +69,18 @@ Hierarchy::invalidate(Addr a)
     }
 }
 
+void
+Hierarchy::saveState(StateWriter &w) const
+{
+    l1_.saveState(w);
+    l2_.saveState(w);
+}
+
+void
+Hierarchy::loadState(StateReader &r)
+{
+    l1_.loadState(r);
+    l2_.loadState(r);
+}
+
 } // namespace stems

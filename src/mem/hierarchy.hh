@@ -91,6 +91,13 @@ class Hierarchy
     const Cache &l1() const { return l1_; }
     const Cache &l2() const { return l2_; }
 
+    /** Serialize both cache levels (checkpointing). Callbacks are
+     *  wiring, not state: the owner re-registers them. */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an identical geometry. */
+    void loadState(StateReader &r);
+
   private:
     void handleL1Victim(const std::optional<Cache::Victim> &v);
     void handleL2Victim(const std::optional<Cache::Victim> &v);

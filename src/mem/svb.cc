@@ -1,6 +1,7 @@
 #include "mem/svb.hh"
 
 #include "common/log.hh"
+#include "common/state_codec.hh"
 
 namespace stems {
 
@@ -114,6 +115,51 @@ StreamedValueBuffer::occupancyForStream(int stream_id) const
         if (s.valid && s.entry.streamId == stream_id)
             ++n;
     return n;
+}
+
+namespace {
+constexpr std::uint32_t kSvbTag = stateTag('S', 'V', 'B', '1');
+} // namespace
+
+void
+StreamedValueBuffer::saveState(StateWriter &w) const
+{
+    w.tag(kSvbTag);
+    w.u64(slots_.size());
+    w.u64(clock_);
+    // Slot order decides consumeAny()'s drain order: positional.
+    for (const Slot &s : slots_) {
+        w.boolean(s.valid);
+        if (!s.valid)
+            continue;
+        w.u64(s.lru);
+        w.u64(s.entry.addr);
+        w.i64(s.entry.streamId);
+        w.u64(s.entry.readyTime);
+    }
+}
+
+void
+StreamedValueBuffer::loadState(StateReader &r)
+{
+    r.tag(kSvbTag);
+    if (r.u64() != slots_.size()) {
+        r.fail();
+        return;
+    }
+    clock_ = r.u64();
+    for (Slot &s : slots_) {
+        s = Slot{};
+        s.valid = r.boolean();
+        if (!s.valid)
+            continue;
+        s.lru = r.u64();
+        s.entry.addr = r.u64();
+        s.entry.streamId = static_cast<int>(r.i64());
+        s.entry.readyTime = r.u64();
+        if (!r.ok())
+            return;
+    }
 }
 
 } // namespace stems

@@ -21,6 +21,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Fully-associative prefetch buffer with LRU replacement.
  */
@@ -79,6 +82,13 @@ class StreamedValueBuffer
 
     /** Fixed capacity. */
     std::size_t capacity() const { return slots_.size(); }
+
+    /** Serialize the full buffer state (checkpointing). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an equal-capacity buffer; fails the
+     *  reader on a capacity mismatch. */
+    void loadState(StateReader &r);
 
   private:
     struct Slot

@@ -69,6 +69,20 @@ NaiveHybridPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
     sms_.drainRequests(out);
 }
 
+void
+NaiveHybridPrefetcher::saveState(StateWriter &w) const
+{
+    tms_.saveState(w);
+    sms_.saveState(w);
+}
+
+void
+NaiveHybridPrefetcher::loadState(StateReader &r)
+{
+    tms_.loadState(r);
+    sms_.loadState(r);
+}
+
 } // namespace stems
 
 // ---- registry hookup ----

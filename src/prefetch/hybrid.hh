@@ -37,6 +37,9 @@ class NaiveHybridPrefetcher : public Prefetcher
 
     void drainRequests(std::vector<PrefetchRequest> &out) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
   private:
     TmsPrefetcher tms_;
     SmsPrefetcher sms_;

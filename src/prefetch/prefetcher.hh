@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/state_codec.hh"
 #include "common/types.hh"
 
 namespace stems {
@@ -119,7 +120,58 @@ class Prefetcher
      * Called by the simulator after each record's notifications.
      */
     virtual void drainRequests(std::vector<PrefetchRequest> &out) = 0;
+
+    /**
+     * Serialize the engine's complete mutable state (checkpointing).
+     * The contract — pinned per registered engine by
+     * tests/checkpoint_test.cc — is that constructing a fresh engine
+     * with the same parameters, loadState()ing this data into it and
+     * continuing the simulation is bitwise identical to never having
+     * stopped. The default saves nothing, which is only correct for
+     * stateless engines; any engine with training state must
+     * override both hooks (the snapshot-equivalence property test
+     * fails otherwise).
+     */
+    virtual void saveState(StateWriter &w) const { (void)w; }
+
+    /** Restore state written by saveState on an identically
+     *  configured instance; structural mismatches fail the reader. */
+    virtual void loadState(StateReader &r) { (void)r; }
 };
+
+/** Serialize a pending-request queue (engine saveState helpers). */
+inline void
+savePrefetchRequests(StateWriter &w,
+                     const std::vector<PrefetchRequest> &reqs)
+{
+    w.u64(reqs.size());
+    for (const PrefetchRequest &req : reqs) {
+        w.u64(req.addr);
+        w.i64(req.streamId);
+        w.u8(static_cast<std::uint8_t>(req.sink));
+    }
+}
+
+/** Restore a queue written by savePrefetchRequests. */
+inline void
+loadPrefetchRequests(StateReader &r,
+                     std::vector<PrefetchRequest> &reqs)
+{
+    std::uint64_t n = r.u64();
+    reqs.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        PrefetchRequest req;
+        req.addr = r.u64();
+        req.streamId = static_cast<int>(r.i64());
+        std::uint8_t sink = r.u8();
+        if (sink > 1) {
+            r.fail();
+            return;
+        }
+        req.sink = static_cast<PrefetchSink>(sink);
+        reqs.push_back(req);
+    }
+}
 
 } // namespace stems
 

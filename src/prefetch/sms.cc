@@ -114,6 +114,40 @@ SmsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
     pending_.clear();
 }
 
+namespace {
+constexpr std::uint32_t kSmsTag = stateTag('S', 'M', 'S', '1');
+} // namespace
+
+void
+SmsPrefetcher::saveState(StateWriter &w) const
+{
+    w.tag(kSmsTag);
+    agt_.saveState(w, [](StateWriter &sw, const AgtEntry &e) {
+        sw.u64(e.index);
+        sw.u32(e.mask);
+    });
+    pht_.saveState(w, [](StateWriter &sw, const PhtEntry &e) {
+        for (unsigned off = 0; off < kBlocksPerRegion; ++off)
+            sw.u8(e.counters[off]);
+    });
+    savePrefetchRequests(w, pending_);
+}
+
+void
+SmsPrefetcher::loadState(StateReader &r)
+{
+    r.tag(kSmsTag);
+    agt_.loadState(r, [](StateReader &sr, AgtEntry &e) {
+        e.index = sr.u64();
+        e.mask = sr.u32();
+    });
+    pht_.loadState(r, [](StateReader &sr, PhtEntry &e) {
+        for (unsigned off = 0; off < kBlocksPerRegion; ++off)
+            e.counters[off] = sr.u8();
+    });
+    loadPrefetchRequests(r, pending_);
+}
+
 } // namespace stems
 
 // ---- registry hookup ----

@@ -53,6 +53,9 @@ class SmsPrefetcher : public Prefetcher
 
     void drainRequests(std::vector<PrefetchRequest> &out) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     /** Patterns learned so far (diagnostics). */
     std::size_t trainedPatterns() const { return pht_.occupancy(); }
 

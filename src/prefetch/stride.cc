@@ -60,6 +60,36 @@ StridePrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
     pending_.clear();
 }
 
+namespace {
+constexpr std::uint32_t kStrideTag = stateTag('S', 'T', 'R', 'D');
+} // namespace
+
+void
+StridePrefetcher::saveState(StateWriter &w) const
+{
+    w.tag(kStrideTag);
+    table_.saveState(w, [](StateWriter &sw, const Entry &e) {
+        sw.boolean(e.valid);
+        sw.u64(e.lastBlock);
+        sw.i64(e.stride);
+        sw.u32(e.confidence.value());
+    });
+    savePrefetchRequests(w, pending_);
+}
+
+void
+StridePrefetcher::loadState(StateReader &r)
+{
+    r.tag(kStrideTag);
+    table_.loadState(r, [](StateReader &sr, Entry &e) {
+        e.valid = sr.boolean();
+        e.lastBlock = sr.u64();
+        e.stride = sr.i64();
+        e.confidence.set(sr.u32());
+    });
+    loadPrefetchRequests(r, pending_);
+}
+
 } // namespace stems
 
 // ---- registry hookup ----

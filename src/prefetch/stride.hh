@@ -49,6 +49,9 @@ class StridePrefetcher : public Prefetcher
 
     void drainRequests(std::vector<PrefetchRequest> &out) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
   private:
     struct Entry
     {

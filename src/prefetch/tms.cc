@@ -200,6 +200,80 @@ TmsPrefetcher::drainRequests(std::vector<PrefetchRequest> &out)
     pending_.clear();
 }
 
+namespace {
+constexpr std::uint32_t kTmsTag = stateTag('T', 'M', 'S', '1');
+} // namespace
+
+void
+TmsPrefetcher::saveState(StateWriter &w) const
+{
+    w.tag(kTmsTag);
+    w.i64(globalInFlight_);
+    w.u64(clock_);
+    w.u64(streamsStarted_);
+    buffer_.saveState(
+        w, [](StateWriter &sw, const Addr &a) { sw.u64(a); });
+    w.u64(index_.size());
+    for (const auto &kv : index_) {
+        w.u64(kv.first);
+        w.u64(kv.second);
+    }
+    w.u64(streams_.size());
+    for (const Stream &s : streams_) {
+        w.boolean(s.active);
+        w.boolean(s.confirmed);
+        w.u64(s.pending.size());
+        for (Addr a : s.pending)
+            w.u64(a);
+        w.u64(s.nextPos);
+        w.u64(s.lru);
+        w.i64(s.inFlight);
+        w.u32(s.generation);
+    }
+    savePrefetchRequests(w, pending_);
+}
+
+void
+TmsPrefetcher::loadState(StateReader &r)
+{
+    r.tag(kTmsTag);
+    globalInFlight_ = static_cast<int>(r.i64());
+    clock_ = r.u64();
+    streamsStarted_ = r.u64();
+    buffer_.loadState(
+        r, [](StateReader &sr, Addr &a) { a = sr.u64(); });
+    std::uint64_t entries = r.u64();
+    index_.clear();
+    for (std::uint64_t i = 0; i < entries && r.ok(); ++i) {
+        Addr a = r.u64();
+        Position p = r.u64();
+        index_[a] = p;
+    }
+    if (r.u64() != streams_.size()) {
+        r.fail();
+        return;
+    }
+    for (Stream &s : streams_) {
+        s = Stream{};
+        s.active = r.boolean();
+        s.confirmed = r.boolean();
+        std::uint64_t pending = r.u64();
+        if (pending > buffer_.capacity()) {
+            r.fail();
+            return;
+        }
+        for (std::uint64_t i = 0; i < pending && r.ok(); ++i)
+            s.pending.push_back(r.u64());
+        s.nextPos = r.u64();
+        s.lru = r.u64();
+        s.inFlight = static_cast<int>(r.i64());
+        s.generation = r.u32();
+        if (!r.ok())
+            return;
+    }
+    loadPrefetchRequests(r, pending_);
+}
+
 } // namespace stems
 
 // ---- registry hookup ----

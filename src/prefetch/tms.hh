@@ -81,6 +81,9 @@ class TmsPrefetcher : public Prefetcher
 
     void drainRequests(std::vector<PrefetchRequest> &out) override;
 
+    void saveState(StateWriter &w) const override;
+    void loadState(StateReader &r) override;
+
     /** Streams started so far (diagnostics). */
     std::uint64_t streamsStarted() const { return streamsStarted_; }
 

@@ -13,6 +13,8 @@ BatchSimulator::addLane(const SimParams &params, Prefetcher *engine,
 {
     Lane lane;
     lane.sim = std::make_unique<PrefetchSimulator>(params, engine);
+    lane.params = params;
+    lane.engine = engine;
     lane.warmup = warmup_records;
     if (lane.warmup > 0)
         lane.sim->setMeasuring(false);
@@ -21,15 +23,59 @@ BatchSimulator::addLane(const SimParams &params, Prefetcher *engine,
 }
 
 void
-BatchSimulator::runLaneChunk(Lane &lane, const MemRecord *records,
+BatchSimulator::rebuildLane(std::size_t lane_index,
+                            Prefetcher *engine)
+{
+    Lane &lane = lanes_.at(lane_index);
+    lane.engine = engine;
+    lane.sim =
+        std::make_unique<PrefetchSimulator>(lane.params, engine);
+    if (lane.warmup > 0)
+        lane.sim->setMeasuring(false);
+    lane.start = 0;
+    lane.nextBoundary = 0;
+}
+
+void
+BatchSimulator::setLaneStart(std::size_t lane_index,
+                             std::size_t start_index)
+{
+    lanes_.at(lane_index).start = start_index;
+}
+
+void
+BatchSimulator::setLaneBoundaries(std::size_t lane_index,
+                                  std::vector<std::size_t> boundaries)
+{
+    Lane &lane = lanes_.at(lane_index);
+    lane.boundaries = std::move(boundaries);
+    lane.nextBoundary = 0;
+}
+
+void
+BatchSimulator::runLaneChunk(std::size_t lane_index,
+                             const MemRecord *records,
                              std::size_t first, std::size_t count)
 {
     // Mirrors PrefetchSimulator::run exactly: the measuring flip at
     // index == warmup is a no-op for warmup == 0 lanes (already on),
     // so the lane's step sequence matches a standalone run bitwise.
+    // A resumed lane skips everything below its start index — flip
+    // included, since the checkpointed state already contains it.
+    Lane &lane = lanes_[lane_index];
     PrefetchSimulator &sim = *lane.sim;
-    for (std::size_t i = 0; i < count; ++i) {
-        if (first + i == lane.warmup)
+    if (first + count <= lane.start)
+        return; // whole chunk inside the resumed prefix
+    std::size_t skip = lane.start > first ? lane.start - first : 0;
+    for (std::size_t i = skip; i < count; ++i) {
+        std::size_t global = first + i;
+        if (lane.nextBoundary < lane.boundaries.size() &&
+            lane.boundaries[lane.nextBoundary] == global) {
+            if (boundary_)
+                boundary_(lane_index, global, sim);
+            ++lane.nextBoundary;
+        }
+        if (global == lane.warmup)
             sim.setMeasuring(true);
         sim.step(records[i]);
     }
@@ -47,8 +93,8 @@ BatchSimulator::runChunk(const MemRecord *records, std::size_t first,
     std::size_t workers =
         std::min<std::size_t>(jobs, lanes_.size());
     if (workers <= 1) {
-        for (Lane &lane : lanes_)
-            runLaneChunk(lane, records, first, count);
+        for (std::size_t li = 0; li < lanes_.size(); ++li)
+            runLaneChunk(li, records, first, count);
         return;
     }
 
@@ -65,7 +111,7 @@ BatchSimulator::runChunk(const MemRecord *records, std::size_t first,
             if (li >= lanes_.size())
                 break;
             try {
-                runLaneChunk(lanes_[li], records, first, count);
+                runLaneChunk(li, records, first, count);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!error)
@@ -85,10 +131,24 @@ BatchSimulator::runChunk(const MemRecord *records, std::size_t first,
 }
 
 void
-BatchSimulator::finishAll()
+BatchSimulator::finishAll(std::size_t total_records)
 {
-    for (Lane &lane : lanes_)
+    for (std::size_t li = 0; li < lanes_.size(); ++li) {
+        Lane &lane = lanes_[li];
+        // An end-of-trace boundary captures the pre-finish state, so
+        // a resumed run re-executes finish() exactly once, like the
+        // continuous run it mirrors.
+        while (lane.nextBoundary < lane.boundaries.size() &&
+               lane.boundaries[lane.nextBoundary] <= total_records) {
+            if (lane.boundaries[lane.nextBoundary] ==
+                    total_records &&
+                boundary_) {
+                boundary_(li, total_records, *lane.sim);
+            }
+            ++lane.nextBoundary;
+        }
         lane.sim->finish();
+    }
 }
 
 void
@@ -100,7 +160,7 @@ BatchSimulator::run(const Trace &trace, unsigned jobs)
             std::min(trace.size() - start, kChunkRecords);
         runChunk(trace.data() + start, start, count, jobs);
     }
-    finishAll();
+    finishAll(trace.size());
 }
 
 void
@@ -120,7 +180,7 @@ BatchSimulator::run(TraceSource &source, unsigned jobs)
         if (count < kChunkRecords)
             break;
     }
-    finishAll();
+    finishAll(first);
 }
 
 } // namespace stems

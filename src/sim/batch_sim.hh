@@ -25,6 +25,7 @@
 #define STEMS_SIM_BATCH_SIM_HH
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -87,11 +88,59 @@ class BatchSimulator
         return *lanes_.at(lane).sim;
     }
 
+    /**
+     * Replace a lane's simulator with a freshly-constructed one
+     * (same SimParams and warmup as addLane received). Used when a
+     * checkpoint restore fails structurally after partially mutating
+     * the lane: the caller recreates the engine and the lane starts
+     * cold.
+     */
+    void rebuildLane(std::size_t lane, Prefetcher *engine);
+
+    /**
+     * Start a lane at a trace position instead of record 0: records
+     * before `start_index` are skipped entirely. The lane's
+     * simulator must hold the matching checkpointed state
+     * (sim/checkpoint.hh), which bakes in any warmup flip at or
+     * before the start — the skipped records' flip checks are
+     * skipped with them.
+     */
+    void setLaneStart(std::size_t lane, std::size_t start_index);
+
+    /**
+     * Checkpoint boundaries for a lane, ascending and strictly
+     * greater than its start index. At each boundary index i the
+     * boundary callback fires after records [0, i) were stepped and
+     * before the warmup-flip check of record i (the checkpoint
+     * convention of sim/checkpoint.hh); a boundary equal to the
+     * trace length fires after the last record, before finish().
+     */
+    void setLaneBoundaries(std::size_t lane,
+                           std::vector<std::size_t> boundaries);
+
+    /** Boundary observer: (lane, record index, lane simulator). May
+     *  be invoked concurrently from different lanes' worker threads
+     *  when run() parallelizes lanes; it must only touch per-lane or
+     *  thread-safe state. */
+    using BoundaryFn = std::function<void(
+        std::size_t, std::size_t, PrefetchSimulator &)>;
+
+    /** Register the boundary observer (one per batch). */
+    void setBoundaryCallback(BoundaryFn fn)
+    {
+        boundary_ = std::move(fn);
+    }
+
   private:
     struct Lane
     {
         std::unique_ptr<PrefetchSimulator> sim;
+        SimParams params;
+        Prefetcher *engine = nullptr;
         std::size_t warmup = 0;
+        std::size_t start = 0;
+        std::vector<std::size_t> boundaries;
+        std::size_t nextBoundary = 0; ///< cursor into boundaries
     };
 
     /// Records stepped per lane before switching lanes (or, with
@@ -107,12 +156,15 @@ class BatchSimulator
                   std::size_t count, unsigned jobs);
 
     /** One lane's share of a chunk. */
-    void runLaneChunk(Lane &lane, const MemRecord *records,
-                      std::size_t first, std::size_t count);
+    void runLaneChunk(std::size_t lane_index,
+                      const MemRecord *records, std::size_t first,
+                      std::size_t count);
 
-    void finishAll();
+    /** Fire end-of-trace boundaries, then finish every lane. */
+    void finishAll(std::size_t total_records);
 
     std::vector<Lane> lanes_;
+    BoundaryFn boundary_;
 };
 
 } // namespace stems

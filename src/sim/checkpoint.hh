@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulation-state checkpoints: a CRC-framed binary blob capturing a
+ * PrefetchSimulator (hierarchy, SVB, timing model, statistics, and
+ * the attached engine's complete training state) at a record index,
+ * such that restoring it into an identically-constructed simulator
+ * and stepping the remaining records is bitwise identical to never
+ * having stopped (tests/checkpoint_test.cc pins this per registered
+ * engine).
+ *
+ * Blob layout (little-endian):
+ *
+ *   offset  0  8-byte magic "STeMSckp"
+ *   offset  8  u32 version
+ *   offset 12  u64 record index (records stepped before the save)
+ *   offset 20  u64 payload byte length
+ *   offset 28  u32 CRC-32 of the payload bytes
+ *   offset 32  payload: the StateWriter field stream produced by
+ *              PrefetchSimulator::saveState
+ *
+ * The checkpoint convention: a checkpoint "at index i" is taken
+ * after records [0, i) were stepped and *before* the warmup
+ * measuring flip that record i's iteration would perform — so a
+ * resumed run re-executes the flip check for record i exactly like a
+ * continuous run does.
+ *
+ * Decoding is reject-only: magic/version/length/CRC are verified
+ * before any simulator mutation, and a structural mismatch inside
+ * the payload (wrong geometry, wrong engine shape) fails the load.
+ * The TraceStore persists these blobs as its fourth entry class,
+ * keyed by (trace-prefix digest, engine-spec digest, config digest,
+ * record index) — see store/trace_store.hh.
+ */
+
+#ifndef STEMS_SIM_CHECKPOINT_HH
+#define STEMS_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/prefetch_sim.hh"
+
+namespace stems {
+
+/** Current checkpoint blob format version. */
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/**
+ * Serialize a simulator into a framed checkpoint blob.
+ *
+ * @param sim           the simulator to capture (mid-run, before
+ *                      finish()).
+ * @param record_index  records stepped so far (see file comment).
+ */
+std::vector<std::uint8_t>
+encodeCheckpoint(const PrefetchSimulator &sim,
+                 std::uint64_t record_index);
+
+/**
+ * Validate a blob's framing (magic, version, length, CRC) without
+ * touching any simulator. @return false on any mismatch.
+ */
+bool checkpointValid(const std::vector<std::uint8_t> &blob);
+
+/**
+ * Peek a valid blob's record index. @return false when the framing
+ * is invalid.
+ */
+bool checkpointRecordIndex(const std::vector<std::uint8_t> &blob,
+                           std::uint64_t &index_out);
+
+/**
+ * Restore a checkpoint into a simulator constructed with the same
+ * SimParams and an equivalently-specified engine.
+ *
+ * Framing is verified before any mutation; on a framing failure the
+ * simulator is untouched. A payload-structure failure (possible only
+ * under key collisions or code-version skew) can leave the simulator
+ * partially mutated — the caller must then discard and rebuild it.
+ *
+ * @param index_out  receives the blob's record index on success.
+ * @return true when the simulator now holds the checkpointed state.
+ */
+bool decodeCheckpoint(const std::vector<std::uint8_t> &blob,
+                      PrefetchSimulator &sim,
+                      std::uint64_t *index_out = nullptr);
+
+} // namespace stems
+
+#endif // STEMS_SIM_CHECKPOINT_HH

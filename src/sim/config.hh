@@ -8,6 +8,7 @@
 #ifndef STEMS_SIM_CONFIG_HH
 #define STEMS_SIM_CONFIG_HH
 
+#include <algorithm>
 #include <string>
 
 #include "core/stems.hh"
@@ -45,11 +46,32 @@ struct ExperimentConfig
     /// Leading fraction of the trace used as warmup (the paper
     /// launches measurements from warmed checkpoints).
     double warmupFraction = 0.5;
+    /// Absolute warmup override: when nonzero, exactly this many
+    /// leading records train unmeasured (clamped to the trace
+    /// length) and warmupFraction is ignored. Incremental sweeps
+    /// (sim/driver.hh segmented execution) use this so extending
+    /// --records keeps the warmup boundary — and therefore the
+    /// simulated prefix — identical.
+    std::size_t warmupRecords = 0;
     /// Trace-generation seed.
     std::uint64_t seed = 42;
     /// Model timing (Figure 10) or run functional-only (Figure 9).
     bool enableTiming = false;
 };
+
+/** The warmup-record count a run over `trace_size` records uses:
+ *  the absolute override when set, else the warmup fraction. Shared
+ *  by the driver and the serial reference runner so their cells stay
+ *  bitwise comparable. */
+inline std::size_t
+effectiveWarmupRecords(const ExperimentConfig &config,
+                       std::size_t trace_size)
+{
+    if (config.warmupRecords > 0)
+        return std::min(config.warmupRecords, trace_size);
+    return static_cast<std::size_t>(trace_size *
+                                    config.warmupFraction);
+}
 
 } // namespace stems
 

@@ -1,8 +1,10 @@
 #include "sim/driver.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <iomanip>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -10,6 +12,7 @@
 #include "common/stats.hh"
 #include "prefetch/engine_registry.hh"
 #include "sim/batch_sim.hh"
+#include "sim/checkpoint.hh"
 #include "store/trace_store.hh"
 #include "trace/trace_io.hh"
 #include "workloads/registry.hh"
@@ -49,6 +52,12 @@ struct WorkloadShard
     bool storeEligible = false;
     std::uint64_t traceDigest = 0;
     bool digestValid = false;
+
+    /// Segmented execution: checkpoint boundaries over this trace
+    /// (ascending, ending at trace.size()) and the trace-prefix
+    /// digest at each boundary. Empty when checkpointing is off.
+    std::vector<std::size_t> ckptBounds;
+    std::vector<std::uint64_t> ckptBoundPrefixes;
 
     std::vector<SimStats> engineStats;
     std::vector<std::map<std::string, double>> engineExtra;
@@ -136,6 +145,10 @@ ExperimentDriver::setStore(std::shared_ptr<TraceStore> store)
         std::ostringstream os;
         os << describeSystem(config_.system) << "\nwarmup="
            << std::setprecision(17) << config_.warmupFraction;
+        // Appended only when set so stores written before the
+        // absolute-warmup knob existed keep their keys.
+        if (config_.warmupRecords > 0)
+            os << "\nwarmupRecords=" << config_.warmupRecords;
         configDigest_ = storeDigest(os.str());
         // Engine results additionally depend on the timing mode (a
         // functional run's stats carry no cycles) and their on-disk
@@ -144,6 +157,14 @@ ExperimentDriver::setStore(std::shared_ptr<TraceStore> store)
         ros << os.str() << "\ntiming=" << config_.enableTiming
             << "\nresultv=1";
         resultConfigDigest_ = storeDigest(ros.str());
+        // Checkpoints exclude warmup here: it joins each entry's
+        // state digest (see driver.hh) so pre-warmup checkpoints are
+        // shareable across warmup settings and record counts.
+        std::ostringstream cs;
+        cs << describeSystem(config_.system)
+           << "\ntiming=" << config_.enableTiming
+           << "\nckptv=" << kCheckpointVersion;
+        ckptConfigDigest_ = storeDigest(cs.str());
     }
 }
 
@@ -375,6 +396,37 @@ ExperimentDriver::runCells(
     sim_params.enableTiming = config_.enableTiming;
     sim_params.timing = config_.system.timing;
 
+    // Segmented execution needs a store to put checkpoints in; with
+    // neither granularity knob set it is off entirely.
+    const bool ckpt_enabled =
+        store_ != nullptr && store_->usable() &&
+        (checkpointEvery_ > 0 || segments_ > 1);
+
+    /** Checkpoint boundaries over a trace of `size` records:
+     *  absolute multiples of checkpointEvery_ (stable across record
+     *  counts, which is what lets an extended re-run find a shorter
+     *  run's checkpoints) or segments_ equal cuts, plus the trace
+     *  end so a follow-up run can extend from the full prefix. */
+    auto ckpt_bounds_for = [&](std::size_t size) {
+        std::vector<std::size_t> bounds;
+        if (size == 0)
+            return bounds;
+        if (checkpointEvery_ > 0) {
+            for (std::size_t b = checkpointEvery_; b < size;
+                 b += checkpointEvery_)
+                bounds.push_back(b);
+        } else {
+            for (unsigned k = 1; k < segments_; ++k) {
+                std::size_t b = size * k / segments_;
+                if (b > 0 && b < size &&
+                    (bounds.empty() || bounds.back() != b))
+                    bounds.push_back(b);
+            }
+        }
+        bounds.push_back(size);
+        return bounds;
+    };
+
     auto materialize_shard = [&](WorkloadShard &shard) {
         std::call_once(shard.traceOnce, [&] {
             if (shard.storeEligible) {
@@ -391,9 +443,70 @@ ExperimentDriver::runCells(
                 traceGenerations_.fetch_add(1);
             }
             shard.traceSize = shard.trace.size();
-            shard.warmup = static_cast<std::size_t>(
-                shard.trace.size() * config_.warmupFraction);
+            shard.warmup = effectiveWarmupRecords(
+                config_, shard.trace.size());
+            if (ckpt_enabled) {
+                shard.ckptBounds =
+                    ckpt_bounds_for(shard.trace.size());
+                shard.ckptBoundPrefixes = tracePrefixDigests(
+                    shard.trace, shard.ckptBounds);
+            }
         });
+    };
+
+    /** The state digest of a checkpoint at `index`: trace-prefix
+     *  content plus the warmup boundary's effect on that prefix
+     *  ("pending" while it lies at or beyond the index, so the
+     *  prefix state cannot depend on its exact value yet). */
+    auto ckpt_state_digest = [](std::uint64_t prefix_digest,
+                                std::size_t index,
+                                std::size_t warmup) {
+        std::ostringstream os;
+        os << std::hex << prefix_digest << "|warmup=";
+        if (warmup < index)
+            os << std::dec << warmup;
+        else
+            os << "pending";
+        return storeDigest(os.str());
+    };
+
+    /** Checkpoint identity of a cell's simulator: the engine spec
+     *  without labels or probe ids (a probe reads state post-run; it
+     *  cannot change the simulation a checkpoint captures). */
+    auto cell_ckpt_spec = [&](const Cell &cell,
+                              const WorkloadShard &shard)
+        -> std::uint64_t {
+        switch (cell.kind) {
+        case Cell::kBaseline:
+            return storeDigest("cell:baseline:v1");
+        case Cell::kStride: {
+            EngineOptions options;
+            options.scientific = shard.scientific;
+            return storeDigest(
+                describeEngineSpec("stride", options));
+        }
+        case Cell::kEngine:
+        default: {
+            const EngineSpec &spec = engines[cell.spec];
+            EngineOptions options = spec.options;
+            options.scientific =
+                options.scientific || shard.scientific;
+            return storeDigest(
+                describeEngineSpec(spec.engine, options));
+        }
+        }
+    };
+
+    auto cell_label = [&](const Cell &cell) -> std::string {
+        switch (cell.kind) {
+        case Cell::kBaseline:
+            return "baseline";
+        case Cell::kStride:
+            return "stride";
+        case Cell::kEngine:
+        default:
+            return engines[cell.spec].resultLabel();
+        }
     };
 
     /** Build the cell's engine (null for the baseline cell). */
@@ -442,16 +555,151 @@ ExperimentDriver::runCells(
         }
     };
 
+    /**
+     * Run a group of one workload's cells as lanes of one
+     * BatchSimulator pass (the whole shard when batching, a single
+     * cell otherwise — a 1-lane pass is bitwise identical to a
+     * standalone PrefetchSimulator::run, which sim_test pins). When
+     * segmented execution is on, each lane first resumes from the
+     * newest stored checkpoint whose trace prefix, warmup boundary
+     * and engine spec match, and writes a checkpoint at every
+     * boundary it crosses.
+     */
+    auto execute_cells = [&](WorkloadShard &shard,
+                             const std::vector<Cell> &group,
+                             unsigned lane_jobs) {
+        BatchSimulator sim;
+        std::vector<std::unique_ptr<Prefetcher>> lane_engines;
+        std::vector<std::uint64_t> lane_spec(group.size(), 0);
+        lane_engines.reserve(group.size());
+        for (const Cell &cell : group) {
+            lane_engines.push_back(make_cell_engine(cell, shard));
+            sim.addLane(sim_params, lane_engines.back().get(),
+                        shard.warmup);
+        }
+
+        if (ckpt_enabled && !shard.ckptBounds.empty()) {
+            // Prefix digests are a property of the trace, not the
+            // lane: memoize them across this group's lanes so an
+            // off-schedule candidate index costs one hash pass no
+            // matter how many lanes see it (on-schedule indices are
+            // pre-seeded from materialize_shard's boundary pass).
+            std::map<std::size_t, std::uint64_t> prefix_memo;
+            for (std::size_t b = 0; b < shard.ckptBounds.size(); ++b)
+                prefix_memo[shard.ckptBounds[b]] =
+                    shard.ckptBoundPrefixes[b];
+
+            for (std::size_t k = 0; k < group.size(); ++k) {
+                lane_spec[k] = cell_ckpt_spec(group[k], shard);
+
+                // Resume: candidate indices come from the store's
+                // directory (they may include other workloads' or
+                // record-schedules' checkpoints); each candidate is
+                // verified against this trace by recomputing the
+                // prefix digest, newest first. Candidates that sit
+                // on this run's own boundary schedule — the common
+                // case — reuse the digests materialize_shard already
+                // computed; only off-schedule indices cost a hash
+                // pass.
+                auto candidates = store_->listCheckpointIndices(
+                    lane_spec[k], ckptConfigDigest_);
+                std::vector<std::size_t> usable;
+                for (std::uint64_t c : candidates)
+                    if (c > 0 && c <= shard.trace.size())
+                        usable.push_back(
+                            static_cast<std::size_t>(c));
+                std::vector<std::size_t> missing;
+                for (std::size_t c : usable)
+                    if (prefix_memo.find(c) == prefix_memo.end())
+                        missing.push_back(c);
+                if (!missing.empty()) {
+                    auto computed =
+                        tracePrefixDigests(shard.trace, missing);
+                    for (std::size_t m = 0; m < missing.size(); ++m)
+                        prefix_memo[missing[m]] = computed[m];
+                }
+                std::vector<std::uint64_t> prefixes(usable.size());
+                for (std::size_t c = 0; c < usable.size(); ++c)
+                    prefixes[c] = prefix_memo[usable[c]];
+                std::size_t resume = 0;
+                for (std::size_t c = usable.size(); c-- > 0;) {
+                    std::uint64_t state = ckpt_state_digest(
+                        prefixes[c], usable[c], shard.warmup);
+                    auto blob = store_->loadCheckpoint(
+                        lane_spec[k], ckptConfigDigest_, usable[c],
+                        state);
+                    if (!blob)
+                        continue;
+                    std::uint64_t decoded = 0;
+                    if (decodeCheckpoint(*blob, sim.simulator(k),
+                                         &decoded) &&
+                        decoded == usable[c]) {
+                        resume = usable[c];
+                        break;
+                    }
+                    // Structurally unrestorable despite a CRC pass
+                    // (key collision / code skew): drop the stale
+                    // entry so a fresh one replaces it, rebuild the
+                    // possibly part-mutated lane, and keep trying
+                    // older candidates against the clean state.
+                    store_->dropCheckpoint(lane_spec[k],
+                                           ckptConfigDigest_,
+                                           usable[c], state);
+                    lane_engines[k] =
+                        make_cell_engine(group[k], shard);
+                    sim.rebuildLane(k, lane_engines[k].get());
+                }
+                if (resume > 0) {
+                    sim.setLaneStart(k, resume);
+                    resumedRuns_.fetch_add(1);
+                    resumedRecordsSkipped_.fetch_add(resume);
+                }
+                std::vector<std::size_t> lane_bounds;
+                for (std::size_t b : shard.ckptBounds)
+                    if (b > resume)
+                        lane_bounds.push_back(b);
+                sim.setLaneBoundaries(k, std::move(lane_bounds));
+            }
+
+            sim.setBoundaryCallback(
+                [&](std::size_t lane, std::size_t index,
+                    PrefetchSimulator &lane_sim) {
+                    // May run concurrently from lane worker
+                    // threads: only the thread-safe store and
+                    // atomics below.
+                    auto pos =
+                        std::lower_bound(shard.ckptBounds.begin(),
+                                         shard.ckptBounds.end(),
+                                         index) -
+                        shard.ckptBounds.begin();
+                    StoredCheckpointMeta meta;
+                    meta.workload = shard.workload->name();
+                    meta.engine = cell_label(group[lane]);
+                    meta.index = index;
+                    meta.warmup = shard.warmup;
+                    store_->putCheckpoint(
+                        lane_spec[lane], ckptConfigDigest_, index,
+                        ckpt_state_digest(
+                            shard.ckptBoundPrefixes
+                                [static_cast<std::size_t>(pos)],
+                            index, shard.warmup),
+                        encodeCheckpoint(lane_sim, index), meta);
+                    checkpointsWritten_.fetch_add(1);
+                });
+        }
+
+        sim.run(shard.trace, lane_jobs);
+        for (std::size_t k = 0; k < group.size(); ++k)
+            collect_cell(group[k], shard, sim.stats(k),
+                         lane_engines[k].get());
+    };
+
     auto run_cell = [&](std::size_t index) {
         const Cell &cell = cells[index];
         WorkloadShard &shard = *shards[cell.shard];
         materialize_shard(shard);
 
-        std::unique_ptr<Prefetcher> engine =
-            make_cell_engine(cell, shard);
-        PrefetchSimulator sim(sim_params, engine.get());
-        sim.run(shard.trace, shard.warmup);
-        collect_cell(cell, shard, sim.stats(), engine.get());
+        execute_cells(shard, {cell}, 1);
 
         if (shard.remainingCells.fetch_sub(1) == 1) {
             // Last cell of this workload: release the trace early so
@@ -489,20 +737,7 @@ ExperimentDriver::runCells(
             const std::vector<Cell> &batch =
                 shard_cells[batch_shards[task]];
             materialize_shard(shard);
-
-            BatchSimulator sim;
-            std::vector<std::unique_ptr<Prefetcher>> lane_engines;
-            lane_engines.reserve(batch.size());
-            for (const Cell &cell : batch) {
-                lane_engines.push_back(
-                    make_cell_engine(cell, shard));
-                sim.addLane(sim_params, lane_engines.back().get(),
-                            shard.warmup);
-            }
-            sim.run(shard.trace, lane_jobs);
-            for (std::size_t k = 0; k < batch.size(); ++k)
-                collect_cell(batch[k], shard, sim.stats(k),
-                             lane_engines[k].get());
+            execute_cells(shard, batch, lane_jobs);
             // The task owns all of this workload's cells: release
             // the trace as soon as its single pass completes.
             Trace().swap(shard.trace);

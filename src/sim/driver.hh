@@ -194,6 +194,39 @@ class ExperimentDriver
     /** Whether batched execution is enabled. */
     bool batching() const { return batching_; }
 
+    /**
+     * Segmented execution: cut every cell's trace into `k` segments
+     * and persist a simulator checkpoint at each segment boundary
+     * (and at the trace end). Requires an attached store; 1 (the
+     * default) disables segmentation. Each cold cell first resumes
+     * from the newest stored checkpoint its trace prefix matches, so
+     * re-runs — including runs extended to more --records over the
+     * same workload/seed — only simulate the unseen suffix. Like the
+     * batch toggle this is pure execution strategy: results are
+     * bitwise identical to a continuous run (tests/checkpoint_test.cc
+     * pins this per engine across {jobs} x {batching}), so it does
+     * not participate in any result-cache key.
+     */
+    void setSegments(unsigned k) { segments_ = k == 0 ? 1 : k; }
+
+    /** Configured segment count (1 = off). */
+    unsigned segments() const { return segments_; }
+
+    /**
+     * Alternative checkpoint granularity: a boundary every `records`
+     * records (plus the trace end), independent of the trace length.
+     * Takes precedence over setSegments when nonzero. Stable
+     * absolute boundaries are what let an extended-records re-run
+     * find the shorter run's checkpoints.
+     */
+    void setCheckpointEvery(std::size_t records)
+    {
+        checkpointEvery_ = records;
+    }
+
+    /** Configured checkpoint interval (0 = off). */
+    std::size_t checkpointEvery() const { return checkpointEvery_; }
+
     /** Baseline simulations actually executed (cache diagnostics). */
     std::uint64_t baselineRuns() const { return baselineRuns_; }
 
@@ -215,6 +248,27 @@ class ExperimentDriver
     std::uint64_t traceGenerations() const
     {
         return traceGenerations_.load();
+    }
+
+    /** Cell simulations that resumed from a stored checkpoint
+     *  instead of starting at record 0 (segmented execution). */
+    std::uint64_t resumedRuns() const { return resumedRuns_.load(); }
+
+    /** Record-steps skipped by checkpoint resumes, summed over all
+     *  resumed cells: a fully warm-prefix re-run re-simulates only
+     *  the suffix, so this equals (resume index x resumed cells) and
+     *  the redundant re-simulated prefix is 0 records. */
+    std::uint64_t
+    resumedRecordsSkipped() const
+    {
+        return resumedRecordsSkipped_.load();
+    }
+
+    /** Checkpoints persisted to the store this driver's runs wrote. */
+    std::uint64_t
+    checkpointsWritten() const
+    {
+        return checkpointsWritten_.load();
     }
 
     /** Drop the per-workload baseline cache. */
@@ -265,10 +319,21 @@ class ExperimentDriver
     /// inputs plus the timing mode and the result-format version
     /// (functional and timed runs are distinct entries).
     std::uint64_t resultConfigDigest_ = 0;
+    /// Digest keying stored checkpoints: system + timing + blob
+    /// version. Warmup is deliberately excluded — it joins each
+    /// checkpoint's *state* digest instead, as "pending" while the
+    /// boundary lies beyond the checkpoint index, so pre-warmup
+    /// checkpoints are shareable across different warmup settings.
+    std::uint64_t ckptConfigDigest_ = 0;
     std::uint64_t engineRuns_ = 0;
     std::uint64_t batchedRuns_ = 0;
     bool batching_ = true;
+    unsigned segments_ = 1;
+    std::size_t checkpointEvery_ = 0;
     std::atomic<std::uint64_t> traceGenerations_{0};
+    std::atomic<std::uint64_t> resumedRuns_{0};
+    std::atomic<std::uint64_t> resumedRecordsSkipped_{0};
+    std::atomic<std::uint64_t> checkpointsWritten_{0};
 };
 
 } // namespace stems

@@ -40,8 +40,7 @@ ExperimentRunner::runWorkload(const Workload &workload,
 
     Trace trace =
         workload.generate(config_.seed, config_.traceRecords);
-    std::size_t warmup = static_cast<std::size_t>(
-        trace.size() * config_.warmupFraction);
+    std::size_t warmup = effectiveWarmupRecords(config_, trace.size());
 
     SimParams sim_params;
     sim_params.hierarchy = config_.system.hierarchy;

@@ -265,4 +265,94 @@ PrefetchSimulator::run(TraceSource &source,
     finish();
 }
 
+namespace {
+constexpr std::uint32_t kSimTag = stateTag('P', 'S', 'I', 'M');
+} // namespace
+
+void
+PrefetchSimulator::saveState(StateWriter &w) const
+{
+    w.tag(kSimTag);
+    w.boolean(params_.enableTiming);
+    w.boolean(svb_ != nullptr);
+    w.boolean(engine_ != nullptr);
+    hier_.saveState(w);
+    if (svb_)
+        svb_->saveState(w);
+    timing_.saveState(w);
+    w.u64(l2PrefetchReady_.size());
+    for (const auto &kv : l2PrefetchReady_) {
+        w.u64(kv.first);
+        w.f64(kv.second);
+    }
+    w.u64(missSeq_);
+    w.boolean(measuring_);
+    w.boolean(finished_);
+    w.f64(cyclesAtMeasureStart_);
+    w.u64(instrAtMeasureStart_);
+    w.u64(stats_.records);
+    w.u64(stats_.reads);
+    w.u64(stats_.writes);
+    w.u64(stats_.invalidates);
+    w.u64(stats_.l1Hits);
+    w.u64(stats_.l2Hits);
+    w.u64(stats_.l2PrefetchHits);
+    w.u64(stats_.svbHits);
+    w.u64(stats_.offChipReads);
+    w.u64(stats_.offChipWrites);
+    w.u64(stats_.prefetchesIssued);
+    w.u64(stats_.overpredictions);
+    w.f64(stats_.cycles);
+    w.u64(stats_.instructions);
+    if (engine_)
+        engine_->saveState(w);
+}
+
+void
+PrefetchSimulator::loadState(StateReader &r)
+{
+    r.tag(kSimTag);
+    // Construction-time structure must match the saved run exactly:
+    // a timing/SVB/engine mismatch means the caller keyed the
+    // checkpoint wrong.
+    if (r.boolean() != params_.enableTiming ||
+        r.boolean() != (svb_ != nullptr) ||
+        r.boolean() != (engine_ != nullptr)) {
+        r.fail();
+        return;
+    }
+    hier_.loadState(r);
+    if (svb_)
+        svb_->loadState(r);
+    timing_.loadState(r);
+    std::uint64_t ready = r.u64();
+    l2PrefetchReady_.clear();
+    for (std::uint64_t i = 0; i < ready && r.ok(); ++i) {
+        Addr a = r.u64();
+        double t = r.f64();
+        l2PrefetchReady_[a] = t;
+    }
+    missSeq_ = r.u64();
+    measuring_ = r.boolean();
+    finished_ = r.boolean();
+    cyclesAtMeasureStart_ = r.f64();
+    instrAtMeasureStart_ = r.u64();
+    stats_.records = r.u64();
+    stats_.reads = r.u64();
+    stats_.writes = r.u64();
+    stats_.invalidates = r.u64();
+    stats_.l1Hits = r.u64();
+    stats_.l2Hits = r.u64();
+    stats_.l2PrefetchHits = r.u64();
+    stats_.svbHits = r.u64();
+    stats_.offChipReads = r.u64();
+    stats_.offChipWrites = r.u64();
+    stats_.prefetchesIssued = r.u64();
+    stats_.overpredictions = r.u64();
+    stats_.cycles = r.f64();
+    stats_.instructions = r.u64();
+    if (engine_)
+        engine_->loadState(r);
+}
+
 } // namespace stems

@@ -127,6 +127,24 @@ class PrefetchSimulator
     /** The attached engine (may be null). */
     Prefetcher *engine() const { return engine_; }
 
+    /**
+     * Serialize the complete simulator state — hierarchy, SVB,
+     * timing, accounting, and the attached engine's state — so an
+     * identically-constructed simulator can resume mid-trace
+     * bitwise-exactly (sim/checkpoint.hh frames this into a
+     * CRC-checked blob).
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state written by saveState. The simulator must have
+     * been constructed with the same SimParams and an engine of the
+     * same specification (or none, matching the saved run);
+     * structural mismatches fail the reader without touching the
+     * trace contract.
+     */
+    void loadState(StateReader &r);
+
   private:
     void drainAndIssue();
     void handleSvbVictim(const StreamedValueBuffer::Entry &e);

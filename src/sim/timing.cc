@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/state_codec.hh"
 
 namespace stems {
 
@@ -136,6 +137,61 @@ TimingModel::prefetchIssued()
     double slot = std::max(channelFree_, lastIssue_);
     channelFree_ = slot + params_.channelInterval;
     return slot + params_.memLatency;
+}
+
+namespace {
+constexpr std::uint32_t kTimingTag = stateTag('T', 'I', 'M', 'E');
+} // namespace
+
+void
+TimingModel::saveState(StateWriter &w) const
+{
+    w.tag(kTimingTag);
+    w.u64(completionRing_.size());
+    w.u64(missRing_.size());
+    w.f64(lastIssue_);
+    w.f64(maxCompletion_);
+    w.f64(channelFree_);
+    w.f64(lastRetire_);
+    w.u64(instructions_);
+    w.u64(accessIndex_);
+    w.u64(missIndex_);
+    w.u64(robGate_);
+    for (double v : completionRing_)
+        w.f64(v);
+    for (double v : retireRing_)
+        w.f64(v);
+    for (std::uint64_t v : instrEndRing_)
+        w.u64(v);
+    for (double v : missRing_)
+        w.f64(v);
+}
+
+void
+TimingModel::loadState(StateReader &r)
+{
+    r.tag(kTimingTag);
+    if (r.u64() != completionRing_.size() ||
+        r.u64() != missRing_.size()) {
+        r.fail();
+        return;
+    }
+    lastIssue_ = r.f64();
+    maxCompletion_ = r.f64();
+    channelFree_ = r.f64();
+    lastRetire_ = r.f64();
+    instructions_ = r.u64();
+    accessIndex_ = r.u64();
+    missIndex_ = r.u64();
+    robGate_ = r.u64();
+    for (double &v : completionRing_)
+        v = r.f64();
+    for (double &v : retireRing_)
+        v = r.f64();
+    for (std::uint64_t &v : instrEndRing_)
+        v = r.u64();
+    for (double &v : missRing_)
+        v = r.f64();
 }
 
 } // namespace stems

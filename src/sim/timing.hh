@@ -33,6 +33,9 @@
 
 namespace stems {
 
+class StateWriter;
+class StateReader;
+
 /** Where a demand access was satisfied (timing view). */
 enum class AccessLevel : std::uint8_t
 {
@@ -104,6 +107,13 @@ class TimingModel
 
     /** Demand accesses processed. */
     std::uint64_t accesses() const { return accessIndex_; }
+
+    /** Serialize the full timing state (checkpointing). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state saved from an identically-parameterized model;
+     *  fails the reader on a ring-geometry mismatch. */
+    void loadState(StateReader &r);
 
   private:
     TimingParams params_;

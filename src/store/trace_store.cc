@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include "common/crc32.hh"
+#include "sim/checkpoint.hh"
 #include "trace/trace_io.hh"
 
 namespace fs = std::filesystem;
@@ -28,6 +29,7 @@ namespace {
 constexpr char kTraceSubdir[] = "traces";
 constexpr char kBaselineSubdir[] = "baselines";
 constexpr char kResultSubdir[] = "results";
+constexpr char kCheckpointSubdir[] = "checkpoints";
 /// Bumped when the trace encoding or key scheme changes, so stale
 /// stores miss instead of decoding garbage.
 constexpr unsigned kStoreFormatVersion = 2;
@@ -261,6 +263,10 @@ TraceStore::TraceStore(std::string dir, Options options)
         fs::create_directories(fs::path(dir_) / kBaselineSubdir, ec);
     if (!ec)
         fs::create_directories(fs::path(dir_) / kResultSubdir, ec);
+    if (!ec) {
+        fs::create_directories(fs::path(dir_) / kCheckpointSubdir,
+                               ec);
+    }
     usable_ = !ec && fs::is_directory(dir_, ec);
 }
 
@@ -297,6 +303,21 @@ TraceStore::resultPath(std::uint64_t trace_digest,
                  (hex16(trace_digest) + "-" + hex16(spec_digest) +
                   "-" + hex16(config_digest) +
                   (meta ? ".meta" : ".res"));
+    return p.string();
+}
+
+std::string
+TraceStore::checkpointPath(std::uint64_t spec_digest,
+                           std::uint64_t config_digest,
+                           std::uint64_t record_index,
+                           std::uint64_t state_digest,
+                           bool meta) const
+{
+    fs::path p = fs::path(dir_) / kCheckpointSubdir /
+                 (hex16(spec_digest) + "-" + hex16(config_digest) +
+                  "-" + hex16(record_index) + "-" +
+                  hex16(state_digest) +
+                  (meta ? ".meta" : ".ckpt"));
     return p.string();
 }
 
@@ -599,6 +620,138 @@ TraceStore::putResult(std::uint64_t trace_digest,
     return true;
 }
 
+bool
+TraceStore::putCheckpoint(std::uint64_t spec_digest,
+                          std::uint64_t config_digest,
+                          std::uint64_t record_index,
+                          std::uint64_t state_digest,
+                          const std::vector<std::uint8_t> &blob,
+                          const StoredCheckpointMeta &meta)
+{
+    if (!usable_)
+        return false;
+
+    std::ostringstream ms;
+    ms << "workload=" << meta.workload << '\n'
+       << "engine=" << meta.engine << '\n'
+       << "index=" << meta.index << '\n'
+       << "warmup=" << meta.warmup << '\n'
+       << "savedAtUnix=" << std::time(nullptr) << '\n'
+       << "spec=" << hex16(spec_digest) << '\n'
+       << "config=" << hex16(config_digest) << '\n'
+       << "state=" << hex16(state_digest) << '\n';
+    std::string meta_str = ms.str();
+
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    // Payload first, meta last — same commit order as traces.
+    if (!atomicWrite(checkpointPath(spec_digest, config_digest,
+                                    record_index, state_digest,
+                                    false),
+                     blob.data(), blob.size()))
+        return false;
+    if (!atomicWrite(checkpointPath(spec_digest, config_digest,
+                                    record_index, state_digest,
+                                    true),
+                     meta_str.data(), meta_str.size())) {
+        std::error_code ec;
+        fs::remove(checkpointPath(spec_digest, config_digest,
+                                  record_index, state_digest, false),
+                   ec);
+        return false;
+    }
+    // Like putBaseline/putResult, no per-put eviction scan: the
+    // driver calls enforceBudget() once per sweep.
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>>
+TraceStore::loadCheckpoint(std::uint64_t spec_digest,
+                           std::uint64_t config_digest,
+                           std::uint64_t record_index,
+                           std::uint64_t state_digest)
+{
+    if (!usable_) {
+        ++checkpointMisses_;
+        return std::nullopt;
+    }
+    std::string path = checkpointPath(spec_digest, config_digest,
+                                      record_index, state_digest,
+                                      /*meta=*/false);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++checkpointMisses_;
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> blob(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    std::uint64_t index = 0;
+    if (!checkpointRecordIndex(blob, index) ||
+        index != record_index) {
+        // Corrupt/truncated/mis-keyed: drop the pair so the caller's
+        // cold run rewrites it.
+        ++checkpointMisses_;
+        std::error_code ec;
+        fs::remove(path, ec);
+        fs::remove(checkpointPath(spec_digest, config_digest,
+                                  record_index, state_digest, true),
+                   ec);
+        return std::nullopt;
+    }
+    ++checkpointHits_;
+    touch(path);
+    return blob;
+}
+
+void
+TraceStore::dropCheckpoint(std::uint64_t spec_digest,
+                           std::uint64_t config_digest,
+                           std::uint64_t record_index,
+                           std::uint64_t state_digest)
+{
+    if (!usable_)
+        return;
+    std::error_code ec;
+    fs::remove(checkpointPath(spec_digest, config_digest,
+                              record_index, state_digest, false),
+               ec);
+    fs::remove(checkpointPath(spec_digest, config_digest,
+                              record_index, state_digest, true),
+               ec);
+}
+
+std::vector<std::uint64_t>
+TraceStore::listCheckpointIndices(std::uint64_t spec_digest,
+                                  std::uint64_t config_digest)
+{
+    std::vector<std::uint64_t> indices;
+    if (!usable_)
+        return indices;
+    std::string prefix =
+        hex16(spec_digest) + "-" + hex16(config_digest) + "-";
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kCheckpointSubdir, ec)) {
+        if (de.path().extension() != ".ckpt")
+            continue;
+        std::string stem = de.path().stem().string();
+        if (stem.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (stem.size() < prefix.size() + 16)
+            continue;
+        char *end = nullptr;
+        std::uint64_t index = std::strtoull(
+            stem.c_str() + prefix.size(), &end, 16);
+        if (end != stem.c_str() + prefix.size() + 16)
+            continue;
+        indices.push_back(index);
+    }
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()),
+                  indices.end());
+    return indices;
+}
+
 std::uint64_t
 TraceStore::enforceBudget()
 {
@@ -752,6 +905,47 @@ TraceStore::list()
             continue;
         entries.push_back(std::move(e));
     }
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kCheckpointSubdir, ec)) {
+        if (de.path().extension() != ".ckpt")
+            continue;
+        std::string workload, engine, index;
+        fs::path meta = de.path();
+        meta.replace_extension(".meta");
+        std::ifstream in(meta);
+        std::string line;
+        while (in && std::getline(in, line)) {
+            auto eq = line.find('=');
+            if (eq == std::string::npos)
+                continue;
+            std::string k = line.substr(0, eq);
+            std::string v = line.substr(eq + 1);
+            if (k == "workload")
+                workload = v;
+            else if (k == "engine")
+                engine = v;
+            else if (k == "index")
+                index = v;
+        }
+        std::error_code fec;
+        StoreEntry e;
+        e.kind = StoreEntry::Kind::kCheckpoint;
+        e.file = fs::relative(de.path(), dir_, fec).string();
+        std::ostringstream desc;
+        if (!workload.empty()) {
+            desc << workload << " x " << engine << " @" << index
+                 << " records";
+        } else {
+            desc << "checkpoint " << de.path().stem().string();
+        }
+        e.description = desc.str();
+        e.bytes = fs::file_size(de.path(), fec);
+        if (fec)
+            continue;
+        e.ageSeconds =
+            secondsSince(fs::last_write_time(de.path(), fec));
+        entries.push_back(std::move(e));
+    }
     std::sort(entries.begin(), entries.end(),
               [](const StoreEntry &a, const StoreEntry &b) {
                   return a.ageSeconds > b.ageSeconds;
@@ -765,8 +959,8 @@ TraceStore::totalBytes()
     std::uint64_t total = 0;
     if (!usable_)
         return total;
-    for (const char *sub :
-         {kTraceSubdir, kBaselineSubdir, kResultSubdir}) {
+    for (const char *sub : {kTraceSubdir, kBaselineSubdir,
+                            kResultSubdir, kCheckpointSubdir}) {
         std::error_code ec;
         for (const auto &de :
              fs::directory_iterator(fs::path(dir_) / sub, ec)) {
@@ -833,29 +1027,36 @@ TraceStore::evictLockedWithin(std::uint64_t budget_bytes)
         total += u.bytes;
         units.push_back(std::move(u));
     }
-    for (const auto &de : fs::directory_iterator(
-             fs::path(dir_) / kResultSubdir, ec)) {
-        // A result's .res/.meta pair is one evictable unit, like a
-        // trace's .trc/.meta pair.
-        if (de.path().extension() != ".res")
-            continue;
-        std::error_code fec;
-        EvictableEntry u;
-        u.files.push_back(de.path());
-        u.bytes = fs::file_size(de.path(), fec);
-        u.mtime = fs::last_write_time(de.path(), fec);
-        if (fec)
-            continue;
-        fs::path meta = de.path();
-        meta.replace_extension(".meta");
-        std::error_code mec;
-        std::uint64_t msz = fs::file_size(meta, mec);
-        if (!mec) {
-            u.files.push_back(meta);
-            u.bytes += msz;
+    // Results and checkpoints share the payload/.meta-pair unit
+    // shape: each pair is evicted as one unit, like a trace's
+    // .trc/.meta pair, under the one shared size budget.
+    const std::pair<const char *, const char *> paired_kinds[] = {
+        {kResultSubdir, ".res"},
+        {kCheckpointSubdir, ".ckpt"},
+    };
+    for (const auto &[subdir, ext] : paired_kinds) {
+        for (const auto &de : fs::directory_iterator(
+                 fs::path(dir_) / subdir, ec)) {
+            if (de.path().extension() != ext)
+                continue;
+            std::error_code fec;
+            EvictableEntry u;
+            u.files.push_back(de.path());
+            u.bytes = fs::file_size(de.path(), fec);
+            u.mtime = fs::last_write_time(de.path(), fec);
+            if (fec)
+                continue;
+            fs::path meta = de.path();
+            meta.replace_extension(".meta");
+            std::error_code mec;
+            std::uint64_t msz = fs::file_size(meta, mec);
+            if (!mec) {
+                u.files.push_back(meta);
+                u.bytes += msz;
+            }
+            total += u.bytes;
+            units.push_back(std::move(u));
         }
-        total += u.bytes;
-        units.push_back(std::move(u));
     }
     if (total <= budget_bytes)
         return 0;

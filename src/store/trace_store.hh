@@ -18,6 +18,12 @@
  *   results/<...same...>.meta
  *                            text sidecar: workload/engine names,
  *                            headline metrics, save timestamp
+ *   checkpoints/<spec-digest>-<config-digest>-<record-index>-<state-digest>.ckpt
+ *                            mid-trace simulator snapshot
+ *                            (sim/checkpoint.hh blob, CRC-framed)
+ *   checkpoints/<...same...>.meta
+ *                            text sidecar: workload/engine names,
+ *                            record index, save timestamp
  *
  * Trace entries are keyed by (workload, records, seed, encoding
  * version) — everything that determines a generated trace's content.
@@ -28,6 +34,15 @@
  * specification (registered name + every EngineOptions override +
  * probe identity; see describeEngineSpec()), so one warm cell of a
  * sweep is exactly one stored result.
+ *
+ * Checkpoint entries are keyed by the *prefix* of the trace they
+ * were taken in, not the whole trace: the state digest combines the
+ * content digest of records [0, index) with the warmup boundary (or
+ * "pending" when the boundary lies beyond the index). A longer
+ * re-generation of the same workload therefore still matches the
+ * shorter run's checkpoints over their common prefix — which is what
+ * makes extending a sweep's --records simulate only the new suffix
+ * (sim/driver.hh segmented execution).
  *
  * Writes are atomic (temp file + rename), so concurrent processes
  * sharing a store directory at worst duplicate work, never corrupt
@@ -123,6 +138,15 @@ struct StoredResultInfo
     std::uint64_t bytes = 0;      ///< .res payload size
 };
 
+/** Human-readable identity written to a checkpoint's .meta sidecar. */
+struct StoredCheckpointMeta
+{
+    std::string workload;
+    std::string engine; ///< cell label ("baseline", "stride", ...)
+    std::uint64_t index = 0; ///< records stepped before the save
+    std::uint64_t warmup = 0; ///< warmup boundary of the saving run
+};
+
 /** One row of a store listing (`stems_trace cache ls`). */
 struct StoreEntry
 {
@@ -131,6 +155,7 @@ struct StoreEntry
         kTrace,
         kBaseline,
         kResult,
+        kCheckpoint,
     };
     Kind kind = Kind::kTrace;
     std::string file;        ///< path relative to the store root
@@ -228,6 +253,59 @@ class TraceStore
      *  time (oldest first). */
     std::vector<StoredResultInfo> listResults();
 
+    // ---- checkpoints ----
+
+    /**
+     * Persist one mid-trace simulator snapshot plus its sidecar.
+     * Atomic; overwrites any existing entry for the key.
+     *
+     * @param spec_digest    engine-spec digest of the cell.
+     * @param config_digest  system/timing config digest.
+     * @param record_index   records stepped before the save.
+     * @param state_digest   trace-prefix + warmup-boundary digest
+     *                       (see the file comment).
+     * @param blob           sim/checkpoint.hh encodeCheckpoint bytes.
+     */
+    bool putCheckpoint(std::uint64_t spec_digest,
+                       std::uint64_t config_digest,
+                       std::uint64_t record_index,
+                       std::uint64_t state_digest,
+                       const std::vector<std::uint8_t> &blob,
+                       const StoredCheckpointMeta &meta);
+
+    /**
+     * Load a stored checkpoint blob. The blob framing (magic,
+     * version, CRC) is verified here; a corrupt entry is deleted and
+     * counted as a miss so the caller falls back to a cold start.
+     */
+    std::optional<std::vector<std::uint8_t>>
+    loadCheckpoint(std::uint64_t spec_digest,
+                   std::uint64_t config_digest,
+                   std::uint64_t record_index,
+                   std::uint64_t state_digest);
+
+    /**
+     * Record indices with stored checkpoints for a (spec, config)
+     * pair, ascending and de-duplicated across state digests. The
+     * caller filters by recomputing each candidate's state digest
+     * against its own trace (a foreign workload's entry simply
+     * misses on load).
+     */
+    std::vector<std::uint64_t>
+    listCheckpointIndices(std::uint64_t spec_digest,
+                          std::uint64_t config_digest);
+
+    /**
+     * Remove a checkpoint pair. Used by the driver when a blob
+     * passed the CRC but failed to restore structurally (code skew):
+     * dropping it lets the next run rewrite a good entry instead of
+     * tripping over the stale one forever.
+     */
+    void dropCheckpoint(std::uint64_t spec_digest,
+                        std::uint64_t config_digest,
+                        std::uint64_t record_index,
+                        std::uint64_t state_digest);
+
     // ---- maintenance ----
 
     /** Every entry currently in the store, oldest first. */
@@ -261,6 +339,12 @@ class TraceStore
     std::uint64_t baselineMisses() const { return baselineMisses_; }
     std::uint64_t resultHits() const { return resultHits_; }
     std::uint64_t resultMisses() const { return resultMisses_; }
+    std::uint64_t checkpointHits() const { return checkpointHits_; }
+    std::uint64_t
+    checkpointMisses() const
+    {
+        return checkpointMisses_;
+    }
 
   private:
     std::string tracePath(const TraceKey &key, bool meta) const;
@@ -270,6 +354,11 @@ class TraceStore
                            std::uint64_t spec_digest,
                            std::uint64_t config_digest,
                            bool meta) const;
+    std::string checkpointPath(std::uint64_t spec_digest,
+                               std::uint64_t config_digest,
+                               std::uint64_t record_index,
+                               std::uint64_t state_digest,
+                               bool meta) const;
     /** Parse a .meta file. @return false when missing/malformed. */
     bool readMeta(const std::string &path, TraceEntryInfo &info);
     void touch(const std::string &path);
@@ -289,6 +378,8 @@ class TraceStore
     std::atomic<std::uint64_t> baselineMisses_{0};
     std::atomic<std::uint64_t> resultHits_{0};
     std::atomic<std::uint64_t> resultMisses_{0};
+    std::atomic<std::uint64_t> checkpointHits_{0};
+    std::atomic<std::uint64_t> checkpointMisses_{0};
 };
 
 /**

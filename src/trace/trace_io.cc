@@ -249,4 +249,41 @@ traceDigest(const Trace &trace)
     return h;
 }
 
+std::vector<std::uint64_t>
+tracePrefixDigests(const Trace &trace,
+                   const std::vector<std::size_t> &indices)
+{
+    // Same canonical field serialization as traceDigest, but the
+    // running state is shared by all prefixes and each prefix's
+    // length is folded in at its snapshot point (see the header).
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [](std::uint64_t state, const void *data,
+                  std::size_t len) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            state ^= p[i];
+            state *= 1099511628211ull;
+        }
+        return state;
+    };
+
+    std::vector<std::uint64_t> digests;
+    digests.reserve(indices.size());
+    std::size_t record = 0;
+    for (std::size_t index : indices) {
+        for (; record < index && record < trace.size(); ++record) {
+            const MemRecord &r = trace[record];
+            h = mix(h, &r.vaddr, sizeof(r.vaddr));
+            h = mix(h, &r.pc, sizeof(r.pc));
+            h = mix(h, &r.cpuOps, sizeof(r.cpuOps));
+            h = mix(h, &r.depDist, sizeof(r.depDist));
+            std::uint8_t kind = static_cast<std::uint8_t>(r.kind);
+            h = mix(h, &kind, sizeof(kind));
+        }
+        std::uint64_t count = index;
+        digests.push_back(mix(h, &count, sizeof(count)));
+    }
+    return digests;
+}
+
 } // namespace stems

@@ -64,6 +64,23 @@ std::vector<std::uint8_t> encodeTraceV2(const Trace &trace);
  */
 std::uint64_t traceDigest(const Trace &trace);
 
+/**
+ * Content digests of several prefixes of one trace, computed in a
+ * single pass over the records.
+ *
+ * @param indices  prefix lengths, ascending, each <= trace.size().
+ * @return one digest per index, in order.
+ *
+ * Unlike traceDigest — which folds the record count in *first* —
+ * the prefix digest folds its length in last, so all prefixes share
+ * one incremental hash state. Prefix digests are therefore a
+ * distinct keyspace from traceDigest values; the checkpoint store
+ * keys (store/trace_store.hh) use only prefix digests.
+ */
+std::vector<std::uint64_t>
+tracePrefixDigests(const Trace &trace,
+                   const std::vector<std::size_t> &indices);
+
 } // namespace stems
 
 #endif // STEMS_TRACE_TRACE_IO_HH

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Checkpointing tests.
+ *
+ * The contract under test is bitwise equivalence: for every
+ * registered engine, serializing a mid-trace PrefetchSimulator and
+ * resuming it in a freshly-constructed one must be indistinguishable
+ * — stat for stat, cycle for cycle — from never having stopped.
+ * Split points are randomized (seeded Rng) so the property is probed
+ * across warmup boundaries, stream states and generation lifetimes
+ * rather than at one hand-picked index.
+ *
+ * On top of that sit the driver-level guarantees: segmented
+ * execution (checkpoint at every boundary, resume from the newest
+ * match) is bitwise identical to a continuous run across
+ * {jobs 1, 8} x {batched, unbatched} for every registered engine,
+ * and re-running a sweep with more records over a warm store
+ * re-simulates only the new suffix (resumedRuns()/
+ * resumedRecordsSkipped() diagnostics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hh"
+#include "prefetch/engine_registry.hh"
+#include "sim/checkpoint.hh"
+#include "sim/driver.hh"
+#include "store/trace_store.hh"
+#include "test_util.hh"
+#include "workloads/registry.hh"
+
+namespace stems {
+namespace {
+
+using test::expectSameResults;
+using test::expectSameStats;
+using test::smallConfig;
+
+/** The trace every per-engine property test runs over: a real
+ *  workload mix (temporal+spatial structure) so all engines train. */
+Trace
+propertyTrace()
+{
+    auto w = makeWorkload("web-apache");
+    EXPECT_NE(w, nullptr);
+    return w->generate(/*seed=*/9, /*records=*/20000);
+}
+
+SimParams
+timedParams()
+{
+    SystemConfig sys = defaultSystemConfig();
+    SimParams p;
+    p.hierarchy = sys.hierarchy;
+    p.enableTiming = true;
+    p.timing = sys.timing;
+    return p;
+}
+
+std::unique_ptr<Prefetcher>
+makeEngine(const std::string &name)
+{
+    return EngineRegistry::instance().make(name,
+                                           defaultSystemConfig());
+}
+
+/** Step records [first, last) with the standard warmup flip, i.e.
+ *  exactly what PrefetchSimulator::run does over that span. */
+void
+stepSpan(PrefetchSimulator &sim, const Trace &trace,
+         std::size_t first, std::size_t last, std::size_t warmup)
+{
+    for (std::size_t i = first; i < last; ++i) {
+        if (i == warmup)
+            sim.setMeasuring(true);
+        sim.step(trace[i]);
+    }
+}
+
+TEST(Checkpoint, SnapshotResumeMatchesContinuousForEveryEngine)
+{
+    Trace trace = propertyTrace();
+    const std::size_t warmup = trace.size() / 3;
+    SimParams params = timedParams();
+
+    for (const std::string &name :
+         EngineRegistry::instance().names()) {
+        SCOPED_TRACE("engine " + name);
+
+        // Continuous reference.
+        auto ref_engine = makeEngine(name);
+        ASSERT_NE(ref_engine, nullptr);
+        PrefetchSimulator ref(params, ref_engine.get());
+        ref.setMeasuring(false);
+        stepSpan(ref, trace, 0, trace.size(), warmup);
+        ref.finish();
+
+        // Random split points, spread over warmup and measurement.
+        Rng rng(0xC0FFEE ^ std::hash<std::string>{}(name));
+        for (int trial = 0; trial < 4; ++trial) {
+            std::size_t split =
+                1 + rng.below(static_cast<std::uint32_t>(
+                        trace.size() - 1));
+            SCOPED_TRACE("split " + std::to_string(split));
+
+            auto prefix_engine = makeEngine(name);
+            PrefetchSimulator prefix(params, prefix_engine.get());
+            prefix.setMeasuring(false);
+            stepSpan(prefix, trace, 0, split, warmup);
+            std::vector<std::uint8_t> blob =
+                encodeCheckpoint(prefix, split);
+
+            std::uint64_t index = 0;
+            ASSERT_TRUE(checkpointRecordIndex(blob, index));
+            EXPECT_EQ(index, split);
+
+            auto resumed_engine = makeEngine(name);
+            PrefetchSimulator resumed(params,
+                                      resumed_engine.get());
+            ASSERT_TRUE(decodeCheckpoint(blob, resumed, &index));
+            EXPECT_EQ(index, split);
+            stepSpan(resumed, trace, split, trace.size(), warmup);
+            resumed.finish();
+
+            expectSameStats(ref.stats(), resumed.stats());
+        }
+    }
+}
+
+TEST(Checkpoint, DoubleSplitResumeStillMatches)
+{
+    // Checkpoint, resume, checkpoint again later, resume again: the
+    // state must survive arbitrary chains of snapshots.
+    Trace trace = propertyTrace();
+    const std::size_t warmup = trace.size() / 3;
+    SimParams params = timedParams();
+
+    auto ref_engine = makeEngine("stems");
+    PrefetchSimulator ref(params, ref_engine.get());
+    ref.setMeasuring(false);
+    stepSpan(ref, trace, 0, trace.size(), warmup);
+    ref.finish();
+
+    std::size_t first = trace.size() / 4;
+    std::size_t second = (trace.size() * 3) / 4;
+
+    auto e1 = makeEngine("stems");
+    PrefetchSimulator s1(params, e1.get());
+    s1.setMeasuring(false);
+    stepSpan(s1, trace, 0, first, warmup);
+    auto blob1 = encodeCheckpoint(s1, first);
+
+    auto e2 = makeEngine("stems");
+    PrefetchSimulator s2(params, e2.get());
+    ASSERT_TRUE(decodeCheckpoint(blob1, s2));
+    stepSpan(s2, trace, first, second, warmup);
+    auto blob2 = encodeCheckpoint(s2, second);
+
+    auto e3 = makeEngine("stems");
+    PrefetchSimulator s3(params, e3.get());
+    ASSERT_TRUE(decodeCheckpoint(blob2, s3));
+    stepSpan(s3, trace, second, trace.size(), warmup);
+    s3.finish();
+
+    expectSameStats(ref.stats(), s3.stats());
+}
+
+TEST(Checkpoint, RandomSingleByteCorruptionIsAlwaysRejected)
+{
+    Trace trace = propertyTrace();
+    SimParams params = timedParams();
+    auto engine = makeEngine("stems");
+    PrefetchSimulator sim(params, engine.get());
+    sim.setMeasuring(false);
+    stepSpan(sim, trace, 0, trace.size() / 2, trace.size() / 3);
+    std::vector<std::uint8_t> blob =
+        encodeCheckpoint(sim, trace.size() / 2);
+    ASSERT_TRUE(checkpointValid(blob));
+
+    Rng rng(1234);
+    for (int trial = 0; trial < 60; ++trial) {
+        std::vector<std::uint8_t> corrupt = blob;
+        std::size_t offset = rng.below(
+            static_cast<std::uint32_t>(corrupt.size()));
+        std::uint8_t flip = static_cast<std::uint8_t>(
+            1 + rng.below(255)); // never a no-op
+        corrupt[offset] ^= flip;
+        EXPECT_FALSE(checkpointValid(corrupt))
+            << "byte " << offset << " xor "
+            << static_cast<int>(flip);
+        auto fresh_engine = makeEngine("stems");
+        PrefetchSimulator fresh(params, fresh_engine.get());
+        EXPECT_FALSE(decodeCheckpoint(corrupt, fresh));
+    }
+
+    // Truncations are rejected too, at any cut.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{10},
+                            blob.size() / 2, blob.size() - 1}) {
+        std::vector<std::uint8_t> shorter(blob.begin(),
+                                          blob.begin() + cut);
+        EXPECT_FALSE(checkpointValid(shorter)) << "cut " << cut;
+    }
+}
+
+TEST(Checkpoint, MismatchedEngineOrStructureFailsCleanly)
+{
+    Trace trace = propertyTrace();
+    SimParams params = timedParams();
+
+    auto stems_engine = makeEngine("stems");
+    PrefetchSimulator sim(params, stems_engine.get());
+    sim.setMeasuring(false);
+    stepSpan(sim, trace, 0, 5000, 6000);
+    auto blob = encodeCheckpoint(sim, 5000);
+
+    // Same blob into a differently-shaped simulator: CRC passes but
+    // the payload structure must be rejected, not mis-decoded.
+    auto tms_engine = makeEngine("tms");
+    PrefetchSimulator wrong_engine(params, tms_engine.get());
+    EXPECT_FALSE(decodeCheckpoint(blob, wrong_engine));
+
+    PrefetchSimulator no_engine(params, nullptr);
+    EXPECT_FALSE(decodeCheckpoint(blob, no_engine));
+
+    SimParams functional = params;
+    functional.enableTiming = false;
+    auto other = makeEngine("stems");
+    PrefetchSimulator wrong_timing(functional, other.get());
+    EXPECT_FALSE(decodeCheckpoint(blob, wrong_timing));
+}
+
+// ---- driver-level segmented execution ----
+
+class SegmentedDriverTest : public test::TempDirTest
+{
+};
+
+TEST_F(SegmentedDriverTest,
+       SegmentedMatchesContinuousAcrossJobsAndBatchForEveryEngine)
+{
+    // The acceptance bar: for every registered engine, a segmented
+    // run (checkpoints written and, across combos, resumed) is
+    // bitwise identical to a continuous storeless run, whatever the
+    // jobs count and batching mode.
+    std::vector<EngineSpec> engines;
+    for (const std::string &name :
+         EngineRegistry::instance().names())
+        engines.emplace_back(name);
+    ExperimentConfig cfg = smallConfig(true, 30000);
+
+    ExperimentDriver reference(cfg, 4);
+    auto expected = reference.run({"dss-qry17"}, engines);
+
+    int combo = 0;
+    for (unsigned jobs : {1u, 8u}) {
+        for (bool batch : {true, false}) {
+            SCOPED_TRACE("jobs " + std::to_string(jobs) +
+                         (batch ? " batched" : " unbatched"));
+            // A fresh store per combo keeps every cell cold, so the
+            // segmented execution path itself runs each time.
+            std::string dir =
+                dir_ + "_combo" + std::to_string(combo++);
+            ExperimentDriver segmented(cfg, jobs);
+            segmented.setBatching(batch);
+            segmented.setSegments(4);
+            segmented.setStore(
+                std::make_shared<TraceStore>(dir));
+            auto results = segmented.run({"dss-qry17"}, engines);
+            EXPECT_GT(segmented.checkpointsWritten(), 0u);
+            // Even within one cold sweep a resume can legitimately
+            // happen: the stride *baseline* cell and the stride
+            // *engine* cell share a checkpoint identity (same
+            // simulation), so whichever runs second may reuse the
+            // first one's end-of-trace checkpoint when the
+            // dispatch order serializes them.
+            EXPECT_LE(segmented.resumedRuns(), 1u);
+            expectSameResults(expected, results);
+            std::filesystem::remove_all(dir);
+        }
+    }
+}
+
+TEST_F(SegmentedDriverTest, SecondSegmentedRunResumesFromCheckpoints)
+{
+    // Same sweep twice over one store, but with the result cache
+    // defeated by an anonymous probe: the second run must execute
+    // its cell by resuming from the first run's final checkpoint
+    // instead of re-simulating the whole trace.
+    ExperimentConfig cfg = smallConfig(false, 20000);
+    EngineSpec probed("stems");
+    probed.probe = [](const Prefetcher &, EngineResult &er) {
+        er.extra["probe"] = 1.0;
+    };
+
+    ExperimentDriver first(cfg, 2);
+    first.setSegments(3);
+    first.setStore(std::make_shared<TraceStore>(dir_));
+    auto a = first.run({"dss-qry17"}, {probed});
+    EXPECT_GT(first.checkpointsWritten(), 0u);
+    EXPECT_EQ(first.resumedRuns(), 0u);
+
+    ExperimentDriver second(cfg, 2);
+    second.setSegments(3);
+    second.setStore(std::make_shared<TraceStore>(dir_));
+    auto b = second.run({"dss-qry17"}, {probed});
+    // The probed cell re-executed (engineRuns counts it) but
+    // resumed at the end-of-trace checkpoint: zero records
+    // re-stepped. The baseline cell stayed warm via the baseline
+    // cache, so exactly one cell resumed.
+    EXPECT_EQ(second.engineRuns(), 1u);
+    EXPECT_EQ(second.resumedRuns(), 1u);
+    auto trace_size =
+        makeWorkload("dss-qry17")->generate(cfg.seed, 20000).size();
+    EXPECT_EQ(second.resumedRecordsSkipped(), trace_size);
+    expectSameResults(a, b);
+}
+
+TEST_F(SegmentedDriverTest, ExtendedRecordsSimulateOnlyTheSuffix)
+{
+    // The incremental-sweep headline: extend --records over a warm
+    // store and only the unseen suffix is simulated. The warmup
+    // boundary is pinned absolutely so the prefix simulation is
+    // identical in both runs, and checkpoint boundaries use the
+    // absolute interval so both runs share the boundary schedule.
+    const std::vector<std::string> engines = {"sms", "stems"};
+    ExperimentConfig short_cfg = smallConfig(false, 20000);
+    short_cfg.warmupRecords = 8000;
+
+    ExperimentDriver first(short_cfg, 2);
+    first.setCheckpointEvery(6000);
+    first.setStore(std::make_shared<TraceStore>(dir_));
+    first.run({"dss-qry17"}, engineSpecs(engines));
+    EXPECT_GT(first.checkpointsWritten(), 0u);
+    std::size_t short_size =
+        makeWorkload("dss-qry17")->generate(short_cfg.seed, 20000)
+            .size();
+
+    ExperimentConfig long_cfg = smallConfig(false, 40000);
+    long_cfg.warmupRecords = 8000;
+    ExperimentDriver extended(long_cfg, 2);
+    extended.setCheckpointEvery(6000);
+    extended.setStore(std::make_shared<TraceStore>(dir_));
+    auto results =
+        extended.run({"dss-qry17"}, engineSpecs(engines));
+
+    // Every cell (baseline + both engines) resumed exactly at the
+    // short run's end-of-trace checkpoint: the warm prefix cost 0
+    // redundant record-steps.
+    EXPECT_EQ(extended.resumedRuns(), 1u + engines.size());
+    EXPECT_EQ(extended.resumedRecordsSkipped(),
+              (1u + engines.size()) * short_size);
+    EXPECT_EQ(extended.traceGenerations(), 1u); // new length: cold
+
+    // And the extended results are bitwise identical to a storeless
+    // continuous run of the long configuration.
+    ExperimentDriver reference(long_cfg, 2);
+    auto expected =
+        reference.run({"dss-qry17"}, engineSpecs(engines));
+    expectSameResults(expected, results);
+}
+
+TEST_F(SegmentedDriverTest, CorruptCheckpointFallsBackToColdRun)
+{
+    ExperimentConfig cfg = smallConfig(false, 20000);
+    EngineSpec probed("stems"); // probe defeats the result cache
+    probed.probe = [](const Prefetcher &, EngineResult &er) {
+        er.extra["probe"] = 1.0;
+    };
+
+    ExperimentDriver first(cfg, 2);
+    first.setSegments(2);
+    first.setStore(std::make_shared<TraceStore>(dir_));
+    auto a = first.run({"dss-qry17"}, {probed});
+
+    // Flip a byte in every stored checkpoint payload.
+    for (const auto &de :
+         std::filesystem::recursive_directory_iterator(dir_)) {
+        if (de.path().extension() != ".ckpt")
+            continue;
+        std::fstream f(de.path(), std::ios::in | std::ios::out |
+                                      std::ios::binary);
+        f.seekp(64);
+        f.put('\x7f');
+    }
+
+    ExperimentDriver second(cfg, 2);
+    second.setSegments(2);
+    second.setStore(std::make_shared<TraceStore>(dir_));
+    auto b = second.run({"dss-qry17"}, {probed});
+    EXPECT_EQ(second.resumedRuns(), 0u); // every blob rejected
+    expectSameResults(a, b);
+}
+
+TEST_F(SegmentedDriverTest, CheckpointsNeedAStore)
+{
+    // Without a store, segment settings are inert: the run stays
+    // continuous and bitwise identical.
+    std::vector<EngineSpec> engines = engineSpecs({"sms"});
+    ExperimentConfig cfg = smallConfig(false, 20000);
+    ExperimentDriver plain(cfg, 2);
+    auto expected = plain.run({"dss-qry17"}, engines);
+
+    ExperimentDriver segmented(cfg, 2);
+    segmented.setSegments(4);
+    auto results = segmented.run({"dss-qry17"}, engines);
+    EXPECT_EQ(segmented.checkpointsWritten(), 0u);
+    EXPECT_EQ(segmented.resumedRuns(), 0u);
+    expectSameResults(expected, results);
+}
+
+} // namespace
+} // namespace stems

@@ -16,69 +16,19 @@
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
 #include "store/trace_store.hh"
+#include "test_util.hh"
 #include "workloads/registry.hh"
 
 namespace stems {
 namespace {
 
+using test::expectSameResults;
+using test::expectSameStats;
+using test::smallConfig;
+
 const std::vector<std::string> kWorkloads = {"web-apache",
                                              "dss-qry17", "em3d"};
 const std::vector<std::string> kEngines = {"tms", "sms", "stems"};
-
-ExperimentConfig
-smallConfig(bool timing)
-{
-    ExperimentConfig cfg;
-    cfg.traceRecords = 60000;
-    cfg.enableTiming = timing;
-    return cfg;
-}
-
-void
-expectSameStats(const SimStats &a, const SimStats &b)
-{
-    EXPECT_EQ(a.records, b.records);
-    EXPECT_EQ(a.reads, b.reads);
-    EXPECT_EQ(a.writes, b.writes);
-    EXPECT_EQ(a.invalidates, b.invalidates);
-    EXPECT_EQ(a.l1Hits, b.l1Hits);
-    EXPECT_EQ(a.l2Hits, b.l2Hits);
-    EXPECT_EQ(a.l2PrefetchHits, b.l2PrefetchHits);
-    EXPECT_EQ(a.svbHits, b.svbHits);
-    EXPECT_EQ(a.offChipReads, b.offChipReads);
-    EXPECT_EQ(a.offChipWrites, b.offChipWrites);
-    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
-    EXPECT_EQ(a.overpredictions, b.overpredictions);
-    // Bitwise, not approximate: determinism is the contract.
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.instructions, b.instructions);
-}
-
-void
-expectSameResults(const std::vector<WorkloadResult> &a,
-                  const std::vector<WorkloadResult> &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        EXPECT_EQ(a[i].workload, b[i].workload);
-        EXPECT_EQ(a[i].workloadClass, b[i].workloadClass);
-        EXPECT_EQ(a[i].baselineMisses, b[i].baselineMisses);
-        EXPECT_EQ(a[i].baselineIpc, b[i].baselineIpc);
-        EXPECT_EQ(a[i].baselineCycles, b[i].baselineCycles);
-        EXPECT_EQ(a[i].strideCycles, b[i].strideCycles);
-        ASSERT_EQ(a[i].engines.size(), b[i].engines.size());
-        for (std::size_t j = 0; j < a[i].engines.size(); ++j) {
-            const EngineResult &ea = a[i].engines[j];
-            const EngineResult &eb = b[i].engines[j];
-            EXPECT_EQ(ea.engine, eb.engine);
-            EXPECT_EQ(ea.coverage, eb.coverage);
-            EXPECT_EQ(ea.uncovered, eb.uncovered);
-            EXPECT_EQ(ea.overprediction, eb.overprediction);
-            EXPECT_EQ(ea.speedup, eb.speedup);
-            expectSameStats(ea.stats, eb.stats);
-        }
-    }
-}
 
 TEST(Driver, DeterministicAcrossThreadCounts)
 {
@@ -136,10 +86,7 @@ TEST(Driver, BatchedMatchesUnbatchedAcrossJobs)
 std::string
 tempStoreDir()
 {
-    std::string dir = testing::TempDir() + "stems_driver_store_" +
-                      ::testing::UnitTest::GetInstance()
-                          ->current_test_info()
-                          ->name();
+    std::string dir = test::uniqueTempPath("stems_driver_store");
     std::filesystem::remove_all(dir);
     return dir;
 }

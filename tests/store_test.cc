@@ -16,9 +16,11 @@
 #include <filesystem>
 #include <fstream>
 
+#include "sim/checkpoint.hh"
 #include "sim/driver.hh"
 #include "sim/experiment.hh"
 #include "store/trace_store.hh"
+#include "test_util.hh"
 #include "trace/text_trace.hh"
 #include "trace/trace_io.hh"
 #include "workloads/registry.hh"
@@ -27,93 +29,17 @@
 namespace stems {
 namespace {
 
+using test::expectSameResults;
+using test::expectSameTrace;
+using test::sampleTrace;
+using test::smallConfig;
+
 const std::vector<std::string> kWorkloads = {"web-apache",
                                              "dss-qry17", "em3d"};
 const std::vector<std::string> kEngines = {"tms", "sms", "stems"};
 
-ExperimentConfig
-smallConfig(bool timing)
+class TraceStoreTest : public test::TempDirTest
 {
-    ExperimentConfig cfg;
-    cfg.traceRecords = 60000;
-    cfg.enableTiming = timing;
-    return cfg;
-}
-
-Trace
-sampleTrace(std::uint64_t salt = 0)
-{
-    TraceBuilder b;
-    for (int i = 0; i < 500; ++i) {
-        b.read(0x10000 + (i * 64) + salt * 0x100000, 0x400 + i % 7,
-               i % 3, i % 5 == 1);
-        if (i % 20 == 0)
-            b.write(0x90000 + i * 64, 0x500);
-        if (i % 50 == 0)
-            b.invalidate(0x10000 + i * 64);
-    }
-    return b.take();
-}
-
-void
-expectSameTrace(const Trace &a, const Trace &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        EXPECT_EQ(a[i].vaddr, b[i].vaddr);
-        EXPECT_EQ(a[i].pc, b[i].pc);
-        EXPECT_EQ(a[i].cpuOps, b[i].cpuOps);
-        EXPECT_EQ(a[i].depDist, b[i].depDist);
-        EXPECT_EQ(a[i].kind, b[i].kind);
-    }
-}
-
-void
-expectSameResults(const std::vector<WorkloadResult> &a,
-                  const std::vector<WorkloadResult> &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        EXPECT_EQ(a[i].workload, b[i].workload);
-        EXPECT_EQ(a[i].baselineMisses, b[i].baselineMisses);
-        // Bitwise, not approximate: determinism is the contract.
-        EXPECT_EQ(a[i].baselineIpc, b[i].baselineIpc);
-        EXPECT_EQ(a[i].baselineCycles, b[i].baselineCycles);
-        EXPECT_EQ(a[i].strideCycles, b[i].strideCycles);
-        ASSERT_EQ(a[i].engines.size(), b[i].engines.size());
-        for (std::size_t j = 0; j < a[i].engines.size(); ++j) {
-            const EngineResult &ea = a[i].engines[j];
-            const EngineResult &eb = b[i].engines[j];
-            EXPECT_EQ(ea.engine, eb.engine);
-            EXPECT_EQ(ea.coverage, eb.coverage);
-            EXPECT_EQ(ea.uncovered, eb.uncovered);
-            EXPECT_EQ(ea.overprediction, eb.overprediction);
-            EXPECT_EQ(ea.speedup, eb.speedup);
-            EXPECT_EQ(ea.stats.cycles, eb.stats.cycles);
-            EXPECT_EQ(ea.stats.offChipReads, eb.stats.offChipReads);
-            EXPECT_EQ(ea.stats.prefetchesIssued,
-                      eb.stats.prefetchesIssued);
-        }
-    }
-}
-
-class TraceStoreTest : public ::testing::Test
-{
-  protected:
-    void
-    SetUp() override
-    {
-        // Unique per test: ctest runs test processes concurrently.
-        dir_ = testing::TempDir() + "stems_store_test_" +
-               ::testing::UnitTest::GetInstance()
-                   ->current_test_info()
-                   ->name();
-        std::filesystem::remove_all(dir_);
-    }
-
-    void TearDown() override { std::filesystem::remove_all(dir_); }
-
-    std::string dir_;
 };
 
 TEST_F(TraceStoreTest, PutFindLoadRoundTrip)
@@ -764,6 +690,122 @@ TEST_F(TraceStoreTest, NamedProbeRoundTripsExtrasThroughCache)
     bumped.setStore(std::make_shared<TraceStore>(dir_));
     bumped.run({"dss-qry17"}, {spec});
     EXPECT_EQ(bumped.engineRuns(), 1u);
+}
+
+// ---- checkpoint entries ----
+
+/** A real (small, engineless) simulator snapshot to store. */
+std::vector<std::uint8_t>
+sampleCheckpointBlob(std::uint64_t index)
+{
+    PrefetchSimulator sim(SimParams{}, nullptr);
+    Trace t = sampleTrace();
+    for (std::uint64_t i = 0; i < index && i < t.size(); ++i)
+        sim.step(t[static_cast<std::size_t>(i)]);
+    return encodeCheckpoint(sim, index);
+}
+
+TEST_F(TraceStoreTest, CheckpointRoundTripAndIndexListing)
+{
+    TraceStore store(dir_);
+    auto blob = sampleCheckpointBlob(100);
+    StoredCheckpointMeta meta{"wl", "stems", 100, 40};
+    ASSERT_TRUE(store.putCheckpoint(0xA, 0xB, 100, 0xC, blob, meta));
+    ASSERT_TRUE(store.putCheckpoint(0xA, 0xB, 50, 0xD,
+                                    sampleCheckpointBlob(50),
+                                    {"wl", "stems", 50, 40}));
+
+    auto loaded = store.loadCheckpoint(0xA, 0xB, 100, 0xC);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, blob); // byte-for-byte
+
+    // Indices enumerate ascending across state digests.
+    EXPECT_EQ(store.listCheckpointIndices(0xA, 0xB),
+              (std::vector<std::uint64_t>{50, 100}));
+    EXPECT_TRUE(store.listCheckpointIndices(0xA, 0xE).empty());
+    EXPECT_TRUE(store.listCheckpointIndices(0xE, 0xB).empty());
+
+    // Any other key misses.
+    EXPECT_FALSE(store.loadCheckpoint(0xA, 0xB, 100, 0xD)
+                     .has_value());
+    EXPECT_FALSE(store.loadCheckpoint(0xA, 0xB, 99, 0xC)
+                     .has_value());
+    EXPECT_EQ(store.checkpointHits(), 1u);
+    EXPECT_EQ(store.checkpointMisses(), 2u);
+
+    // The listing carries the new entry kind with its identity.
+    bool have_ckpt = false;
+    for (const StoreEntry &e : store.list()) {
+        if (e.kind != StoreEntry::Kind::kCheckpoint)
+            continue;
+        have_ckpt = true;
+        EXPECT_NE(e.description.find("wl x stems"),
+                  std::string::npos)
+            << e.description;
+        EXPECT_GT(e.bytes, 0u);
+    }
+    EXPECT_TRUE(have_ckpt);
+}
+
+TEST_F(TraceStoreTest, CorruptCheckpointEntryIsDroppedNotServed)
+{
+    TraceStore store(dir_);
+    ASSERT_TRUE(store.putCheckpoint(1, 2, 100, 3,
+                                    sampleCheckpointBlob(100),
+                                    {"wl", "sms", 100, 0}));
+    for (const auto &de :
+         std::filesystem::recursive_directory_iterator(dir_)) {
+        if (de.path().extension() != ".ckpt")
+            continue;
+        std::fstream f(de.path(), std::ios::in | std::ios::out |
+                                      std::ios::binary);
+        f.seekp(40);
+        f.put('\x7f');
+    }
+    EXPECT_FALSE(store.loadCheckpoint(1, 2, 100, 3).has_value());
+    // Both files of the pair are gone, so the index listing is too.
+    EXPECT_TRUE(store.listCheckpointIndices(1, 2).empty());
+}
+
+TEST_F(TraceStoreTest, CheckpointsShareTheEvictionBudget)
+{
+    TraceStore::Options opts;
+    opts.sizeBudgetBytes = 0; // manual gc only
+    TraceStore store(dir_, opts);
+    ASSERT_TRUE(
+        store.putTrace({"evict", 500, 1}, sampleTrace(1)).has_value());
+    ASSERT_TRUE(store.putCheckpoint(7, 8, 100, 9,
+                                    sampleCheckpointBlob(100),
+                                    {"wl", "stems", 100, 0}));
+
+    std::uint64_t total = store.totalBytes();
+    ASSERT_GT(total, 0u);
+
+    // Make the checkpoint pair the oldest: a below-total budget must
+    // evict it first, .meta sidecar included, like a .res pair.
+    auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &de :
+         std::filesystem::recursive_directory_iterator(dir_)) {
+        bool is_ckpt = de.path().parent_path().filename() ==
+                       "checkpoints";
+        std::filesystem::last_write_time(
+            de.path(),
+            now - std::chrono::seconds(is_ckpt ? 1000 : 10));
+    }
+    EXPECT_GT(store.evictWithin(total - 1), 0u);
+    EXPECT_FALSE(store.loadCheckpoint(7, 8, 100, 9).has_value());
+    EXPECT_TRUE(store.listCheckpointIndices(7, 8).empty());
+    bool meta_left = false;
+    for (const auto &de : std::filesystem::directory_iterator(
+             dir_ + "/checkpoints"))
+        meta_left |= de.path().extension() == ".meta";
+    EXPECT_FALSE(meta_left);
+    // The newer trace survives.
+    EXPECT_TRUE(store.findTrace({"evict", 500, 1}).has_value());
+
+    // Full gc removes everything, checkpoints included.
+    store.evictWithin(0);
+    EXPECT_EQ(store.totalBytes(), 0u);
 }
 
 TEST_F(TraceStoreTest, DifferentEngineOptionsAreDifferentResults)

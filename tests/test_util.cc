@@ -1,0 +1,124 @@
+#include "test_util.hh"
+
+#include <filesystem>
+
+namespace stems {
+namespace test {
+
+std::string
+uniqueTestTag()
+{
+    std::string name = ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name();
+    for (char &c : name)
+        if (c == '/')
+            c = '_';
+    return name;
+}
+
+std::string
+uniqueTempPath(const std::string &stem, const std::string &suffix)
+{
+    return testing::TempDir() + stem + "_" + uniqueTestTag() +
+           suffix;
+}
+
+void
+TempDirTest::SetUp()
+{
+    dir_ = uniqueTempPath("stems_test_dir");
+    std::filesystem::remove_all(dir_);
+}
+
+void
+TempDirTest::TearDown()
+{
+    std::filesystem::remove_all(dir_);
+}
+
+Trace
+sampleTrace(std::uint64_t salt)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 500; ++i) {
+        b.read(0x10000 + (i * 64) + salt * 0x100000, 0x400 + i % 7,
+               i % 3, i % 5 == 1);
+        if (i % 20 == 0)
+            b.write(0x90000 + i * 64, 0x500);
+        if (i % 50 == 0)
+            b.invalidate(0x10000 + i * 64);
+    }
+    return b.take();
+}
+
+ExperimentConfig
+smallConfig(bool timing, std::size_t records)
+{
+    ExperimentConfig cfg;
+    cfg.traceRecords = records;
+    cfg.enableTiming = timing;
+    return cfg;
+}
+
+void
+expectSameTrace(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].vaddr, b[i].vaddr) << "record " << i;
+        EXPECT_EQ(a[i].pc, b[i].pc) << "record " << i;
+        EXPECT_EQ(a[i].cpuOps, b[i].cpuOps) << "record " << i;
+        EXPECT_EQ(a[i].depDist, b[i].depDist) << "record " << i;
+        EXPECT_EQ(a[i].kind, b[i].kind) << "record " << i;
+    }
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.records, b.records);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.invalidates, b.invalidates);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2PrefetchHits, b.l2PrefetchHits);
+    EXPECT_EQ(a.svbHits, b.svbHits);
+    EXPECT_EQ(a.offChipReads, b.offChipReads);
+    EXPECT_EQ(a.offChipWrites, b.offChipWrites);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+    EXPECT_EQ(a.overpredictions, b.overpredictions);
+    // Bitwise, not approximate: determinism is the contract.
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+void
+expectSameResults(const std::vector<WorkloadResult> &a,
+                  const std::vector<WorkloadResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_EQ(a[i].workloadClass, b[i].workloadClass);
+        EXPECT_EQ(a[i].baselineMisses, b[i].baselineMisses);
+        EXPECT_EQ(a[i].baselineIpc, b[i].baselineIpc);
+        EXPECT_EQ(a[i].baselineCycles, b[i].baselineCycles);
+        EXPECT_EQ(a[i].strideCycles, b[i].strideCycles);
+        ASSERT_EQ(a[i].engines.size(), b[i].engines.size());
+        for (std::size_t j = 0; j < a[i].engines.size(); ++j) {
+            const EngineResult &ea = a[i].engines[j];
+            const EngineResult &eb = b[i].engines[j];
+            EXPECT_EQ(ea.engine, eb.engine);
+            EXPECT_EQ(ea.coverage, eb.coverage);
+            EXPECT_EQ(ea.uncovered, eb.uncovered);
+            EXPECT_EQ(ea.overprediction, eb.overprediction);
+            EXPECT_EQ(ea.speedup, eb.speedup);
+            expectSameStats(ea.stats, eb.stats);
+        }
+    }
+}
+
+} // namespace test
+} // namespace stems

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared test utilities: unique temp paths (ctest runs test binaries
+ * concurrently, so fixed paths collide), a temp-directory fixture,
+ * small canned traces/configs, and the bitwise result/stats/trace
+ * comparators the determinism contracts are pinned with. Extracted
+ * from the store/driver/trace suites so every suite asserts
+ * equality the same way.
+ */
+
+#ifndef STEMS_TESTS_TEST_UTIL_HH
+#define STEMS_TESTS_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "trace/trace.hh"
+
+namespace stems {
+namespace test {
+
+/** Current test name, safe for use in a filename. */
+std::string uniqueTestTag();
+
+/** TempDir()-rooted path unique to the running test:
+ *  <TempDir>/<stem>_<test-name><suffix>. Nothing is created. */
+std::string uniqueTempPath(const std::string &stem,
+                           const std::string &suffix = "");
+
+/**
+ * Fixture owning a unique, initially-absent temp directory (dir_),
+ * removed again on teardown. Base class for store-backed suites.
+ */
+class TempDirTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override;
+    void TearDown() override;
+
+    std::string dir_;
+};
+
+/** Small deterministic mixed-kind trace (reads with dependence
+ *  links, periodic writes and invalidates); `salt` shifts the
+ *  address range so distinct traces do not alias. */
+Trace sampleTrace(std::uint64_t salt = 0);
+
+/** The shared small sweep configuration of the driver/store suites. */
+ExperimentConfig smallConfig(bool timing,
+                             std::size_t records = 60000);
+
+/** Record-for-record equality (every MemRecord field). */
+void expectSameTrace(const Trace &a, const Trace &b);
+
+/** Field-for-field equality, bitwise for the cycle counts —
+ *  determinism is the contract, not approximation. */
+void expectSameStats(const SimStats &a, const SimStats &b);
+
+/** Full sweep-result equality: workloads, baselines, every engine's
+ *  normalized metrics and raw stats, all bitwise. */
+void expectSameResults(const std::vector<WorkloadResult> &a,
+                       const std::vector<WorkloadResult> &b);
+
+} // namespace test
+} // namespace stems
+
+#endif // STEMS_TESTS_TEST_UTIL_HH

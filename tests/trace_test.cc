@@ -2,7 +2,10 @@
  * @file
  * Unit tests for trace records, the builder, binary trace I/O (both
  * encodings, including corruption/truncation rejection), the
- * TraceSource/mmap replay path, and text-trace import/export.
+ * TraceSource/mmap replay path, text-trace import/export, and the
+ * randomized v2-codec property tests: arbitrary record streams
+ * round-trip bitwise, and random single-byte corruption is always
+ * rejected, never mis-decoded.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +13,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/rng.hh"
+#include "test_util.hh"
 #include "trace/text_trace.hh"
 #include "trace/trace.hh"
 #include "trace/trace_io.hh"
@@ -17,6 +22,9 @@
 
 namespace stems {
 namespace {
+
+using test::expectSameTrace;
+using test::uniqueTestTag;
 
 TEST(TraceBuilder, ReadWriteInvalidate)
 {
@@ -96,33 +104,6 @@ fullFieldTrace()
     b.invalidate((Addr{1} << 47) + 0x40);
     b.read(0x3080, 0x500, UINT32_MAX); // cpuOps at the type limit
     return b.take();
-}
-
-/** Current test name, safe for use in a filename (ctest runs test
- *  processes concurrently, so shared fixed paths collide). */
-std::string
-uniqueTestTag()
-{
-    std::string name = ::testing::UnitTest::GetInstance()
-                           ->current_test_info()
-                           ->name();
-    for (char &c : name)
-        if (c == '/')
-            c = '_';
-    return name;
-}
-
-void
-expectSameTrace(const Trace &a, const Trace &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        EXPECT_EQ(a[i].vaddr, b[i].vaddr) << "record " << i;
-        EXPECT_EQ(a[i].pc, b[i].pc) << "record " << i;
-        EXPECT_EQ(a[i].cpuOps, b[i].cpuOps) << "record " << i;
-        EXPECT_EQ(a[i].depDist, b[i].depDist) << "record " << i;
-        EXPECT_EQ(a[i].kind, b[i].kind) << "record " << i;
-    }
 }
 
 class TraceIoTest : public ::testing::Test
@@ -508,6 +489,164 @@ TEST_F(TextTraceTest, GeneratedWorkloadSurvivesTextRoundTrip)
     std::string error;
     ASSERT_TRUE(importTextTrace(path_, back, &error)) << error;
     expectSameTrace(t, back);
+}
+
+// ---- randomized codec properties ----
+
+/**
+ * Arbitrary record stream generator for the codec property tests.
+ * Deliberately adversarial for the delta/varint v2 encoding: runs of
+ * identical PCs (samePc tag paths), zero-stride address runs, huge
+ * forward/backward jumps (maximum-width zigzag varints), optional
+ * fields absent/small/at the 32-bit limit, and all three kinds.
+ */
+Trace
+randomTrace(Rng &rng, std::size_t records)
+{
+    Trace t;
+    t.reserve(records);
+    Addr addr = 0x10000;
+    Pc pc = 0x400;
+    while (t.size() < records) {
+        // Shape runs, not independent records: codec paths like
+        // same-PC and zero-delta only trigger across neighbors.
+        unsigned run = 1 + rng.below(8);
+        unsigned shape = rng.below(6);
+        for (unsigned i = 0; i < run && t.size() < records; ++i) {
+            MemRecord r;
+            switch (shape) {
+            case 0: // sequential blocks, same PC
+                addr += kBlockBytes;
+                break;
+            case 1: // zero-stride: same address repeated
+                break;
+            case 2: // huge random jump, random PC
+                addr = rng.next64();
+                pc = rng.next64();
+                break;
+            case 3: // backward jump
+                addr -= rng.below(1 << 20);
+                break;
+            case 4: // new page, fresh small PC
+                addr = (Addr{rng.next()} << 12);
+                pc = rng.below(1 << 16);
+                break;
+            default: // small strided walk
+                addr += (rng.below(9) - 4) * kBlockBytes;
+                break;
+            }
+            r.vaddr = addr;
+            r.pc = pc;
+            unsigned kind = rng.below(10);
+            r.kind = kind < 7 ? AccessKind::kRead
+                     : kind < 9 ? AccessKind::kWrite
+                                : AccessKind::kInvalidate;
+            switch (rng.below(4)) {
+            case 0:
+                r.cpuOps = 0;
+                break;
+            case 1:
+                r.cpuOps = rng.below(100);
+                break;
+            case 2:
+                r.cpuOps = UINT32_MAX;
+                break;
+            default:
+                r.cpuOps = rng.next();
+                break;
+            }
+            r.depDist =
+                rng.chance(0.3) ? rng.below(300) : 0;
+            if (rng.chance(0.1))
+                r.depDist = UINT32_MAX;
+            t.push_back(r);
+        }
+    }
+    return t;
+}
+
+TEST_F(TraceIoTest, PropertyRandomTracesRoundTripBitwise)
+{
+    // Seeded, so a failure reproduces; 24 shapes x both encodings x
+    // both decode paths (materializing reader and mmap replay).
+    Rng rng(0x7e57);
+    for (int trial = 0; trial < 24; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        Trace original =
+            randomTrace(rng, 1 + rng.below(1500));
+
+        ASSERT_TRUE(writeTraceFileV2(path_, original));
+        Trace via_reader;
+        ASSERT_TRUE(readTraceFile(path_, via_reader));
+        expectSameTrace(original, via_reader);
+
+        auto src = MmapTraceSource::open(path_);
+        ASSERT_NE(src, nullptr);
+        Trace via_mmap;
+        src->readAll(via_mmap);
+        expectSameTrace(original, via_mmap);
+
+        ASSERT_TRUE(writeTraceFile(path_, original)); // v1
+        Trace via_v1;
+        ASSERT_TRUE(readTraceFile(path_, via_v1));
+        expectSameTrace(original, via_v1);
+    }
+}
+
+TEST_F(TraceIoTest, PropertyRandomCorruptionAlwaysRejected)
+{
+    // Any single corrupted byte — header, payload or CRC — must make
+    // every decode path reject the file; a mis-decode (success with
+    // different records) is the one unacceptable outcome.
+    Rng rng(0xBADF00D);
+    Trace original = randomTrace(rng, 400);
+    ASSERT_TRUE(writeTraceFileV2(path_, original));
+    std::ifstream in(path_, std::ios::binary);
+    std::vector<char> pristine(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    in.close();
+
+    for (int trial = 0; trial < 80; ++trial) {
+        std::vector<char> corrupt = pristine;
+        std::size_t offset = rng.below(
+            static_cast<std::uint32_t>(corrupt.size()));
+        char flip = static_cast<char>(1 + rng.below(255));
+        corrupt[offset] ^= flip;
+        {
+            std::ofstream out(path_, std::ios::binary);
+            out.write(corrupt.data(),
+                      static_cast<std::streamsize>(corrupt.size()));
+        }
+        SCOPED_TRACE("byte " + std::to_string(offset) + " xor " +
+                     std::to_string(static_cast<int>(flip)));
+        Trace loaded;
+        EXPECT_FALSE(readTraceFile(path_, loaded));
+        EXPECT_EQ(MmapTraceSource::open(path_), nullptr);
+    }
+}
+
+TEST_F(TraceIoTest, PrefixDigestsMatchStandaloneHashes)
+{
+    Rng rng(0x5eed);
+    Trace t = randomTrace(rng, 600);
+    std::vector<std::size_t> indices = {0, 1, 299, 600};
+    auto digests = tracePrefixDigests(t, indices);
+    ASSERT_EQ(digests.size(), indices.size());
+    // Each prefix digest equals hashing that prefix alone.
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        Trace prefix(t.begin(),
+                     t.begin() + static_cast<std::ptrdiff_t>(
+                                     indices[i]));
+        auto alone = tracePrefixDigests(prefix, {indices[i]});
+        EXPECT_EQ(digests[i], alone.at(0)) << indices[i];
+    }
+    // And a different prefix content changes the digest.
+    Trace tweaked = t;
+    tweaked[100].vaddr ^= 1;
+    EXPECT_NE(tracePrefixDigests(tweaked, {299}).at(0),
+              digests[2]);
+    EXPECT_EQ(tracePrefixDigests(tweaked, {1}).at(0), digests[1]);
 }
 
 } // namespace

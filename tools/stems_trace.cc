@@ -424,7 +424,9 @@ cmdCache(int argc, char **argv)
                 kind = "baseline";
             else if (e.kind == StoreEntry::Kind::kResult)
                 kind = "result";
-            std::printf("%-9s %10llu B  %6llds  %s\n", kind,
+            else if (e.kind == StoreEntry::Kind::kCheckpoint)
+                kind = "checkpoint";
+            std::printf("%-10s %10llu B  %6llds  %s\n", kind,
                         static_cast<unsigned long long>(e.bytes),
                         static_cast<long long>(e.ageSeconds),
                         e.description.c_str());
