@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoPerf(opts, "ablation sweeps are not the pinned perf sweep");
     requireNoEngineSelection(opts, "fixed SMS counters-vs-bitvector sweep");
     std::cout << banner(
         "Ablation: 2-bit counters vs bit vectors (SMS history)",

@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    requireNoPerf(opts, "ablation sweeps are not the pinned perf sweep");
     requireNoEngineSelection(opts, "fixed STeMS lookahead sweep");
     std::cout << banner("Ablation: STeMS stream lookahead", opts);
 

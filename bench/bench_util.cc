@@ -56,6 +56,8 @@ usage(const char *argv0, int status)
         "  --no-store         disable the store even if STEMS_STORE\n"
         "                     is set\n"
         "  --json FILE        also write results as JSON\n"
+        "  --perf FILE        also write a records/sec snapshot\n"
+        "                     (stems-perf-v1; sweep benches only)\n"
         "  --batch            batched execution: one trace pass\n"
         "                     advances all of a workload's cells\n"
         "                     (default)\n"
@@ -148,6 +150,8 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
             no_store = true;
         } else if (arg == "--json") {
             options.jsonPath = value();
+        } else if (arg == "--perf") {
+            options.perfPath = value();
         } else if (arg == "--batch") {
             options.batch = true;
         } else if (arg == "--no-batch") {
@@ -285,6 +289,53 @@ requireNoJson(const BenchOptions &options, const char *reason)
                  "--json is not supported by this bench: %s\n",
                  reason);
     std::exit(1);
+}
+
+void
+requireNoPerf(const BenchOptions &options, const char *reason)
+{
+    if (options.perfPath.empty())
+        return;
+    std::fprintf(stderr,
+                 "--perf is not supported by this bench: %s\n",
+                 reason);
+    std::exit(1);
+}
+
+void
+maybeWritePerf(const BenchOptions &options,
+               const std::vector<std::string> &workloads,
+               const std::vector<std::string> &engines,
+               double wall_seconds)
+{
+    if (options.perfPath.empty())
+        return;
+    BenchSnapshot snap;
+    snap.schema = "stems-perf-v1";
+    snap.records = options.records;
+    snap.seed = options.seed;
+    snap.workloads = workloads;
+    snap.engines = engines;
+    snap.wallSeconds = wall_seconds;
+    if (const char *c = std::getenv("STEMS_BENCH_COMMENT"))
+        snap.comment = c;
+    BenchComponentRow row;
+    row.name = "sweep";
+    row.ops = options.records * workloads.size() * engines.size();
+    if (wall_seconds > 0) {
+        row.opsPerSec = static_cast<double>(row.ops) / wall_seconds;
+        row.nsPerOp = wall_seconds * 1e9 /
+                      static_cast<double>(row.ops ? row.ops : 1);
+    }
+    snap.components.push_back(row);
+    std::string error;
+    if (!writeBenchSnapshotJson(options.perfPath, snap, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        std::exit(1);
+    }
+    // stderr: bench stdout stays bitwise stable across runs.
+    std::fprintf(stderr, "[perf] wrote %s\n",
+                 options.perfPath.c_str());
 }
 
 void

@@ -53,6 +53,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    requireNoPerf(opts, "Sequitur analysis is not the pinned perf sweep");
     requireNoEngineSelection(opts, "Sequitur analysis runs no engines");
     requireNoJson(opts, "Sequitur analysis produces no sweep results");
     // Sequitur grammars keep every symbol live: cap the analyzed

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    requireNoPerf(opts, "correlation analysis is not the pinned perf sweep");
     requireNoEngineSelection(opts, "correlation analysis runs no engines");
     requireNoJson(opts,
                   "correlation analysis produces no sweep results");

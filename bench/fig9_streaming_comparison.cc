@@ -11,6 +11,7 @@
  * and overpredicts 29%.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "bench/bench_util.hh"
@@ -38,9 +39,14 @@ main(int argc, char **argv)
     std::vector<double> cov_sum(engines.size(), 0.0);
     std::vector<double> over_sum(engines.size(), 0.0);
     int n = 0;
-    const auto results =
-        driver.run(benchWorkloads(opts), engineSpecs(engines));
+    const std::vector<std::string> workloads = benchWorkloads(opts);
+    auto t0 = std::chrono::steady_clock::now();
+    const auto results = driver.run(workloads, engineSpecs(engines));
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
     maybeWriteJson(opts, results);
+    maybeWritePerf(opts, workloads, engines, wall_s);
     for (const WorkloadResult &r : results) {
         bool first = true;
         for (std::size_t i = 0; i < engines.size(); ++i) {

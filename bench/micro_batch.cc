@@ -54,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 400'000);
+    requireNoPerf(opts, "micro_batch reports its own timings; the perf snapshot comes from fig9/micro_engines");
     requireNoJson(opts, "micro_batch reports timings, not sweep "
                         "results");
     std::fputs(banner("micro_batch: 1-vs-N engine trace passes",

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 200'000);
+    requireNoPerf(opts, "the perf trajectory pins fig9, not the config table");
     requireNoEngineSelection(opts, "configuration report runs no engines");
     requireNoJson(opts,
                   "configuration report produces no sweep results");

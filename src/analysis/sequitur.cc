@@ -6,6 +6,14 @@ namespace stems {
 
 Sequitur::Sequitur()
 {
+    // Grammar growth is unbounded by config, but the per-insert cost
+    // is dominated by digram-index churn: pre-sizing the hot maps
+    // past the libstdc++ default (13 buckets) skips the rehash
+    // cascade every fresh grammar otherwise pays while small.
+    index_.reserve(kInitialBuckets);
+    valueCounts_.reserve(kInitialBuckets);
+    liveSyms_.reserve(kInitialBuckets);
+
     root_ = newRule();
     // The root rule does not participate in utility accounting.
     rules_.erase(root_);

@@ -189,6 +189,11 @@ class Sequitur
     void expandInto(const Rule *r,
                     std::vector<std::uint64_t> &out) const;
 
+    /** Initial bucket reservation for the hot hash containers (a
+     *  grammar over a few thousand distinct values fits without
+     *  rehashing; see the constructor). */
+    static constexpr std::size_t kInitialBuckets = 4096;
+
     Rule *root_ = nullptr;
     std::uint32_t nextRuleId_ = 0;
     std::uint64_t inputLength_ = 0;

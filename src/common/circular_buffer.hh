@@ -144,6 +144,134 @@ class CircularBuffer
     Position next_ = 0;
 };
 
+/**
+ * Flat FIFO ring — a drop-in replacement for the std::deque pending
+ * queues in the stream engines.
+ *
+ * Same head/tail position discipline as CircularBuffer, but bounded
+ * consumption instead of overwrite: push_back grows the storage
+ * (power-of-two doubling) when full, pop_front/popFront consumes from
+ * the head, and clear() empties the queue while RETAINING capacity.
+ * A stream queue that is reset and reallocated thousands of times per
+ * run therefore reaches a steady state where no operation allocates —
+ * unlike std::deque, which frees its map blocks on destruction and
+ * re-buys them on the next stream start.
+ *
+ * Invariants: head_ <= tail_; live elements are the logical positions
+ * [head_, tail_); storage index = position & (capacity - 1) with
+ * capacity a power of two. Indexing (operator[]) is relative to the
+ * head, matching deque semantics.
+ *
+ * @tparam T  element type; must be copyable.
+ */
+template <typename T>
+class RingQueue
+{
+  public:
+    RingQueue() = default;
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(tail_ - head_);
+    }
+
+    /** Append to the tail, growing storage when full. */
+    void
+    push_back(const T &v)
+    {
+        if (size() == storage_.size())
+            grow();
+        storage_[static_cast<std::size_t>(tail_ & mask_)] = v;
+        ++tail_;
+    }
+
+    /** Head element; queue must be non-empty. */
+    const T &
+    front() const
+    {
+        assert(!empty());
+        return storage_[static_cast<std::size_t>(head_ & mask_)];
+    }
+
+    /** Drop the head element; queue must be non-empty. */
+    void
+    pop_front()
+    {
+        assert(!empty());
+        ++head_;
+    }
+
+    /** i-th element from the head (deque-style indexing). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        assert(i < size());
+        return storage_[static_cast<std::size_t>((head_ + i) & mask_)];
+    }
+
+    /** Drop the first n elements (resync prefix consumption). */
+    void
+    dropFront(std::size_t n)
+    {
+        assert(n <= size());
+        head_ += n;
+    }
+
+    /** Empty the queue; storage capacity is retained. */
+    void
+    clear()
+    {
+        head_ = 0;
+        tail_ = 0;
+    }
+
+    /** Replace the contents with a [first, last) range. */
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        clear();
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    /** Pre-size the storage for at least n elements. */
+    void
+    reserve(std::size_t n)
+    {
+        while (storage_.size() < n)
+            grow();
+    }
+
+    /** Current storage size (tests/diagnostics). */
+    std::size_t capacity() const { return storage_.size(); }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t new_cap =
+            storage_.empty() ? kInitialCapacity : storage_.size() * 2;
+        std::vector<T> next(new_cap);
+        std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            next[i] = (*this)[i];
+        storage_ = std::move(next);
+        mask_ = new_cap - 1;
+        head_ = 0;
+        tail_ = n;
+    }
+
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    std::vector<T> storage_;
+    std::uint64_t mask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
 } // namespace stems
 
 #endif // STEMS_COMMON_CIRCULAR_BUFFER_HH

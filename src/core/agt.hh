@@ -14,8 +14,8 @@
 #define STEMS_CORE_AGT_HH
 
 #include <functional>
-#include <vector>
 
+#include "common/arena.hh"
 #include "common/lru_table.hh"
 #include "core/pst.hh"
 
@@ -36,8 +36,11 @@ struct StemsGeneration
      *  train from this (hysteresis must not erode on L2 hits); the
      *  sequence/deltas come from the misses only. */
     std::uint32_t accessMask = 0;
-    /** Non-trigger misses in first-access order, with deltas. */
-    std::vector<SpatialElement> sequence;
+    /** Non-trigger misses in first-access order, with deltas. At
+     *  most one element per block offset, so the hard cap is
+     *  kBlocksPerRegion — inline storage keeps a generation heap-free
+     *  and the whole entry memcpy-copyable. */
+    InlineVec<SpatialElement, kBlocksPerRegion> sequence;
     /** Global miss sequence number of the last access recorded. */
     std::uint64_t lastSeq = 0;
     /** PST snapshot at trigger time: offsets predicted spatially. */

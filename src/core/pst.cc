@@ -13,13 +13,14 @@ PatternSequenceTable::PatternSequenceTable(PstParams params)
 
 void
 PatternSequenceTable::train(
-    std::uint64_t index, const std::vector<SpatialElement> &sequence,
-    std::uint32_t access_mask)
+    std::uint64_t index, const SpatialElement *sequence,
+    std::size_t sequence_len, std::uint32_t access_mask)
 {
     Entry &e = table_.findOrInsert(index);
 
     std::uint8_t position = 0;
-    for (const SpatialElement &el : sequence) {
+    for (std::size_t i = 0; i < sequence_len; ++i) {
+        const SpatialElement &el = sequence[i];
         unsigned off = el.offset % kBlocksPerRegion;
         access_mask |= 1u << off;
         // The most recent occurrence defines order and delta (recent

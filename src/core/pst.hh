@@ -79,9 +79,17 @@ class PatternSequenceTable
      *                     (defines the counter updates; includes the
      *                     sequence offsets and cache-resident blocks).
      */
-    void train(std::uint64_t index,
-               const std::vector<SpatialElement> &sequence,
-               std::uint32_t access_mask);
+    void train(std::uint64_t index, const SpatialElement *sequence,
+               std::size_t sequence_len, std::uint32_t access_mask);
+
+    /** Convenience overload for vector-backed sequences. */
+    void
+    train(std::uint64_t index,
+          const std::vector<SpatialElement> &sequence,
+          std::uint32_t access_mask)
+    {
+        train(index, sequence.data(), sequence.size(), access_mask);
+    }
 
     /**
      * Predicted sequence for an index: elements whose counters meet

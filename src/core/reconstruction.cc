@@ -107,7 +107,8 @@ Reconstructor::reconstruct(
     ++windows_;
     w.valid = true;
 
-    std::vector<Addr> slots(params_.bufferSlots, 0);
+    std::vector<Addr> &slots = slotScratch_;
+    slots.assign(params_.bufferSlots, 0);
     slots[0] = head->addr;
 
     // Phase one (paper Figure 5, step two): lay down the temporal
@@ -115,12 +116,8 @@ Reconstructor::reconstruct(
     // this before any spatial expansion guarantees mispredicted
     // spatial sequences can displace predictions, never the recorded
     // miss order itself.
-    struct Placed
-    {
-        RmobEntry entry;
-        std::size_t slot;
-    };
-    std::vector<Placed> backbone;
+    std::vector<Placed> &backbone = backboneScratch_;
+    backbone.clear();
     backbone.push_back({*head, 0});
 
     std::size_t cursor = 0;

@@ -104,13 +104,25 @@ class Reconstructor
         const RmobEntry &entry,
         const std::function<void(Addr, std::uint64_t)> &note_region);
 
+    /** A backbone entry laid down in phase one (see reconstruct). */
+    struct Placed
+    {
+        RmobEntry entry;
+        std::size_t slot;
+    };
+
     const RegionMissOrderBuffer &rmob_;
     const PatternSequenceTable &pst_;
     ReconstructionParams params_;
     Histogram displacements_;
     std::uint64_t dropped_ = 0;
     std::uint64_t windows_ = 0;
+    /// Per-call scratch held as members so repeated reconstructions
+    /// reuse capacity instead of reallocating (reconstruct() is on
+    /// the per-miss hot path). Contents are dead between calls.
     std::vector<SpatialElement> lookupScratch_;
+    std::vector<Addr> slotScratch_;
+    std::vector<Placed> backboneScratch_;
 };
 
 } // namespace stems

@@ -7,6 +7,10 @@ namespace stems {
 RegionMissOrderBuffer::RegionMissOrderBuffer(std::size_t entries)
     : buffer_(entries)
 {
+    // One index entry per live buffer slot in steady state; reserve
+    // up front so the fill phase never rehashes (128K inserts with
+    // paper defaults).
+    index_.reserve(entries);
 }
 
 RegionMissOrderBuffer::Position

@@ -32,7 +32,8 @@ StemsPrefetcher::StemsPrefetcher(StemsParams params)
 void
 StemsPrefetcher::onGenerationEnd(const StemsGeneration &gen)
 {
-    pst_.train(gen.index, gen.sequence, gen.accessMask);
+    pst_.train(gen.index, gen.sequence.data(), gen.sequence.size(),
+               gen.accessMask);
 }
 
 void
@@ -60,7 +61,7 @@ StemsPrefetcher::temporalRefill()
     // The stream's resume position travels in the queue's refill
     // cursor, not in the closure, so a checkpointed queue set can
     // serialize it and reattach this (stateless) closure on restore.
-    return [this](std::deque<Addr> &pending,
+    return [this](RingQueue<Addr> &pending,
                   std::uint64_t &resume_pos) {
         Reconstructor::Window more = recon_.reconstruct(
             resume_pos, [this](Addr region, std::uint64_t index) {
@@ -69,8 +70,8 @@ StemsPrefetcher::temporalRefill()
         if (!more.valid)
             return;
         resume_pos = more.nextPos;
-        pending.insert(pending.end(), more.sequence.begin(),
-                       more.sequence.end());
+        for (Addr a : more.sequence)
+            pending.push_back(a);
     };
 }
 
@@ -87,10 +88,10 @@ StemsPrefetcher::startTemporalStream(
         return; // nothing predicted beyond the initiating miss
 
     // Slot 0 is the current demand miss itself; stream what follows.
-    std::vector<Addr> initial(w.sequence.begin() + 1,
-                              w.sequence.end());
+    auto initial = addrPool_.acquire();
+    initial->assign(w.sequence.begin() + 1, w.sequence.end());
 
-    streams_.allocate(std::move(initial), temporalRefill(),
+    streams_.allocate(*initial, temporalRefill(),
                       /*confirmed=*/false,
                       /*refill_state=*/w.nextPos);
 }
@@ -117,21 +118,21 @@ StemsPrefetcher::maybeStartSpatialOnlyStream(
         return;
     }
 
-    std::vector<Addr> addrs;
-    addrs.reserve(lookupScratch_.size());
+    auto addrs = addrPool_.acquire();
+    addrs->reserve(lookupScratch_.size());
     for (const SpatialElement &el : lookupScratch_) {
         if (el.offset == gen.triggerOffset)
             continue;
-        addrs.push_back(
+        addrs->push_back(
             addrFromRegionOffset(gen.regionBase, el.offset));
     }
-    if (addrs.empty())
+    if (addrs->empty())
         return;
 
     ++spatialOnlyStreams_;
     // Spatial-only streams trust the pattern immediately (the delta
     // information is ignored, Section 4.2).
-    streams_.allocate(std::move(addrs), nullptr,
+    streams_.allocate(*addrs, nullptr,
                       /*confirmed=*/true);
 }
 

@@ -24,6 +24,7 @@
 
 #include <memory>
 
+#include "common/arena.hh"
 #include "common/lru_table.hh"
 #include "core/agt.hh"
 #include "core/pst.hh"
@@ -119,6 +120,11 @@ class StemsPrefetcher : public Prefetcher
     std::uint64_t filtered_ = 0;
     std::uint64_t spatialOnlyStreams_ = 0;
     std::vector<SpatialElement> lookupScratch_;
+    /** Recycled scratch for stream-start address lists (a temporal
+     *  or spatial-only stream start builds one, hands it to
+     *  StreamQueueSet::allocate by const reference, and returns the
+     *  buffer). Steady state: no stream start allocates. */
+    ScratchPool<Addr> addrPool_;
 };
 
 } // namespace stems

@@ -60,8 +60,9 @@ StreamQueueSet::decodeId(int stream_id, std::size_t *index_out)
 }
 
 int
-StreamQueueSet::allocate(std::vector<Addr> initial, RefillFn refill,
-                         bool confirmed, std::uint64_t refill_state)
+StreamQueueSet::allocate(const std::vector<Addr> &initial,
+                         RefillFn refill, bool confirmed,
+                         std::uint64_t refill_state)
 {
     std::size_t victim = 0;
     for (std::size_t i = 0; i < streams_.size(); ++i) {
@@ -78,9 +79,8 @@ StreamQueueSet::allocate(std::vector<Addr> initial, RefillFn refill,
     globalInFlight_ -= s.inFlight;
     if (globalInFlight_ < 0)
         globalInFlight_ = 0;
-    std::uint32_t generation = s.generation + 1;
-    s = Stream{};
-    s.generation = generation;
+    s.reset();
+    ++s.generation;
     s.active = true;
     s.confirmed = confirmed;
     s.pending.assign(initial.begin(), initial.end());
@@ -105,8 +105,7 @@ StreamQueueSet::resync(Addr a)
             std::min(params_.resyncWindow, s.pending.size());
         for (std::size_t k = 0; k < window; ++k) {
             if (blockAlign(s.pending[k]) == block) {
-                s.pending.erase(s.pending.begin(),
-                                s.pending.begin() + k + 1);
+                s.pending.dropFront(k + 1);
                 s.confirmed = true;
                 s.lru = ++clock_;
                 issueFrom(s, encodeId(i, s.generation));
@@ -185,8 +184,8 @@ StreamQueueSet::saveState(StateWriter &w) const
         w.boolean(s.confirmed);
         w.boolean(s.exhausted);
         w.u64(s.pending.size());
-        for (Addr a : s.pending)
-            w.u64(a);
+        for (std::size_t k = 0; k < s.pending.size(); ++k)
+            w.u64(s.pending[k]);
         w.boolean(static_cast<bool>(s.refill));
         w.u64(s.refillState);
         w.u64(s.lru);
@@ -208,7 +207,8 @@ StreamQueueSet::loadState(StateReader &r, const RefillFn &refill)
         return;
     }
     for (Stream &s : streams_) {
-        s = Stream{};
+        s.reset();
+        s.generation = 0;
         s.active = r.boolean();
         s.confirmed = r.boolean();
         s.exhausted = r.boolean();

@@ -15,10 +15,10 @@
 #define STEMS_CORE_STREAM_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/circular_buffer.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace stems {
@@ -59,7 +59,7 @@ class StreamQueueSet
      * (the owning engine), never per-stream state.
      */
     using RefillFn =
-        std::function<void(std::deque<Addr> &, std::uint64_t &)>;
+        std::function<void(RingQueue<Addr> &, std::uint64_t &)>;
 
     explicit StreamQueueSet(StreamParams params = {});
 
@@ -75,7 +75,7 @@ class StreamQueueSet
      * @param refill_state  initial refill cursor handed to `refill`.
      * @return the stream id.
      */
-    int allocate(std::vector<Addr> initial, RefillFn refill,
+    int allocate(const std::vector<Addr> &initial, RefillFn refill,
                  bool confirmed = false,
                  std::uint64_t refill_state = 0);
 
@@ -123,7 +123,9 @@ class StreamQueueSet
         bool active = false;
         bool confirmed = false;
         bool exhausted = false; ///< refill produced nothing
-        std::deque<Addr> pending;
+        /// Flat ring, not std::deque: reset() keeps its storage, so
+        /// steady-state stream turnover allocates nothing.
+        RingQueue<Addr> pending;
         RefillFn refill;
         /** Persistent cursor passed to `refill` (see RefillFn). */
         std::uint64_t refillState = 0;
@@ -132,6 +134,23 @@ class StreamQueueSet
         /** Reallocation tag: SVB entries issued by a previous owner
          *  of this queue must not credit the new one. */
         std::uint32_t generation = 0;
+
+        /** Back to the idle state, retaining the ring's storage
+         *  (the allocation-free turnover path; `*this = Stream{}`
+         *  would free it). The generation tag survives so stale ids
+         *  keep failing decodeId. */
+        void
+        reset()
+        {
+            active = false;
+            confirmed = false;
+            exhausted = false;
+            pending.clear();
+            refill = nullptr;
+            refillState = 0;
+            lru = 0;
+            inFlight = 0;
+        }
     };
 
     /** Public stream id: queue index tagged with its generation. */

@@ -7,6 +7,10 @@ TmsPrefetcher::TmsPrefetcher(TmsParams params)
       buffer_(params.bufferEntries),
       streams_(params.numStreams)
 {
+    // In steady state the index holds one entry per live buffer slot;
+    // reserving up front avoids the rehash cascade while the buffer
+    // first fills (384K inserts with paper defaults).
+    index_.reserve(params.bufferEntries);
 }
 
 void
@@ -56,8 +60,7 @@ TmsPrefetcher::tryResync(Addr a)
             if (blockAlign(s.pending[k]) == block) {
                 // The stream was right but had not issued this block
                 // yet: skip past it and stream on with confidence.
-                s.pending.erase(s.pending.begin(),
-                                s.pending.begin() + k + 1);
+                s.pending.dropFront(k + 1);
                 s.confirmed = true;
                 s.lru = ++clock_;
                 issueFrom(s, encodeId(i, s.generation));
@@ -104,9 +107,8 @@ TmsPrefetcher::startStream(Addr a, Position prev_pos)
     globalInFlight_ -= s.inFlight;
     if (globalInFlight_ < 0)
         globalInFlight_ = 0;
-    std::uint32_t generation = s.generation + 1;
-    s = Stream{};
-    s.generation = generation;
+    s.reset();
+    ++s.generation;
     s.active = true;
     s.nextPos = prev_pos + 1;
     s.lru = ++clock_;
@@ -223,8 +225,8 @@ TmsPrefetcher::saveState(StateWriter &w) const
         w.boolean(s.active);
         w.boolean(s.confirmed);
         w.u64(s.pending.size());
-        for (Addr a : s.pending)
-            w.u64(a);
+        for (std::size_t k = 0; k < s.pending.size(); ++k)
+            w.u64(s.pending[k]);
         w.u64(s.nextPos);
         w.u64(s.lru);
         w.i64(s.inFlight);
@@ -254,7 +256,8 @@ TmsPrefetcher::loadState(StateReader &r)
         return;
     }
     for (Stream &s : streams_) {
-        s = Stream{};
+        s.reset();
+        s.generation = 0;
         s.active = r.boolean();
         s.confirmed = r.boolean();
         std::uint64_t pending = r.u64();

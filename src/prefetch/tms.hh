@@ -15,7 +15,6 @@
 #ifndef STEMS_PREFETCH_TMS_HH
 #define STEMS_PREFETCH_TMS_HH
 
-#include <deque>
 #include <unordered_map>
 
 #include "common/circular_buffer.hh"
@@ -94,12 +93,27 @@ class TmsPrefetcher : public Prefetcher
     {
         bool active = false;
         bool confirmed = false; ///< first prefetched block consumed
-        std::deque<Addr> pending;
+        /// Flat ring (storage retained across stream restarts; see
+        /// StreamQueueSet::Stream::pending).
+        RingQueue<Addr> pending;
         Position nextPos = 0; ///< next buffer position for refill
         std::uint64_t lru = 0;
         int inFlight = 0;
         /** Reallocation tag (see StreamQueueSet::Stream). */
         std::uint32_t generation = 0;
+
+        /** In-place idle reset retaining ring storage and the
+         *  generation tag. */
+        void
+        reset()
+        {
+            active = false;
+            confirmed = false;
+            pending.clear();
+            nextPos = 0;
+            lru = 0;
+            inFlight = 0;
+        }
     };
 
     static int

@@ -368,7 +368,7 @@ TEST(StreamQueues, RefillExtendsStream)
     p.refillLowWater = 2;
     StreamQueueSet s(p);
     int calls = 0;
-    auto refill = [&](std::deque<Addr> &pending, std::uint64_t &) {
+    auto refill = [&](RingQueue<Addr> &pending, std::uint64_t &) {
         if (calls++ < 3)
             for (int i = 0; i < 4; ++i)
                 pending.push_back(0x100000 + Addr(calls) * 0x1000 +

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Reference oracle for LruTable property tests.
+ *
+ * Verbatim copy of the historical array-of-structs LruTable (before
+ * the structure-of-arrays rewrite in common/lru_table.hh). The
+ * property tests in hotpath_test.cc drive both implementations with
+ * identical seeded workloads and require the same hit/miss/victim
+ * sequences and byte-identical serialized state. Do not "improve"
+ * this file — its value is that it is the old behaviour, frozen.
+ */
+
+#ifndef STEMS_TESTS_REFERENCE_LRU_TABLE_HH
+#define STEMS_TESTS_REFERENCE_LRU_TABLE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace stems {
+
+/**
+ * A set-associative table mapping a 64-bit key to a value, with
+ * per-set LRU replacement.
+ *
+ * @tparam V  value type; must be default-constructible.
+ */
+template <typename V>
+class ReferenceLruTable
+{
+  public:
+    /**
+     * Construct a table.
+     *
+     * @param entries  total entry count (rounded up to a multiple of
+     *                 the associativity).
+     * @param ways     associativity (> 0).
+     */
+    ReferenceLruTable(std::size_t entries, std::size_t ways)
+        : ways_(ways)
+    {
+        assert(ways > 0 && entries > 0);
+        sets_ = (entries + ways - 1) / ways;
+        slots_.resize(sets_ * ways_);
+    }
+
+    /**
+     * Find a value, promoting it to MRU on hit.
+     *
+     * @return pointer to the value, or nullptr on miss.
+     */
+    V *
+    find(std::uint64_t key)
+    {
+        Slot *s = findSlot(key);
+        if (!s)
+            return nullptr;
+        touch(*s);
+        return &s->value;
+    }
+
+    /** Find without updating recency. @return nullptr on miss. */
+    const V *
+    peek(std::uint64_t key) const
+    {
+        const Slot *s = findSlot(key);
+        return s ? &s->value : nullptr;
+    }
+
+    /**
+     * Find or insert (default-constructed) a value; promotes to MRU.
+     *
+     * When insertion evicts a valid victim, the optional callback is
+     * invoked with the victim's key and value before it is destroyed.
+     *
+     * @return reference to the (possibly new) value.
+     */
+    V &
+    findOrInsert(std::uint64_t key,
+                 const std::function<void(std::uint64_t, V &)>
+                     &on_evict = nullptr)
+    {
+        if (V *v = find(key))
+            return *v;
+        Slot &victim = victimSlot(key);
+        if (victim.valid && on_evict)
+            on_evict(victim.key, victim.value);
+        victim.valid = true;
+        victim.key = key;
+        victim.value = V();
+        touch(victim);
+        return victim.value;
+    }
+
+    /** Remove an entry if present. @return true when removed. */
+    bool
+    erase(std::uint64_t key)
+    {
+        Slot *s = findSlot(key);
+        if (!s)
+            return false;
+        s->valid = false;
+        return true;
+    }
+
+    /** Number of valid entries across all sets. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Slot &s : slots_)
+            if (s.valid)
+                ++n;
+        return n;
+    }
+
+    /** Total capacity. */
+    std::size_t capacity() const { return sets_ * ways_; }
+
+    /**
+     * Visit every valid entry (key, value).
+     */
+    void
+    forEach(const std::function<void(std::uint64_t, V &)> &fn)
+    {
+        for (Slot &s : slots_)
+            if (s.valid)
+                fn(s.key, s.value);
+    }
+
+    /**
+     * Serialize the full table state (checkpointing). Slot positions
+     * are preserved exactly: which way of a set holds an entry decides
+     * future victim scans, so positional identity is part of the
+     * behavioural state.
+     *
+     * @param save_value  (Writer &, const V &) serializer for values.
+     */
+    template <typename Writer, typename SaveFn>
+    void
+    saveState(Writer &w, SaveFn &&save_value) const
+    {
+        w.u64(ways_);
+        w.u64(sets_);
+        w.u64(clock_);
+        for (const Slot &s : slots_) {
+            w.boolean(s.valid);
+            if (s.valid) {
+                w.u64(s.key);
+                w.u64(s.lru);
+                save_value(w, s.value);
+            }
+        }
+    }
+
+    /**
+     * Restore state written by saveState into a table of identical
+     * geometry (fails the reader otherwise).
+     *
+     * @param load_value  (Reader &, V &) deserializer for values.
+     */
+    template <typename Reader, typename LoadFn>
+    void
+    loadState(Reader &r, LoadFn &&load_value)
+    {
+        if (r.u64() != ways_ || r.u64() != sets_) {
+            r.fail();
+            return;
+        }
+        clock_ = r.u64();
+        for (Slot &s : slots_) {
+            s = Slot{};
+            s.valid = r.boolean();
+            if (s.valid) {
+                s.key = r.u64();
+                s.lru = r.u64();
+                load_value(r, s.value);
+            }
+            if (!r.ok())
+                return;
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lru = 0;
+        V value{};
+    };
+
+    std::size_t setIndex(std::uint64_t key) const
+    {
+        // Multiplicative hash spreads structured keys (PC+offset
+        // concatenations) across sets.
+        return static_cast<std::size_t>(
+            (key * 0x9e3779b97f4a7c15ULL) >> 32) % sets_;
+    }
+
+    Slot *
+    findSlot(std::uint64_t key)
+    {
+        std::size_t base = setIndex(key) * ways_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Slot &s = slots_[base + w];
+            if (s.valid && s.key == key)
+                return &s;
+        }
+        return nullptr;
+    }
+
+    const Slot *
+    findSlot(std::uint64_t key) const
+    {
+        std::size_t base = setIndex(key) * ways_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            const Slot &s = slots_[base + w];
+            if (s.valid && s.key == key)
+                return &s;
+        }
+        return nullptr;
+    }
+
+    Slot &
+    victimSlot(std::uint64_t key)
+    {
+        std::size_t base = setIndex(key) * ways_;
+        Slot *victim = &slots_[base];
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Slot &s = slots_[base + w];
+            if (!s.valid)
+                return s;
+            if (s.lru < victim->lru)
+                victim = &s;
+        }
+        return *victim;
+    }
+
+    void touch(Slot &s) { s.lru = ++clock_; }
+
+    std::size_t ways_;
+    std::size_t sets_ = 0;
+    std::uint64_t clock_ = 0;
+    std::vector<Slot> slots_;
+};
+
+} // namespace stems
+
+#endif // STEMS_TESTS_REFERENCE_LRU_TABLE_HH
