@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    BenchObsSession obs(opts, "ablation_counters");
     requireNoPerf(opts, "ablation sweeps are not the pinned perf sweep");
     requireNoEngineSelection(opts, "fixed SMS counters-vs-bitvector sweep");
     std::cout << banner(
@@ -68,5 +69,6 @@ main(int argc, char **argv)
                  "the same coverage while\nroughly halving "
                  "overpredictions.\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

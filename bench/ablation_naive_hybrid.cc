@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    BenchObsSession obs(opts, "ablation_naive_hybrid");
     requireNoPerf(opts, "ablation sweeps are not the pinned perf sweep");
     requireNoEngineSelection(opts, "fixed tms+sms vs stems comparison");
     std::cout << banner(
@@ -56,5 +57,6 @@ main(int argc, char **argv)
                  "combination generates\nroughly 2-3x the "
                  "overpredictions of STeMS in OLTP and web.\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

@@ -40,6 +40,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'000'000);
+    BenchObsSession obs(opts, "ablation_reconstruction");
     requireNoPerf(opts, "ablation sweeps are not the pinned perf sweep");
     requireNoEngineSelection(opts, "fixed STeMS displacement sweep");
     std::cout << banner(
@@ -108,5 +109,6 @@ main(int argc, char **argv)
                  "two elements forward or\nbackward places 99% of "
                  "addresses (92% in their original location).\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

@@ -8,6 +8,9 @@
 #include <thread>
 
 #include "analysis/report.hh"
+#include "common/log.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
 #include "prefetch/engine_registry.hh"
 #include "store/trace_store.hh"
 #include "workloads/registry.hh"
@@ -74,6 +77,15 @@ usage(const char *argv0, int status)
         "  --warmup-records N warm up exactly N records instead of\n"
         "                     50%% of the trace (keeps prefixes\n"
         "                     comparable across --records values)\n"
+        "  --metrics-out FILE write a metrics snapshot\n"
+        "                     (stems-metrics-v1 JSON)\n"
+        "  --trace-out FILE   write Chrome trace-event spans\n"
+        "                     (load in Perfetto / chrome://tracing)\n"
+        "  --manifest-out FILE\n"
+        "                     write a run manifest\n"
+        "                     (stems-manifest-v1 JSON)\n"
+        "  --progress N       heartbeat every N seconds on stderr\n"
+        "                     (cells done, record-steps/s)\n"
         "  --list             list registered workloads/engines\n"
         "  --help             this message\n",
         argv0);
@@ -167,6 +179,24 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
         } else if (arg == "--warmup-records") {
             options.warmupRecords = static_cast<std::size_t>(
                 numberArg(argv[0], "--warmup-records", value()));
+        } else if (arg == "--metrics-out") {
+            options.metricsOutPath = value();
+        } else if (arg == "--trace-out") {
+            options.traceOutPath = value();
+        } else if (arg == "--manifest-out") {
+            options.manifestOutPath = value();
+        } else if (arg == "--progress") {
+            const char *v = value();
+            char *end = nullptr;
+            options.progressSeconds = std::strtod(v, &end);
+            if (end == v || *end != '\0' ||
+                options.progressSeconds < 0) {
+                std::fprintf(stderr,
+                             "%s: --progress wants a non-negative "
+                             "number of seconds, got '%s'\n",
+                             argv[0], v);
+                usage(argv[0], 1);
+            }
         } else if (!arg.empty() && arg[0] != '-') {
             // Historical positional trace-length override; 0 keeps
             // the bench default.
@@ -330,12 +360,11 @@ maybeWritePerf(const BenchOptions &options,
     snap.components.push_back(row);
     std::string error;
     if (!writeBenchSnapshotJson(options.perfPath, snap, &error)) {
-        std::fprintf(stderr, "%s\n", error.c_str());
+        logError(error);
         std::exit(1);
     }
     // stderr: bench stdout stays bitwise stable across runs.
-    std::fprintf(stderr, "[perf] wrote %s\n",
-                 options.perfPath.c_str());
+    logInfo("[perf] wrote " + options.perfPath);
 }
 
 void
@@ -345,12 +374,13 @@ configureBenchDriver(ExperimentDriver &driver,
     driver.setBatching(options.batch);
     driver.setSegments(options.segments);
     driver.setCheckpointEvery(options.checkpointEvery);
+    driver.setHeartbeatSeconds(options.progressSeconds);
     if (options.storeDir.empty())
         return;
     auto store = std::make_shared<TraceStore>(options.storeDir);
     if (!store->usable()) {
-        std::fprintf(stderr, "cannot open trace store '%s'\n",
-                     options.storeDir.c_str());
+        logError("cannot open trace store '" + options.storeDir +
+                 "'");
         std::exit(1);
     }
     driver.setStore(std::move(store));
@@ -365,40 +395,158 @@ maybeWriteJson(const BenchOptions &options,
     std::string error;
     if (!writeResultsJson(options.jsonPath, options.records,
                           options.seed, results, &error)) {
-        std::fprintf(stderr, "%s\n", error.c_str());
+        logError(error);
         std::exit(1);
     }
     std::printf("[json] wrote %s\n", options.jsonPath.c_str());
 }
 
-void
-reportStoreStats(const ExperimentDriver &driver)
+namespace {
+
+/**
+ * The `[store]` diagnostics line, sourced from the process-wide
+ * metrics registry — the single source of truth the driver and
+ * store mirror their counters into. One code path for batched and
+ * unbatched runs (the counters themselves are what differ), and the
+ * exact field layout CI greps (`engineSims=0` on warm re-runs,
+ * `resumedSims=[1-9]` on incremental runs) is pinned here.
+ */
+std::string
+storeStatsLine(const MetricsSnapshot &snap)
 {
-    const std::shared_ptr<TraceStore> &store = driver.store();
-    if (!store)
-        return;
-    // stderr, not stdout: bench stdout must stay bitwise identical
-    // between cold and warm runs, while these counters differ.
-    std::fprintf(
-        stderr,
+    auto counter = [&](const char *name) -> unsigned long long {
+        auto it = snap.counters.find(name);
+        return it == snap.counters.end()
+                   ? 0ull
+                   : static_cast<unsigned long long>(it->second);
+    };
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
         "[store] generations=%llu traceHits=%llu "
         "baselineSims=%llu baselineHits=%llu "
         "engineSims=%llu resultHits=%llu resultMisses=%llu "
         "batchedSims=%llu resumedSims=%llu "
-        "skippedRecords=%llu checkpointsWritten=%llu\n",
-        static_cast<unsigned long long>(driver.traceGenerations()),
-        static_cast<unsigned long long>(store->traceHits()),
-        static_cast<unsigned long long>(driver.baselineRuns()),
-        static_cast<unsigned long long>(store->baselineHits()),
-        static_cast<unsigned long long>(driver.engineRuns()),
-        static_cast<unsigned long long>(store->resultHits()),
-        static_cast<unsigned long long>(store->resultMisses()),
-        static_cast<unsigned long long>(driver.batchedRuns()),
-        static_cast<unsigned long long>(driver.resumedRuns()),
-        static_cast<unsigned long long>(
-            driver.resumedRecordsSkipped()),
-        static_cast<unsigned long long>(
-            driver.checkpointsWritten()));
+        "skippedRecords=%llu checkpointsWritten=%llu",
+        counter("driver.trace.generated"),
+        counter("store.trace.hit"),
+        counter("driver.cell.baseline"),
+        counter("store.baseline.hit"),
+        counter("driver.cell.engine"),
+        counter("store.result.hit"),
+        counter("store.result.miss"),
+        counter("driver.cell.batched"),
+        counter("driver.cell.resumed"),
+        counter("ckpt.resume.skipped_records"),
+        counter("ckpt.written"));
+    return line;
+}
+
+} // namespace
+
+void
+reportStoreStats(const ExperimentDriver &driver)
+{
+    if (!driver.store())
+        return;
+    // stderr, not stdout: bench stdout must stay bitwise identical
+    // between cold and warm runs, while these counters differ.
+    logInfo(storeStatsLine(MetricsRegistry::instance().snapshot()));
+}
+
+BenchObsSession::BenchObsSession(const BenchOptions &options,
+                                 std::string tool)
+    : options_(options), tool_(std::move(tool))
+{
+    if (!options_.traceOutPath.empty())
+        collector_.attach();
+    startNs_ = collector_.nowNs();
+    phaseName_ = "run";
+    phaseStartNs_ = startNs_;
+}
+
+BenchObsSession::~BenchObsSession()
+{
+    collector_.detach();
+}
+
+void
+BenchObsSession::phase(const char *name)
+{
+    std::uint64_t now = collector_.nowNs();
+    phases_.emplace_back(phaseName_, now - phaseStartNs_);
+    phaseName_ = name;
+    phaseStartNs_ = now;
+}
+
+void
+BenchObsSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    collector_.detach();
+    const std::uint64_t end_ns = collector_.nowNs();
+    phases_.emplace_back(phaseName_, end_ns - phaseStartNs_);
+
+    std::string error;
+    if (!options_.traceOutPath.empty()) {
+        if (!collector_.writeChromeJson(options_.traceOutPath,
+                                        &error)) {
+            logError(error);
+            std::exit(1);
+        }
+        logInfo("[obs] wrote trace " + options_.traceOutPath);
+    }
+
+    const bool want_metrics = !options_.metricsOutPath.empty();
+    const bool want_manifest = !options_.manifestOutPath.empty();
+    if (!want_metrics && !want_manifest)
+        return;
+    MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+    if (want_metrics) {
+        if (!writeMetricsJson(options_.metricsOutPath, snap,
+                              &error)) {
+            logError(error);
+            std::exit(1);
+        }
+        logInfo("[obs] wrote metrics " + options_.metricsOutPath);
+    }
+    if (want_manifest) {
+        RunManifest manifest;
+        manifest.tool = tool_;
+        manifest.host = hostNote();
+        auto add = [&](const char *key, std::string value) {
+            manifest.config.emplace_back(key, std::move(value));
+        };
+        add("records", std::to_string(options_.records));
+        add("seed", std::to_string(options_.seed));
+        add("jobs", std::to_string(ExperimentDriver::resolveJobs(
+                        options_.jobs)));
+        add("workloads", options_.workloads.empty()
+                             ? "(default)"
+                             : joinNames(options_.workloads));
+        add("engines", options_.engines.empty()
+                           ? "(default)"
+                           : joinNames(options_.engines));
+        add("store", options_.storeDir.empty() ? "(none)"
+                                               : options_.storeDir);
+        add("batch", options_.batch ? "1" : "0");
+        add("segments", std::to_string(options_.segments));
+        add("checkpoint_every",
+            std::to_string(options_.checkpointEvery));
+        add("warmup_records",
+            std::to_string(options_.warmupRecords));
+        manifest.phaseNs = phases_;
+        manifest.wallNs = end_ns - startNs_;
+        manifest.metrics = std::move(snap);
+        if (!writeRunManifestJson(options_.manifestOutPath,
+                                  manifest, &error)) {
+            logError(error);
+            std::exit(1);
+        }
+        logInfo("[obs] wrote manifest " + options_.manifestOutPath);
+    }
 }
 
 std::string

@@ -40,9 +40,12 @@
 #ifndef STEMS_BENCH_BENCH_UTIL_HH
 #define STEMS_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/trace_span.hh"
 #include "sim/driver.hh"
 
 namespace stems {
@@ -79,6 +82,14 @@ struct BenchOptions
     std::size_t checkpointEvery = 0;
     /// Absolute warmup-record override (0 = 50% fraction).
     std::size_t warmupRecords = 0;
+    /// Metrics-snapshot output path (--metrics-out; empty = none).
+    std::string metricsOutPath;
+    /// Chrome trace-event output path (--trace-out; empty = none).
+    std::string traceOutPath;
+    /// Run-manifest output path (--manifest-out; empty = none).
+    std::string manifestOutPath;
+    /// Progress-heartbeat interval in seconds (--progress; 0 = off).
+    double progressSeconds = 0.0;
 };
 
 /**
@@ -182,6 +193,43 @@ void reportStoreStats(const ExperimentDriver &driver);
 /** Standard bench banner (records, seed, jobs). */
 std::string banner(const std::string &title,
                    const BenchOptions &options);
+
+/**
+ * Observability sinks for one bench run — the --metrics-out /
+ * --trace-out / --manifest-out surfaces. Construct right after
+ * parseBenchOptions (attaches the span collector when --trace-out
+ * was given and starts the wall clock), optionally mark phases with
+ * phase(), and call finish() once the sweep is done to write every
+ * requested artifact. All output goes to the named files and notes
+ * to stderr; bench stdout stays bitwise identical whether or not any
+ * sink is attached.
+ */
+class BenchObsSession
+{
+  public:
+    BenchObsSession(const BenchOptions &options, std::string tool);
+    ~BenchObsSession();
+
+    BenchObsSession(const BenchObsSession &) = delete;
+    BenchObsSession &operator=(const BenchObsSession &) = delete;
+
+    /** Close the current manifest phase and open `name`. */
+    void phase(const char *name);
+
+    /** Detach the collector and write the requested artifacts.
+     *  Exits with an error if a requested file cannot be written. */
+    void finish();
+
+  private:
+    BenchOptions options_;
+    std::string tool_;
+    SpanCollector collector_;
+    std::uint64_t startNs_ = 0;
+    std::string phaseName_;
+    std::uint64_t phaseStartNs_ = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> phases_;
+    bool finished_ = false;
+};
 
 } // namespace stems
 

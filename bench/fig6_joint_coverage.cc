@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'500'000);
+    BenchObsSession obs(opts, "fig6_joint_coverage");
     requireNoPerf(opts, "oracle analysis is not the pinned perf sweep");
     requireNoEngineSelection(opts, "oracle analysis runs no engines");
     requireNoJson(opts, "oracle analysis produces no sweep results");
@@ -78,5 +79,6 @@ main(int argc, char **argv)
                  "temporal, 54% spatial,\n70% joint; 34-38% of "
                  "OLTP/web misses unpredictable by either.\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

@@ -53,6 +53,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    BenchObsSession obs(opts, "fig7_sequitur");
     requireNoPerf(opts, "Sequitur analysis is not the pinned perf sweep");
     requireNoEngineSelection(opts, "Sequitur analysis runs no engines");
     requireNoJson(opts, "Sequitur analysis produces no sweep results");
@@ -95,5 +96,6 @@ main(int argc, char **argv)
                  "sequences, similar to the 45% repetition of all "
                  "misses.\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

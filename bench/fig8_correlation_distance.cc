@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'200'000);
+    BenchObsSession obs(opts, "fig8_correlation_distance");
     requireNoPerf(opts, "correlation analysis is not the pinned perf sweep");
     requireNoEngineSelection(opts, "correlation analysis runs no engines");
     requireNoJson(opts,
@@ -74,5 +75,6 @@ main(int argc, char **argv)
                  ">=86% within a window of 2,\n>=92% within 4; Qry16 "
                  "is the outlier.\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

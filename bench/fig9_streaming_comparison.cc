@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 1'500'000);
+    BenchObsSession obs(opts, "fig9_streaming_comparison");
     std::cout << banner(
         "Figure 9: TMS vs SMS vs STeMS coverage/overprediction",
         opts);
@@ -40,11 +41,13 @@ main(int argc, char **argv)
     std::vector<double> over_sum(engines.size(), 0.0);
     int n = 0;
     const std::vector<std::string> workloads = benchWorkloads(opts);
+    obs.phase("sweep");
     auto t0 = std::chrono::steady_clock::now();
     const auto results = driver.run(workloads, engineSpecs(engines));
     double wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
+    obs.phase("report");
     maybeWriteJson(opts, results);
     maybeWritePerf(opts, workloads, engines, wall_s);
     for (const WorkloadResult &r : results) {
@@ -76,5 +79,6 @@ main(int argc, char **argv)
                  "than the better of TMS/SMS on every commercial "
                  "workload.\n";
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

@@ -54,6 +54,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 400'000);
+    BenchObsSession obs(opts, "micro_batch");
     requireNoPerf(opts, "micro_batch reports its own timings; the perf snapshot comes from fig9/micro_engines");
     requireNoJson(opts, "micro_batch reports timings, not sweep "
                         "results");
@@ -181,5 +182,6 @@ main(int argc, char **argv)
                 "batched pass, parallel lanes", batch_parallel_s,
                 work / batch_parallel_s,
                 single_s / batch_parallel_s, lane_jobs);
+    obs.finish();
     return 0;
 }

@@ -102,6 +102,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 200'000);
+    BenchObsSession obs(opts, "micro_engines");
     std::fputs(banner("micro_engines: per-component costs", opts)
                    .c_str(),
                stdout);
@@ -321,5 +322,6 @@ main(int argc, char **argv)
         std::fprintf(stderr, "[micro] wrote %s\n",
                      opts.jsonPath.c_str());
     }
+    obs.finish();
     return 0;
 }

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 200'000);
+    BenchObsSession obs(opts, "table1_config");
     requireNoPerf(opts, "the perf trajectory pins fig9, not the config table");
     requireNoEngineSelection(opts, "configuration report runs no engines");
     requireNoJson(opts,
@@ -73,5 +74,6 @@ main(int argc, char **argv)
                     s.distinctRegions);
     }
     reportStoreStats(driver);
+    obs.finish();
     return 0;
 }

@@ -97,6 +97,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 600'000);
+    BenchObsSession obs(opts, "custom_workload");
     requireNoWorkloadSelection(
         opts, "this example always runs its own kv-store workload");
 
@@ -147,5 +148,6 @@ main(int argc, char **argv)
                         100 * (e.speedup - 1.0));
         }
     }
+    obs.finish();
     return 0;
 }

@@ -77,6 +77,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 0);
+    BenchObsSession obs(opts, "pointer_chase_oltp");
     requireNoWorkloadSelection(
         opts, "this example always runs its own pointer-chase "
               "workload");
@@ -107,5 +108,6 @@ main(int argc, char **argv)
                 "node's data, so the baseline\npays a full memory "
                 "round-trip per hop; temporal streams overlap the "
                 "chain.\n");
+    obs.finish();
     return 0;
 }

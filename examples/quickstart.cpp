@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opts = parseBenchOptions(argc, argv, 800'000);
+    BenchObsSession obs(opts, "quickstart");
     const std::vector<std::string> workloads =
         benchWorkloads(opts, {"oltp-db2"});
     const std::vector<std::string> engines =
@@ -60,5 +61,6 @@ main(int argc, char **argv)
                 "triggers (RMOB) with\nper-region spatial sequences "
                 "(PST), reconstructing the total miss order\nthe "
                 "processor will follow (ISCA 2009).\n");
+    obs.finish();
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/mini_json.hh"
 #include "common/stats.hh"
 
 namespace stems {
@@ -33,39 +34,8 @@ RunData::find(const std::string &workload,
 }
 
 // ---- writer ----
-
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
-    return out;
-}
-
-/** Full-precision double that round-trips through a JSON parser. */
-std::string
-jsonDouble(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-} // namespace
+// (jsonEscape / jsonDouble / the mini-JSON parser live in
+// common/mini_json.hh, shared with the obs/ artifact writers.)
 
 bool
 writeResultsJson(const std::string &path, std::uint64_t records,
@@ -144,279 +114,6 @@ writeResultsJson(const std::string &path, std::uint64_t records,
 }
 
 // ---- parser ----
-
-namespace {
-
-/** Minimal JSON value: just what the result files use. */
-struct JsonValue
-{
-    enum class Kind
-    {
-        kNull,
-        kBool,
-        kNumber,
-        kString,
-        kArray,
-        kObject,
-    };
-    Kind kind = Kind::kNull;
-    bool boolean = false;
-    double number = 0.0;
-    std::uint64_t integer = 0; ///< exact value of integer tokens
-    bool isInteger = false;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> members;
-
-    const JsonValue *
-    get(const char *key) const
-    {
-        for (const auto &kv : members)
-            if (kv.first == key)
-                return &kv.second;
-        return nullptr;
-    }
-
-    double
-    num(const char *key, double fallback = 0.0) const
-    {
-        const JsonValue *v = get(key);
-        return v && v->kind == Kind::kNumber ? v->number : fallback;
-    }
-
-    std::uint64_t
-    uint(const char *key) const
-    {
-        const JsonValue *v = get(key);
-        if (!v || v->kind != Kind::kNumber)
-            return 0;
-        return v->isInteger
-                   ? v->integer
-                   : static_cast<std::uint64_t>(v->number);
-    }
-
-    std::string
-    str(const char *key) const
-    {
-        const JsonValue *v = get(key);
-        return v && v->kind == Kind::kString ? v->text
-                                             : std::string();
-    }
-};
-
-struct JsonParser
-{
-    const char *p;
-    const char *end;
-    std::string error;
-
-    explicit JsonParser(const std::string &text)
-        : p(text.data()), end(text.data() + text.size())
-    {
-    }
-
-    void
-    skipWs()
-    {
-        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
-                           *p == '\r'))
-            ++p;
-    }
-
-    bool
-    fail(const std::string &what)
-    {
-        if (error.empty())
-            error = what;
-        return false;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        std::size_t n = std::strlen(word);
-        if (static_cast<std::size_t>(end - p) < n ||
-            std::strncmp(p, word, n) != 0)
-            return fail(std::string("expected '") + word + "'");
-        p += n;
-        return true;
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (p >= end || *p != '"')
-            return fail("expected string");
-        ++p;
-        out.clear();
-        while (p < end && *p != '"') {
-            char c = *p++;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (p >= end)
-                return fail("bad escape");
-            char e = *p++;
-            switch (e) {
-            case '"': out += '"'; break;
-            case '\\': out += '\\'; break;
-            case '/': out += '/'; break;
-            case 'b': out += '\b'; break;
-            case 'f': out += '\f'; break;
-            case 'n': out += '\n'; break;
-            case 'r': out += '\r'; break;
-            case 't': out += '\t'; break;
-            case 'u': {
-                if (end - p < 4)
-                    return fail("bad \\u escape");
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = *p++;
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= h - '0';
-                    else if (h >= 'a' && h <= 'f')
-                        code |= h - 'a' + 10;
-                    else if (h >= 'A' && h <= 'F')
-                        code |= h - 'A' + 10;
-                    else
-                        return fail("bad \\u escape");
-                }
-                // The writer only escapes ASCII control characters;
-                // encode anything else as UTF-8 for completeness.
-                if (code < 0x80) {
-                    out += static_cast<char>(code);
-                } else if (code < 0x800) {
-                    out += static_cast<char>(0xC0 | (code >> 6));
-                    out += static_cast<char>(0x80 | (code & 0x3F));
-                } else {
-                    out += static_cast<char>(0xE0 | (code >> 12));
-                    out += static_cast<char>(0x80 |
-                                             ((code >> 6) & 0x3F));
-                    out += static_cast<char>(0x80 | (code & 0x3F));
-                }
-                break;
-            }
-            default: return fail("bad escape");
-            }
-        }
-        if (p >= end)
-            return fail("unterminated string");
-        ++p; // closing quote
-        return true;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        skipWs();
-        if (p >= end)
-            return fail("unexpected end of input");
-        switch (*p) {
-        case '{': {
-            out.kind = JsonValue::Kind::kObject;
-            ++p;
-            skipWs();
-            if (p < end && *p == '}') {
-                ++p;
-                return true;
-            }
-            while (true) {
-                skipWs();
-                std::string key;
-                if (!parseString(key))
-                    return false;
-                skipWs();
-                if (p >= end || *p != ':')
-                    return fail("expected ':'");
-                ++p;
-                JsonValue value;
-                if (!parseValue(value))
-                    return false;
-                out.members.emplace_back(std::move(key),
-                                         std::move(value));
-                skipWs();
-                if (p < end && *p == ',') {
-                    ++p;
-                    continue;
-                }
-                if (p < end && *p == '}') {
-                    ++p;
-                    return true;
-                }
-                return fail("expected ',' or '}'");
-            }
-        }
-        case '[': {
-            out.kind = JsonValue::Kind::kArray;
-            ++p;
-            skipWs();
-            if (p < end && *p == ']') {
-                ++p;
-                return true;
-            }
-            while (true) {
-                JsonValue item;
-                if (!parseValue(item))
-                    return false;
-                out.items.push_back(std::move(item));
-                skipWs();
-                if (p < end && *p == ',') {
-                    ++p;
-                    continue;
-                }
-                if (p < end && *p == ']') {
-                    ++p;
-                    return true;
-                }
-                return fail("expected ',' or ']'");
-            }
-        }
-        case '"':
-            out.kind = JsonValue::Kind::kString;
-            return parseString(out.text);
-        case 't':
-            out.kind = JsonValue::Kind::kBool;
-            out.boolean = true;
-            return literal("true");
-        case 'f':
-            out.kind = JsonValue::Kind::kBool;
-            out.boolean = false;
-            return literal("false");
-        case 'n': out.kind = JsonValue::Kind::kNull; return literal("null");
-        default: {
-            const char *start = p;
-            if (p < end && (*p == '-' || *p == '+'))
-                ++p;
-            bool integral = true;
-            while (p < end &&
-                   ((*p >= '0' && *p <= '9') || *p == '.' ||
-                    *p == 'e' || *p == 'E' || *p == '+' ||
-                    *p == '-')) {
-                if (*p == '.' || *p == 'e' || *p == 'E')
-                    integral = false;
-                ++p;
-            }
-            if (p == start)
-                return fail("unexpected character");
-            std::string token(start, p);
-            out.kind = JsonValue::Kind::kNumber;
-            out.number = std::strtod(token.c_str(), nullptr);
-            if (integral && token[0] != '-') {
-                // Keep integer tokens exact: counts can exceed a
-                // double's 53-bit mantissa.
-                out.integer =
-                    std::strtoull(token.c_str(), nullptr, 10);
-                out.isInteger = true;
-            }
-            return true;
-        }
-        }
-    }
-};
-
-} // namespace
 
 bool
 loadResultsJson(const std::string &path, RunData &out,

@@ -1,20 +1,168 @@
 /**
  * @file
- * Minimal error-reporting helpers, following the gem5 fatal/panic
- * distinction: fatal() for user/configuration errors, panic() for
- * internal invariant violations.
+ * Error-reporting and leveled-logging helpers.
+ *
+ * The fatal/panic split follows gem5: fatal() for user/configuration
+ * errors, panic() for internal invariant violations. Both always
+ * print, regardless of the log level.
+ *
+ * Everything else goes through the leveled logger: error/warn/info/
+ * debug lines on stderr, filtered by a process-wide threshold. The
+ * threshold defaults to `info` (so the diagnostics lines benches have
+ * always printed keep printing) and is controlled by the STEMS_LOG
+ * environment variable — `error`, `warn`, `info` or `debug` (or the
+ * numeric levels 0-3). Each message is formatted into one complete
+ * line and written with a single locked fwrite, so concurrent worker
+ * threads can log without interleaving fragments.
+ *
+ * Simulation results never depend on logging: all leveled output is
+ * stderr-only, and sweep stdout/--json artifacts are pinned bitwise
+ * identical with logging on or off.
  */
 
 #ifndef STEMS_COMMON_LOG_HH
 #define STEMS_COMMON_LOG_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <string>
 
 namespace stems {
 
-/** Abort on an internal invariant violation (a bug in this library). */
+/** Severity of a log line, most severe first. */
+enum class LogLevel
+{
+    kError = 0,
+    kWarn = 1,
+    kInfo = 2,
+    kDebug = 3,
+};
+
+namespace log_detail {
+
+inline std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Threshold cell; -1 = not yet initialized from STEMS_LOG. */
+inline std::atomic<int> &
+logThresholdCell()
+{
+    static std::atomic<int> cell{-1};
+    return cell;
+}
+
+} // namespace log_detail
+
+/** Parse a STEMS_LOG value (level name or numeric code 0-3).
+ *  @return false on an unknown value; `out` is left untouched. */
+inline bool
+parseLogLevel(const char *text, LogLevel &out)
+{
+    if (!text)
+        return false;
+    if (!std::strcmp(text, "error") || !std::strcmp(text, "0")) {
+        out = LogLevel::kError;
+    } else if (!std::strcmp(text, "warn") || !std::strcmp(text, "1")) {
+        out = LogLevel::kWarn;
+    } else if (!std::strcmp(text, "info") || !std::strcmp(text, "2")) {
+        out = LogLevel::kInfo;
+    } else if (!std::strcmp(text, "debug") ||
+               !std::strcmp(text, "3")) {
+        out = LogLevel::kDebug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Override the threshold programmatically (tests, tools). */
+inline void
+setLogThreshold(LogLevel level)
+{
+    log_detail::logThresholdCell().store(static_cast<int>(level));
+}
+
+/** The active threshold: STEMS_LOG on first use, default `info`.
+ *  An unparseable STEMS_LOG falls back to the default and says so
+ *  once (at warn, which the default threshold shows). */
+inline LogLevel
+logThreshold()
+{
+    int cached = log_detail::logThresholdCell().load();
+    if (cached >= 0)
+        return static_cast<LogLevel>(cached);
+    LogLevel level = LogLevel::kInfo;
+    const char *env = std::getenv("STEMS_LOG");
+    bool bad = env && *env && !parseLogLevel(env, level);
+    setLogThreshold(level);
+    if (bad) {
+        std::fprintf(stderr,
+                     "warn: STEMS_LOG='%s' is not a log level "
+                     "(error|warn|info|debug); using 'info'\n",
+                     env);
+    }
+    return level;
+}
+
+/** Whether a line at `level` would be emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           static_cast<int>(logThreshold());
+}
+
+/** Emit one complete line ("<level>: <msg>\n") to stderr with a
+ *  single locked write; dropped when below the threshold. */
+inline void
+logLine(LogLevel level, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    static const char *const names[] = {"error", "warn", "info",
+                                        "debug"};
+    std::string line = names[static_cast<int>(level)];
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(log_detail::logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+inline void
+logError(const std::string &msg)
+{
+    logLine(LogLevel::kError, msg);
+}
+
+inline void
+logWarn(const std::string &msg)
+{
+    logLine(LogLevel::kWarn, msg);
+}
+
+inline void
+logInfo(const std::string &msg)
+{
+    logLine(LogLevel::kInfo, msg);
+}
+
+inline void
+logDebug(const std::string &msg)
+{
+    logLine(LogLevel::kDebug, msg);
+}
+
+/** Abort on an internal invariant violation (a bug in this library).
+ *  Always prints, regardless of the log threshold. */
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
@@ -22,7 +170,7 @@ panic(const std::string &msg)
     std::abort();
 }
 
-/** Exit on a user/configuration error. */
+/** Exit on a user/configuration error. Always prints. */
 [[noreturn]] inline void
 fatal(const std::string &msg)
 {
@@ -30,11 +178,11 @@ fatal(const std::string &msg)
     std::exit(1);
 }
 
-/** Non-fatal warning to stderr. */
+/** Non-fatal warning to stderr (historical shorthand for logWarn). */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logWarn(msg);
 }
 
 } // namespace stems

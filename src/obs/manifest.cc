@@ -1,0 +1,112 @@
+#include "obs/manifest.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/utsname.h>
+#endif
+
+#include "common/mini_json.hh"
+
+namespace stems {
+
+std::string
+hostNote()
+{
+    std::string note;
+#ifndef _WIN32
+    struct utsname uts;
+    if (uname(&uts) == 0) {
+        note += uts.sysname;
+        note += " ";
+        note += uts.machine;
+    }
+#endif
+    if (note.empty())
+        note = "unknown";
+    unsigned threads = std::thread::hardware_concurrency();
+    if (threads) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf),
+                      " · %u hardware threads", threads);
+        note += buf;
+    }
+    return note;
+}
+
+std::string
+runManifestJson(const RunManifest &manifest)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"stems-manifest-v1\",\n";
+    out << "  \"tool\": \"" << jsonEscape(manifest.tool) << "\",\n";
+    if (!manifest.created.empty())
+        out << "  \"created\": \"" << jsonEscape(manifest.created)
+            << "\",\n";
+    out << "  \"host\": \"" << jsonEscape(manifest.host) << "\",\n";
+    out << "  \"config\": {";
+    bool first = true;
+    for (const auto &kv : manifest.config) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << jsonEscape(kv.first) << "\": \""
+            << jsonEscape(kv.second) << "\"";
+        first = false;
+    }
+    out << (first ? "},\n" : "\n  },\n");
+    out << "  \"phase_ns\": {";
+    first = true;
+    for (const auto &kv : manifest.phaseNs) {
+        char num[24];
+        std::snprintf(num, sizeof(num), "%llu",
+                      static_cast<unsigned long long>(kv.second));
+        out << (first ? "\n" : ",\n") << "    \""
+            << jsonEscape(kv.first) << "\": " << num;
+        first = false;
+    }
+    out << (first ? "},\n" : "\n  },\n");
+    {
+        char num[24];
+        std::snprintf(
+            num, sizeof(num), "%llu",
+            static_cast<unsigned long long>(manifest.wallNs));
+        out << "  \"wall_ns\": " << num << ",\n";
+    }
+    // Embed the metrics snapshot, reindented to nest cleanly.
+    std::istringstream metrics(metricsJson(manifest.metrics));
+    out << "  \"metrics\": ";
+    std::string line;
+    bool first_line = true;
+    while (std::getline(metrics, line)) {
+        if (!first_line)
+            out << "\n  ";
+        out << line;
+        first_line = false;
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+bool
+writeRunManifestJson(const std::string &path,
+                     const RunManifest &manifest, std::string *error)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot write '" + path + "'";
+        return false;
+    }
+    out << runManifestJson(manifest);
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace stems

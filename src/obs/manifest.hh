@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-sweep run manifests.
+ *
+ * A manifest is the "what ran, where, and how it went" record
+ * written next to a sweep's `--json` results: the sweep
+ * configuration and content digests, a host/hardware note, wall-
+ * clock phase totals, the store diagnostics line, and the final
+ * metrics snapshot — everything needed to diagnose a slow or stale
+ * sweep from its artifacts, without re-running it under a profiler.
+ *
+ * Serialization follows the repo-wide JSON conventions (stable key
+ * order, exact u64 integers, `%.17g` doubles); insertion order of
+ * the config/phase vectors is preserved so callers control the
+ * presentation order of their own keys.
+ */
+
+#ifndef STEMS_OBS_MANIFEST_HH
+#define STEMS_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace stems {
+
+struct RunManifest
+{
+    std::string tool;    ///< binary / subcommand that ran the sweep
+    std::string created; ///< human-readable local time (optional)
+    std::string host;    ///< hostNote() or caller-supplied
+    /** Sweep configuration as ordered (key, value) string pairs:
+     *  records, seed, workloads, engines, digests, ... */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** Wall-clock totals per phase, ordered, in nanoseconds. */
+    std::vector<std::pair<std::string, std::uint64_t>> phaseNs;
+    std::uint64_t wallNs = 0; ///< whole-run wall clock
+    /** Final registry snapshot (includes the store counters). */
+    MetricsSnapshot metrics;
+};
+
+/** "os arch · N hardware threads" note for the current host. */
+std::string hostNote();
+
+/** Manifest -> JSON document (schema "stems-manifest-v1"). */
+std::string runManifestJson(const RunManifest &manifest);
+
+/** Write runManifestJson() to `path`. */
+bool writeRunManifestJson(const std::string &path,
+                          const RunManifest &manifest,
+                          std::string *error = nullptr);
+
+} // namespace stems
+
+#endif // STEMS_OBS_MANIFEST_HH

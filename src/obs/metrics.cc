@@ -1,0 +1,420 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/mini_json.hh"
+
+namespace stems {
+
+// ---- LatencyHistogram ----
+
+int
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    int width = 0;
+    while (value) {
+        ++width;
+        value >>= 1;
+    }
+    return width; // 0 for value 0, else the bit width (1..64)
+}
+
+std::uint64_t
+LatencyHistogram::lowerBound(int i)
+{
+    return i == 0 ? 0 : std::uint64_t(1) << (i - 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    buckets_[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+LatencyHistogram::min() const
+{
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t(0), std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsRegistry ----
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot.reset(new Counter());
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot.reset(new Gauge());
+    return *slot;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot.reset(new LatencyHistogram());
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto &kv : counters_)
+        snap.counters[kv.first] = kv.second->value();
+    for (const auto &kv : gauges_)
+        snap.gauges[kv.first] = kv.second->value();
+    for (const auto &kv : histograms_) {
+        const LatencyHistogram &h = *kv.second;
+        HistogramSnapshot hs;
+        hs.count = h.count();
+        hs.sum = h.sum();
+        hs.min = h.min();
+        hs.max = h.max();
+        for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+            std::uint64_t n = h.bucketCount(i);
+            if (n)
+                hs.buckets.emplace_back(
+                    LatencyHistogram::lowerBound(i), n);
+        }
+        snap.histograms[kv.first] = std::move(hs);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : counters_)
+        kv.second->reset();
+    for (auto &kv : gauges_)
+        kv.second->reset();
+    for (auto &kv : histograms_)
+        kv.second->reset();
+}
+
+// ---- JSON snapshot ----
+
+namespace {
+
+std::string
+u64Text(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+metricsJson(const MetricsSnapshot &snap)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"stems-metrics-v1\",\n";
+    out << "  \"counters\": {";
+    bool first = true;
+    for (const auto &kv : snap.counters) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << jsonEscape(kv.first) << "\": " << u64Text(kv.second);
+        first = false;
+    }
+    out << (first ? "},\n" : "\n  },\n");
+    out << "  \"gauges\": {";
+    first = true;
+    for (const auto &kv : snap.gauges) {
+        out << (first ? "\n" : ",\n") << "    \""
+            << jsonEscape(kv.first)
+            << "\": " << jsonDouble(kv.second);
+        first = false;
+    }
+    out << (first ? "},\n" : "\n  },\n");
+    out << "  \"histograms\": {";
+    first = true;
+    for (const auto &kv : snap.histograms) {
+        const HistogramSnapshot &h = kv.second;
+        out << (first ? "\n" : ",\n") << "    \""
+            << jsonEscape(kv.first) << "\": {\"count\": "
+            << u64Text(h.count) << ", \"sum\": " << u64Text(h.sum)
+            << ", \"min\": " << u64Text(h.min)
+            << ", \"max\": " << u64Text(h.max) << ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << "[" << u64Text(h.buckets[i].first) << ", "
+                << u64Text(h.buckets[i].second) << "]";
+        }
+        out << "]}";
+        first = false;
+    }
+    out << (first ? "}\n" : "\n  }\n") << "}\n";
+    return out.str();
+}
+
+bool
+writeMetricsJson(const std::string &path,
+                 const MetricsSnapshot &snap, std::string *error)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot write '" + path + "'";
+        return false;
+    }
+    out << metricsJson(snap);
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+loadMetricsJson(const std::string &path, MetricsSnapshot &out,
+                std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot read '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    JsonParser parser(text);
+    JsonValue root;
+    if (!parser.parseValue(root) ||
+        root.kind != JsonValue::Kind::kObject) {
+        if (error)
+            *error = "'" + path + "': " +
+                     (parser.error.empty() ? "not a JSON object"
+                                           : parser.error);
+        return false;
+    }
+    if (root.str("schema") != "stems-metrics-v1") {
+        if (error)
+            *error = "'" + path + "': not a stems-metrics-v1 file";
+        return false;
+    }
+    out = MetricsSnapshot();
+    if (const JsonValue *counters = root.get("counters")) {
+        for (const auto &kv : counters->members) {
+            if (kv.second.kind == JsonValue::Kind::kNumber)
+                out.counters[kv.first] =
+                    kv.second.isInteger
+                        ? kv.second.integer
+                        : static_cast<std::uint64_t>(
+                              kv.second.number);
+        }
+    }
+    if (const JsonValue *gauges = root.get("gauges")) {
+        for (const auto &kv : gauges->members) {
+            if (kv.second.kind == JsonValue::Kind::kNumber)
+                out.gauges[kv.first] = kv.second.number;
+        }
+    }
+    if (const JsonValue *hists = root.get("histograms")) {
+        for (const auto &kv : hists->members) {
+            if (kv.second.kind != JsonValue::Kind::kObject)
+                continue;
+            HistogramSnapshot hs;
+            hs.count = kv.second.uint("count");
+            hs.sum = kv.second.uint("sum");
+            hs.min = kv.second.uint("min");
+            hs.max = kv.second.uint("max");
+            if (const JsonValue *buckets =
+                    kv.second.get("buckets")) {
+                for (const JsonValue &pair : buckets->items) {
+                    if (pair.kind != JsonValue::Kind::kArray ||
+                        pair.items.size() != 2)
+                        continue;
+                    auto exact =
+                        [](const JsonValue &v) -> std::uint64_t {
+                        return v.isInteger
+                                   ? v.integer
+                                   : static_cast<std::uint64_t>(
+                                         v.number);
+                    };
+                    hs.buckets.emplace_back(exact(pair.items[0]),
+                                            exact(pair.items[1]));
+                }
+            }
+            out.histograms[kv.first] = std::move(hs);
+        }
+    }
+    return true;
+}
+
+// ---- markdown rendering ----
+
+namespace {
+
+std::string
+deltaText(std::uint64_t old_v, std::uint64_t new_v)
+{
+    if (new_v == old_v)
+        return "0";
+    if (new_v > old_v)
+        return "+" + u64Text(new_v - old_v);
+    return "-" + u64Text(old_v - new_v);
+}
+
+std::string
+doubleText(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderMetricsMarkdown(const MetricsSnapshot &snap,
+                      const MetricsSnapshot *old_snap)
+{
+    std::ostringstream out;
+    out << (old_snap ? "# Metrics delta\n\n"
+                     : "# Metrics snapshot\n\n");
+    if (snap.empty()) {
+        out << "(no metrics recorded)\n";
+        return out.str();
+    }
+
+    if (!snap.counters.empty()) {
+        out << "## Counters\n\n";
+        if (old_snap) {
+            out << "| counter | old | new | delta |\n";
+            out << "|---|---:|---:|---:|\n";
+            for (const auto &kv : snap.counters) {
+                auto it = old_snap->counters.find(kv.first);
+                std::uint64_t old_v =
+                    it == old_snap->counters.end() ? 0 : it->second;
+                out << "| `" << kv.first << "` | "
+                    << u64Text(old_v) << " | " << u64Text(kv.second)
+                    << " | " << deltaText(old_v, kv.second)
+                    << " |\n";
+            }
+        } else {
+            out << "| counter | value |\n";
+            out << "|---|---:|\n";
+            for (const auto &kv : snap.counters)
+                out << "| `" << kv.first << "` | "
+                    << u64Text(kv.second) << " |\n";
+        }
+        out << "\n";
+    }
+
+    if (!snap.gauges.empty()) {
+        out << "## Gauges\n\n";
+        if (old_snap) {
+            out << "| gauge | old | new |\n";
+            out << "|---|---:|---:|\n";
+            for (const auto &kv : snap.gauges) {
+                auto it = old_snap->gauges.find(kv.first);
+                out << "| `" << kv.first << "` | "
+                    << (it == old_snap->gauges.end()
+                            ? std::string("-")
+                            : doubleText(it->second))
+                    << " | " << doubleText(kv.second) << " |\n";
+            }
+        } else {
+            out << "| gauge | value |\n";
+            out << "|---|---:|\n";
+            for (const auto &kv : snap.gauges)
+                out << "| `" << kv.first << "` | "
+                    << doubleText(kv.second) << " |\n";
+        }
+        out << "\n";
+    }
+
+    if (!snap.histograms.empty()) {
+        out << "## Histograms\n\n";
+        if (old_snap) {
+            out << "| histogram | old count | new count | old mean "
+                   "| new mean |\n";
+            out << "|---|---:|---:|---:|---:|\n";
+            for (const auto &kv : snap.histograms) {
+                auto it = old_snap->histograms.find(kv.first);
+                const HistogramSnapshot *oh =
+                    it == old_snap->histograms.end() ? nullptr
+                                                     : &it->second;
+                out << "| `" << kv.first << "` | "
+                    << (oh ? u64Text(oh->count) : std::string("-"))
+                    << " | " << u64Text(kv.second.count) << " | "
+                    << (oh ? doubleText(oh->mean())
+                           : std::string("-"))
+                    << " | " << doubleText(kv.second.mean())
+                    << " |\n";
+            }
+        } else {
+            out << "| histogram | count | mean | min | max |\n";
+            out << "|---|---:|---:|---:|---:|\n";
+            for (const auto &kv : snap.histograms) {
+                const HistogramSnapshot &h = kv.second;
+                out << "| `" << kv.first << "` | "
+                    << u64Text(h.count) << " | "
+                    << doubleText(h.mean()) << " | "
+                    << u64Text(h.min) << " | " << u64Text(h.max)
+                    << " |\n";
+            }
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace stems

@@ -1,0 +1,223 @@
+#include "obs/trace_span.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "common/mini_json.hh"
+
+namespace stems {
+
+namespace {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Bumped on every attach/detach; invalidates the thread-local
+ *  buffer caches so stale collector pointers are never used. */
+std::atomic<std::uint64_t> &
+generationCell()
+{
+    static std::atomic<std::uint64_t> cell{1};
+    return cell;
+}
+
+int
+processId()
+{
+#ifdef _WIN32
+    return _getpid();
+#else
+    return static_cast<int>(getpid());
+#endif
+}
+
+/** Microseconds with sub-µs precision, as Chrome's ts/dur expect. */
+std::string
+microsText(std::uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned>(ns % 1000));
+    return buf;
+}
+
+} // namespace
+
+std::atomic<SpanCollector *> &
+SpanCollector::activeCell()
+{
+    static std::atomic<SpanCollector *> cell{nullptr};
+    return cell;
+}
+
+SpanCollector::SpanCollector() : epochNs_(steadyNowNs()) {}
+
+SpanCollector::~SpanCollector()
+{
+    detach();
+}
+
+void
+SpanCollector::attach()
+{
+    generation_ =
+        generationCell().fetch_add(1, std::memory_order_relaxed) + 1;
+    activeCell().store(this, std::memory_order_release);
+}
+
+void
+SpanCollector::detach()
+{
+    SpanCollector *expected = this;
+    if (activeCell().compare_exchange_strong(
+            expected, nullptr, std::memory_order_acq_rel)) {
+        generationCell().fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+SpanCollector::nowNs() const
+{
+    return steadyNowNs() - epochNs_;
+}
+
+span_detail::ThreadBuffer &
+SpanCollector::threadBuffer()
+{
+    struct Cache
+    {
+        std::uint64_t generation = 0;
+        SpanCollector *owner = nullptr;
+        span_detail::ThreadBuffer *buffer = nullptr;
+    };
+    static thread_local Cache cache;
+    std::uint64_t generation =
+        generationCell().load(std::memory_order_relaxed);
+    if (cache.buffer && cache.owner == this &&
+        cache.generation == generation) {
+        return *cache.buffer;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_shared<span_detail::ThreadBuffer>();
+    buffer->tid = static_cast<int>(buffers_.size()) + 1;
+    buffers_.push_back(buffer);
+    cache.generation = generation;
+    cache.owner = this;
+    cache.buffer = buffer.get();
+    return *buffer;
+}
+
+std::size_t
+SpanCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+std::string
+SpanCollector::chromeJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int pid = processId();
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    bool first = true;
+    auto sep = [&]() -> std::ostringstream & {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        return out;
+    };
+    // Thread-name metadata first, so viewers label the rows.
+    for (const auto &buffer : buffers_) {
+        sep() << "{\"ph\": \"M\", \"pid\": " << pid
+              << ", \"tid\": " << buffer->tid
+              << ", \"name\": \"thread_name\", \"args\": "
+                 "{\"name\": \"thread-"
+              << buffer->tid << "\"}}";
+    }
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        for (const SpanEvent &ev : buffer->events) {
+            sep() << "{\"ph\": \"X\", \"pid\": " << pid
+                  << ", \"tid\": " << buffer->tid << ", \"ts\": "
+                  << microsText(ev.startNs) << ", \"dur\": "
+                  << microsText(ev.durNs) << ", \"name\": \""
+                  << jsonEscape(ev.name) << "\", \"cat\": \""
+                  << jsonEscape(ev.category) << "\"";
+            if (!ev.args.empty()) {
+                out << ", \"args\": {";
+                for (std::size_t i = 0; i < ev.args.size(); ++i) {
+                    if (i)
+                        out << ", ";
+                    out << "\"" << jsonEscape(ev.args[i].first)
+                        << "\": " << ev.args[i].second;
+                }
+                out << "}";
+            }
+            out << "}";
+        }
+    }
+    out << (first ? "]}\n" : "\n]}\n");
+    return out.str();
+}
+
+bool
+SpanCollector::writeChromeJson(const std::string &path,
+                               std::string *error) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot write '" + path + "'";
+        return false;
+    }
+    out << chromeJson();
+    out.flush();
+    if (!out) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+void
+ScopedSpan::arg(const char *key, std::uint64_t value)
+{
+    if (!collector_)
+        return;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    event_.args.emplace_back(key, buf);
+}
+
+void
+ScopedSpan::arg(const char *key, const std::string &value)
+{
+    if (!collector_)
+        return;
+    event_.args.emplace_back(key, "\"" + jsonEscape(value) + "\"");
+}
+
+} // namespace stems

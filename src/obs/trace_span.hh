@@ -1,0 +1,171 @@
+/**
+ * @file
+ * RAII scoped spans emitting Chrome trace-event JSON.
+ *
+ * A SpanCollector owns per-thread event buffers; while one is
+ * attached (made the process-wide active collector), every
+ * ScopedSpan records a complete event — name, category, start
+ * timestamp, duration, thread id, optional args — into its calling
+ * thread's buffer. The collector serializes them as Chrome
+ * trace-event JSON (`ph:"X"` complete events plus `M` thread-name
+ * metadata), which loads directly in Perfetto or chrome://tracing.
+ *
+ * Zero overhead when off: with no collector attached, constructing
+ * a ScopedSpan is a single relaxed atomic load and no clock read —
+ * the instrumentation can stay in the hot paths permanently. The
+ * sweep's stdout/--json output is bitwise identical either way;
+ * spans only ever write to the file the caller asks for.
+ *
+ * Threading contract: spans may be recorded from any thread (each
+ * thread appends to its own buffer; the buffer registry is mutex-
+ * protected and buffers outlive their threads). detach() and
+ * chromeJson()/writeChromeJson() must be called after the threads
+ * recording spans have finished their work — in this codebase,
+ * after ExperimentDriver::run returns and its pool has joined.
+ */
+
+#ifndef STEMS_OBS_TRACE_SPAN_HH
+#define STEMS_OBS_TRACE_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stems {
+
+/** One completed span, staged for JSON serialization. */
+struct SpanEvent
+{
+    const char *name;     ///< static string (span call sites)
+    const char *category; ///< static string; Chrome "cat" field
+    std::uint64_t startNs; ///< relative to collector creation
+    std::uint64_t durNs;
+    /** Args as (key, pre-rendered JSON value text) pairs. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+class SpanCollector;
+
+namespace span_detail {
+
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    int tid = 0;
+};
+
+} // namespace span_detail
+
+/**
+ * Collects span events from all threads and serializes them to
+ * Chrome trace-event JSON. Create one per observed run, attach() it
+ * for the duration, detach() after worker threads have joined, then
+ * write the file.
+ */
+class SpanCollector
+{
+  public:
+    SpanCollector();
+    ~SpanCollector();
+
+    SpanCollector(const SpanCollector &) = delete;
+    SpanCollector &operator=(const SpanCollector &) = delete;
+
+    /** Make this the process-wide active collector. */
+    void attach();
+
+    /** Stop collecting (idempotent; also run by the destructor). */
+    void detach();
+
+    /** The active collector, or nullptr (one relaxed load). */
+    static SpanCollector *
+    active()
+    {
+        return activeCell().load(std::memory_order_acquire);
+    }
+
+    /** Nanoseconds since this collector was created. */
+    std::uint64_t nowNs() const;
+
+    /** The calling thread's buffer (created and registered on
+     *  first use; cached thread-locally afterwards). */
+    span_detail::ThreadBuffer &threadBuffer();
+
+    /** Total recorded events across all threads. */
+    std::size_t eventCount() const;
+
+    /** Serialize everything recorded so far as a Chrome trace-event
+     *  JSON document. Deterministic given the recorded events. */
+    std::string chromeJson() const;
+
+    /** Write chromeJson() to `path`. */
+    bool writeChromeJson(const std::string &path,
+                         std::string *error = nullptr) const;
+
+  private:
+    static std::atomic<SpanCollector *> &activeCell();
+
+    mutable std::mutex mutex_;
+    std::vector<std::shared_ptr<span_detail::ThreadBuffer>>
+        buffers_;
+    std::uint64_t epochNs_ = 0; ///< steady-clock origin
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * RAII span: records [construction, destruction) as one complete
+ * event when a collector is attached; otherwise a no-op. `name` and
+ * `category` must be string literals (stored by pointer).
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name,
+                        const char *category = "stems")
+        : collector_(SpanCollector::active())
+    {
+        if (!collector_)
+            return;
+        event_.name = name;
+        event_.category = category;
+        event_.startNs = collector_->nowNs();
+    }
+
+    ~ScopedSpan()
+    {
+        if (!collector_)
+            return;
+        event_.durNs = collector_->nowNs() - event_.startNs;
+        auto &buffer = collector_->threadBuffer();
+        std::lock_guard<std::mutex> lock(buffer.mutex);
+        buffer.events.push_back(std::move(event_));
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    bool
+    active() const
+    {
+        return collector_ != nullptr;
+    }
+
+    /** Attach an integer arg (shown in the Perfetto args pane). */
+    void arg(const char *key, std::uint64_t value);
+
+    /** Attach a string arg. */
+    void arg(const char *key, const std::string &value);
+
+  private:
+    SpanCollector *collector_;
+    SpanEvent event_{};
+};
+
+} // namespace stems
+
+#endif // STEMS_OBS_TRACE_SPAN_HH

@@ -1,11 +1,41 @@
 #include "sim/batch_sim.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
+
 namespace stems {
+
+namespace {
+
+/** Registry instruments, resolved once (stable for process life). */
+struct BatchMetrics
+{
+    LatencyHistogram &chunkNs;
+    Counter &recordSteps;
+
+    BatchMetrics()
+        : chunkNs(
+              MetricsRegistry::instance().histogram("batch.chunk_ns")),
+          recordSteps(
+              MetricsRegistry::instance().counter("batch.record_steps"))
+    {
+    }
+};
+
+BatchMetrics &
+batchMetrics()
+{
+    static BatchMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 std::size_t
 BatchSimulator::addLane(const SimParams &params, Prefetcher *engine,
@@ -67,6 +97,7 @@ BatchSimulator::runLaneChunk(std::size_t lane_index,
     if (first + count <= lane.start)
         return; // whole chunk inside the resumed prefix
     std::size_t skip = lane.start > first ? lane.start - first : 0;
+    batchMetrics().recordSteps.add(count - skip);
     for (std::size_t i = skip; i < count; ++i) {
         std::size_t global = first + i;
         if (lane.nextBoundary < lane.boundaries.size() &&
@@ -85,16 +116,31 @@ void
 BatchSimulator::runChunk(const MemRecord *records, std::size_t first,
                          std::size_t count, unsigned jobs)
 {
+    ScopedSpan span("batch.chunk", "batch");
+    if (span.active()) {
+        span.arg("first", static_cast<std::uint64_t>(first));
+        span.arg("records", static_cast<std::uint64_t>(count));
+        span.arg("lanes",
+                 static_cast<std::uint64_t>(lanes_.size()));
+    }
+    const auto chunk_start = std::chrono::steady_clock::now();
     // Lane-major within the chunk: a lane's tables stay hot for the
     // whole chunk while the chunk's records are served from cache
     // for every lane after the first. (Record-major — all lanes per
     // record — reloads every lane's working set per record and is
     // measurably slower.)
+    const auto record_chunk_ns = [&chunk_start] {
+        batchMetrics().chunkNs.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - chunk_start)
+                .count()));
+    };
     std::size_t workers =
         std::min<std::size_t>(jobs, lanes_.size());
     if (workers <= 1) {
         for (std::size_t li = 0; li < lanes_.size(); ++li)
             runLaneChunk(li, records, first, count);
+        record_chunk_ns();
         return;
     }
 
@@ -128,6 +174,7 @@ BatchSimulator::runChunk(const MemRecord *records, std::size_t first,
         t.join();
     if (error)
         std::rethrow_exception(error);
+    record_chunk_ns();
 }
 
 void

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <iomanip>
 #include <map>
@@ -9,7 +12,10 @@
 #include <sstream>
 #include <thread>
 
+#include "common/log.hh"
 #include "common/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "prefetch/engine_registry.hh"
 #include "sim/batch_sim.hh"
 #include "sim/checkpoint.hh"
@@ -20,6 +26,48 @@
 namespace stems {
 
 namespace {
+
+/**
+ * Process-wide registry mirrors of the driver diagnostics. The
+ * per-driver counters stay authoritative for the accessor API
+ * (tests assert them per instance); these aggregate across drivers
+ * and feed metrics snapshots / run manifests.
+ */
+struct DriverMetrics
+{
+    Counter &traceGenerated;
+    Counter &cellBaseline, &cellEngine, &cellBatched, &cellResumed;
+    Counter &ckptSkippedRecords, &ckptWritten;
+    LatencyHistogram &engineNs, &baselineNs;
+
+    DriverMetrics()
+        : traceGenerated(
+              registry().counter("driver.trace.generated")),
+          cellBaseline(registry().counter("driver.cell.baseline")),
+          cellEngine(registry().counter("driver.cell.engine")),
+          cellBatched(registry().counter("driver.cell.batched")),
+          cellResumed(registry().counter("driver.cell.resumed")),
+          ckptSkippedRecords(
+              registry().counter("ckpt.resume.skipped_records")),
+          ckptWritten(registry().counter("ckpt.written")),
+          engineNs(registry().histogram("driver.cell.engine_ns")),
+          baselineNs(registry().histogram("driver.cell.baseline_ns"))
+    {
+    }
+
+    static MetricsRegistry &
+    registry()
+    {
+        return MetricsRegistry::instance();
+    }
+};
+
+DriverMetrics &
+driverMetrics()
+{
+    static DriverMetrics metrics;
+    return metrics;
+}
 
 /** Per-workload shard state shared by that workload's cells. */
 struct WorkloadShard
@@ -189,6 +237,7 @@ ExperimentDriver::materializeTrace(
         trace = workload.generate(config_.seed,
                                   config_.traceRecords);
         traceGenerations_.fetch_add(1);
+        driverMetrics().traceGenerated.add();
         if (auto info = store_->putTrace(key, trace)) {
             if (digest_out)
                 *digest_out = info->digest;
@@ -196,6 +245,7 @@ ExperimentDriver::materializeTrace(
         return trace;
     }
     traceGenerations_.fetch_add(1);
+    driverMetrics().traceGenerated.add();
     return workload.generate(config_.seed, config_.traceRecords);
 }
 
@@ -255,6 +305,10 @@ ExperimentDriver::runCells(
         spec_known[j] = registry.contains(engines[j].engine);
 
     // ---- schedule ----
+    // Phase spans end early (before the next phase), so they live
+    // behind unique_ptrs instead of plain RAII scopes.
+    auto schedule_span = std::make_unique<ScopedSpan>(
+        "driver.schedule", "driver");
     std::vector<std::unique_ptr<WorkloadShard>> shards;
     std::vector<Cell> cells;
     shards.reserve(workloads.size());
@@ -389,6 +443,14 @@ ExperimentDriver::runCells(
         shard->remainingCells.store(count);
         shards.push_back(std::move(shard));
     }
+    if (schedule_span->active()) {
+        schedule_span->arg(
+            "cells", static_cast<std::uint64_t>(cells.size()));
+        schedule_span->arg(
+            "workloads",
+            static_cast<std::uint64_t>(shards.size()));
+    }
+    schedule_span.reset();
 
     // ---- execute ----
     SimParams sim_params;
@@ -429,6 +491,9 @@ ExperimentDriver::runCells(
 
     auto materialize_shard = [&](WorkloadShard &shard) {
         std::call_once(shard.traceOnce, [&] {
+            ScopedSpan span("trace.materialize", "driver");
+            if (span.active())
+                span.arg("workload", shard.workload->name());
             if (shard.storeEligible) {
                 std::optional<std::uint64_t> digest;
                 shard.trace =
@@ -441,6 +506,7 @@ ExperimentDriver::runCells(
                 shard.trace = shard.workload->generate(
                     config_.seed, config_.traceRecords);
                 traceGenerations_.fetch_add(1);
+                driverMetrics().traceGenerated.add();
             }
             shard.traceSize = shard.trace.size();
             shard.warmup = effectiveWarmupRecords(
@@ -568,6 +634,14 @@ ExperimentDriver::runCells(
     auto execute_cells = [&](WorkloadShard &shard,
                              const std::vector<Cell> &group,
                              unsigned lane_jobs) {
+        ScopedSpan span("cells.execute", "driver");
+        if (span.active()) {
+            span.arg("workload", shard.workload->name());
+            span.arg("lanes",
+                     static_cast<std::uint64_t>(group.size()));
+            span.arg("lane_jobs",
+                     static_cast<std::uint64_t>(lane_jobs));
+        }
         BatchSimulator sim;
         std::vector<std::unique_ptr<Prefetcher>> lane_engines;
         std::vector<std::uint64_t> lane_spec(group.size(), 0);
@@ -590,6 +664,7 @@ ExperimentDriver::runCells(
                     shard.ckptBoundPrefixes[b];
 
             for (std::size_t k = 0; k < group.size(); ++k) {
+                ScopedSpan resume_span("ckpt.resume", "ckpt");
                 lane_spec[k] = cell_ckpt_spec(group[k], shard);
 
                 // Resume: candidate indices come from the store's
@@ -649,10 +724,19 @@ ExperimentDriver::runCells(
                         make_cell_engine(group[k], shard);
                     sim.rebuildLane(k, lane_engines[k].get());
                 }
+                if (resume_span.active()) {
+                    resume_span.arg("engine",
+                                    cell_label(group[k]));
+                    resume_span.arg(
+                        "resume_index",
+                        static_cast<std::uint64_t>(resume));
+                }
                 if (resume > 0) {
                     sim.setLaneStart(k, resume);
                     resumedRuns_.fetch_add(1);
                     resumedRecordsSkipped_.fetch_add(resume);
+                    driverMetrics().cellResumed.add();
+                    driverMetrics().ckptSkippedRecords.add(resume);
                 }
                 std::vector<std::size_t> lane_bounds;
                 for (std::size_t b : shard.ckptBounds)
@@ -667,6 +751,15 @@ ExperimentDriver::runCells(
                     // May run concurrently from lane worker
                     // threads: only the thread-safe store and
                     // atomics below.
+                    ScopedSpan write_span("ckpt.write", "ckpt");
+                    if (write_span.active()) {
+                        write_span.arg(
+                            "lane",
+                            static_cast<std::uint64_t>(lane));
+                        write_span.arg(
+                            "index",
+                            static_cast<std::uint64_t>(index));
+                    }
                     auto pos =
                         std::lower_bound(shard.ckptBounds.begin(),
                                          shard.ckptBounds.end(),
@@ -685,27 +778,106 @@ ExperimentDriver::runCells(
                             index, shard.warmup),
                         encodeCheckpoint(lane_sim, index), meta);
                     checkpointsWritten_.fetch_add(1);
+                    driverMetrics().ckptWritten.add();
                 });
         }
 
+        bool has_engine_cell = false;
+        for (const Cell &cell : group)
+            if (cell.kind == Cell::kEngine)
+                has_engine_cell = true;
+        const auto pass_start = std::chrono::steady_clock::now();
         sim.run(shard.trace, lane_jobs);
+        // One sample per executed pass: a single cell unbatched, a
+        // whole workload's lanes batched. Engine passes and pure
+        // baseline/stride passes land in separate histograms.
+        const auto pass_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - pass_start)
+                .count());
+        (has_engine_cell ? driverMetrics().engineNs
+                         : driverMetrics().baselineNs)
+            .record(pass_ns);
         for (std::size_t k = 0; k < group.size(); ++k)
             collect_cell(group[k], shard, sim.stats(k),
                          lane_engines[k].get());
     };
 
+    // Progress accounting for the heartbeat: scheduled cells that
+    // have finished executing (warm cells never appear — they were
+    // merged from the store at schedule time).
+    std::atomic<std::size_t> cells_done{0};
+
     auto run_cell = [&](std::size_t index) {
         const Cell &cell = cells[index];
         WorkloadShard &shard = *shards[cell.shard];
+        ScopedSpan span("driver.cell", "driver");
+        if (span.active()) {
+            span.arg("workload", shard.workload->name());
+            span.arg("cell", cell_label(cell));
+        }
         materialize_shard(shard);
 
         execute_cells(shard, {cell}, 1);
+        cells_done.fetch_add(1, std::memory_order_relaxed);
 
         if (shard.remainingCells.fetch_sub(1) == 1) {
             // Last cell of this workload: release the trace early so
             // peak memory tracks in-flight workloads, not the suite.
             Trace().swap(shard.trace);
         }
+    };
+
+    // ---- heartbeat (opt-in; stderr only) ----
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::thread hb_thread;
+    if (heartbeatSeconds_ > 0 && !cells.empty()) {
+        hb_thread = std::thread([&, total = cells.size()] {
+            Counter &steps = MetricsRegistry::instance().counter(
+                "batch.record_steps");
+            std::uint64_t last_steps = steps.value();
+            auto last_time = std::chrono::steady_clock::now();
+            std::unique_lock<std::mutex> lock(hb_mutex);
+            for (;;) {
+                if (hb_cv.wait_for(
+                        lock,
+                        std::chrono::duration<double>(
+                            heartbeatSeconds_),
+                        [&] { return hb_stop; }))
+                    return;
+                auto now = std::chrono::steady_clock::now();
+                std::uint64_t cur = steps.value();
+                double secs =
+                    std::chrono::duration<double>(now - last_time)
+                        .count();
+                double rate =
+                    secs > 0 ? static_cast<double>(cur - last_steps) /
+                                   secs
+                             : 0.0;
+                char line[128];
+                std::snprintf(
+                    line, sizeof(line),
+                    "sweep progress: %zu/%zu cells, "
+                    "%.2fM record-steps/s",
+                    cells_done.load(std::memory_order_relaxed),
+                    total, rate / 1e6);
+                logInfo(line);
+                last_steps = cur;
+                last_time = now;
+            }
+        });
+    }
+    auto stop_heartbeat = [&] {
+        if (!hb_thread.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        hb_thread.join();
     };
 
     // Batched: all of a workload's schedulable cells become one task
@@ -736,24 +908,47 @@ ExperimentDriver::runCells(
             WorkloadShard &shard = *shards[batch_shards[task]];
             const std::vector<Cell> &batch =
                 shard_cells[batch_shards[task]];
+            ScopedSpan span("driver.batch", "driver");
+            if (span.active()) {
+                span.arg("workload", shard.workload->name());
+                span.arg("cells",
+                         static_cast<std::uint64_t>(batch.size()));
+            }
             materialize_shard(shard);
             execute_cells(shard, batch, lane_jobs);
+            cells_done.fetch_add(batch.size(),
+                                 std::memory_order_relaxed);
             // The task owns all of this workload's cells: release
             // the trace as soon as its single pass completes.
             Trace().swap(shard.trace);
         };
-        dispatch(batch_shards.size(), run_batch);
+        try {
+            dispatch(batch_shards.size(), run_batch);
+        } catch (...) {
+            stop_heartbeat();
+            throw;
+        }
     } else {
-        dispatch(cells.size(), run_cell);
+        try {
+            dispatch(cells.size(), run_cell);
+        } catch (...) {
+            stop_heartbeat();
+            throw;
+        }
     }
+    stop_heartbeat();
 
     // ---- update the baseline caches (in-memory, then store) ----
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         baselineRuns_ += baseline_cells;
         engineRuns_ += engine_cells;
-        if (batching_)
+        driverMetrics().cellBaseline.add(baseline_cells);
+        driverMetrics().cellEngine.add(engine_cells);
+        if (batching_) {
             batchedRuns_ += cells.size();
+            driverMetrics().cellBatched.add(cells.size());
+        }
         for (const auto &shard : shards) {
             if (!cacheable ||
                 (!shard->needBaseline && !shard->needStride))
@@ -768,6 +963,8 @@ ExperimentDriver::runCells(
             }
         }
     }
+    auto persist_span =
+        std::make_unique<ScopedSpan>("driver.persist", "driver");
     bool store_wrote = false;
     if (store_) {
         for (const auto &shard : shards) {
@@ -786,8 +983,11 @@ ExperimentDriver::runCells(
                                 sb);
         }
     }
+    persist_span.reset();
 
     // ---- merge, in fixed (workload, engine) order ----
+    auto merge_span =
+        std::make_unique<ScopedSpan>("driver.merge", "driver");
     std::vector<WorkloadResult> results;
     results.reserve(shards.size());
     for (const auto &shard : shards) {
@@ -844,6 +1044,7 @@ ExperimentDriver::runCells(
         }
         results.push_back(std::move(r));
     }
+    merge_span.reset();
     if (store_wrote) {
         // One budget pass for the whole sweep's baseline/result
         // writes (putTrace already self-enforces per trace).

@@ -227,6 +227,22 @@ class ExperimentDriver
     /** Configured checkpoint interval (0 = off). */
     std::size_t checkpointEvery() const { return checkpointEvery_; }
 
+    /**
+     * Progress heartbeats for long sweeps: while a sweep's dispatch
+     * is in flight, a monitor thread logs one line every `seconds` —
+     * cells done/total and the record-step rate since the previous
+     * beat — to stderr (via logInfo). 0 (the default) disables.
+     * Purely observational: heartbeats never touch stdout, and
+     * results are bitwise identical with them on or off.
+     */
+    void setHeartbeatSeconds(double seconds)
+    {
+        heartbeatSeconds_ = seconds < 0 ? 0.0 : seconds;
+    }
+
+    /** Configured heartbeat interval (0 = off). */
+    double heartbeatSeconds() const { return heartbeatSeconds_; }
+
     /** Baseline simulations actually executed (cache diagnostics). */
     std::uint64_t baselineRuns() const { return baselineRuns_; }
 
@@ -330,6 +346,7 @@ class ExperimentDriver
     bool batching_ = true;
     unsigned segments_ = 1;
     std::size_t checkpointEvery_ = 0;
+    double heartbeatSeconds_ = 0.0;
     std::atomic<std::uint64_t> traceGenerations_{0};
     std::atomic<std::uint64_t> resumedRuns_{0};
     std::atomic<std::uint64_t> resumedRecordsSkipped_{0};

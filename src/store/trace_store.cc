@@ -17,6 +17,8 @@
 #include <unistd.h>
 
 #include "common/crc32.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "sim/checkpoint.hh"
 #include "trace/trace_io.hh"
 
@@ -25,6 +27,46 @@ namespace fs = std::filesystem;
 namespace stems {
 
 namespace {
+
+/**
+ * Process-wide mirrors of the per-instance hit/miss counters.
+ * Per-instance counters stay authoritative for each store's own
+ * diagnostics (tests assert them per instance); the registry copies
+ * aggregate across every store in the process and feed the metrics
+ * snapshot / run manifest.
+ */
+struct StoreMetrics
+{
+    Counter &traceHit, &traceMiss;
+    Counter &baselineHit, &baselineMiss;
+    Counter &resultHit, &resultMiss;
+    Counter &ckptHit, &ckptMiss;
+
+    StoreMetrics()
+        : traceHit(registry().counter("store.trace.hit")),
+          traceMiss(registry().counter("store.trace.miss")),
+          baselineHit(registry().counter("store.baseline.hit")),
+          baselineMiss(registry().counter("store.baseline.miss")),
+          resultHit(registry().counter("store.result.hit")),
+          resultMiss(registry().counter("store.result.miss")),
+          ckptHit(registry().counter("store.ckpt.hit")),
+          ckptMiss(registry().counter("store.ckpt.miss"))
+    {
+    }
+
+    static MetricsRegistry &
+    registry()
+    {
+        return MetricsRegistry::instance();
+    }
+};
+
+StoreMetrics &
+storeMetrics()
+{
+    static StoreMetrics metrics;
+    return metrics;
+}
 
 constexpr char kTraceSubdir[] = "traces";
 constexpr char kBaselineSubdir[] = "baselines";
@@ -387,14 +429,19 @@ TraceStore::findTrace(const TraceKey &key)
 std::unique_ptr<TraceSource>
 TraceStore::openTrace(const TraceKey &key)
 {
+    ScopedSpan span("store.trace.get", "store");
+    if (span.active())
+        span.arg("workload", key.workload);
     if (!usable_) {
         ++traceMisses_;
+        storeMetrics().traceMiss.add();
         return nullptr;
     }
     std::string path = tracePath(key, /*meta=*/false);
     auto src = MmapTraceSource::open(path);
     if (!src) {
         ++traceMisses_;
+        storeMetrics().traceMiss.add();
         if (findTrace(key)) {
             // Entry exists but its payload is unreadable/corrupt:
             // drop it so the caller's regeneration can replace it.
@@ -403,6 +450,7 @@ TraceStore::openTrace(const TraceKey &key)
         return nullptr;
     }
     ++traceHits_;
+    storeMetrics().traceHit.add();
     touch(path);
     return src;
 }
@@ -433,6 +481,9 @@ TraceStore::dropTraceEntry(const TraceKey &key)
 std::optional<TraceEntryInfo>
 TraceStore::putTrace(const TraceKey &key, const Trace &trace)
 {
+    ScopedSpan span("store.trace.put", "store");
+    if (span.active())
+        span.arg("workload", key.workload);
     if (!usable_)
         return std::nullopt;
     std::vector<std::uint8_t> bytes = encodeTraceV2(trace);
@@ -471,14 +522,17 @@ std::optional<StoredBaseline>
 TraceStore::loadBaseline(std::uint64_t trace_digest,
                          std::uint64_t config_digest)
 {
+    ScopedSpan span("store.baseline.get", "store");
     if (!usable_) {
         ++baselineMisses_;
+        storeMetrics().baselineMiss.add();
         return std::nullopt;
     }
     std::string path = baselinePath(trace_digest, config_digest);
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f) {
         ++baselineMisses_;
+        storeMetrics().baselineMiss.add();
         return std::nullopt;
     }
     PackedBaseline p;
@@ -492,11 +546,13 @@ TraceStore::loadBaseline(std::uint64_t trace_digest,
         p.version != kBaselineVersion ||
         crc32(&p, sizeof(p)) != stored_crc) {
         ++baselineMisses_;
+        storeMetrics().baselineMiss.add();
         std::error_code ec;
         fs::remove(path, ec); // corrupt: drop so it gets recomputed
         return std::nullopt;
     }
     ++baselineHits_;
+    storeMetrics().baselineHit.add();
     touch(path);
     StoredBaseline b;
     b.misses = p.misses;
@@ -513,6 +569,7 @@ TraceStore::putBaseline(std::uint64_t trace_digest,
                         std::uint64_t config_digest,
                         const StoredBaseline &baseline)
 {
+    ScopedSpan span("store.baseline.put", "store");
     if (!usable_)
         return false;
     PackedBaseline p;
@@ -540,8 +597,10 @@ TraceStore::loadResult(std::uint64_t trace_digest,
                        std::uint64_t spec_digest,
                        std::uint64_t config_digest)
 {
+    ScopedSpan span("store.result.get", "store");
     if (!usable_) {
         ++resultMisses_;
+        storeMetrics().resultMiss.add();
         return std::nullopt;
     }
     std::string path = resultPath(trace_digest, spec_digest,
@@ -549,6 +608,7 @@ TraceStore::loadResult(std::uint64_t trace_digest,
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         ++resultMisses_;
+        storeMetrics().resultMiss.add();
         return std::nullopt;
     }
     std::vector<std::uint8_t> bytes(
@@ -559,6 +619,7 @@ TraceStore::loadResult(std::uint64_t trace_digest,
         // Corrupt/truncated entry: drop both files so the caller's
         // re-simulation replaces the pair.
         ++resultMisses_;
+        storeMetrics().resultMiss.add();
         std::error_code ec;
         fs::remove(path, ec);
         fs::remove(resultPath(trace_digest, spec_digest,
@@ -567,6 +628,7 @@ TraceStore::loadResult(std::uint64_t trace_digest,
         return std::nullopt;
     }
     ++resultHits_;
+    storeMetrics().resultHit.add();
     touch(path);
     return result;
 }
@@ -578,6 +640,11 @@ TraceStore::putResult(std::uint64_t trace_digest,
                       const StoredEngineResult &result,
                       const StoredResultMeta &meta)
 {
+    ScopedSpan span("store.result.put", "store");
+    if (span.active()) {
+        span.arg("workload", meta.workload);
+        span.arg("engine", meta.engine);
+    }
     if (!usable_)
         return false;
     std::vector<std::uint8_t> bytes = encodeResult(result);
@@ -628,6 +695,13 @@ TraceStore::putCheckpoint(std::uint64_t spec_digest,
                           const std::vector<std::uint8_t> &blob,
                           const StoredCheckpointMeta &meta)
 {
+    ScopedSpan span("store.ckpt.put", "store");
+    if (span.active()) {
+        span.arg("workload", meta.workload);
+        span.arg("engine", meta.engine);
+        span.arg("index", static_cast<std::uint64_t>(meta.index));
+        span.arg("bytes", static_cast<std::uint64_t>(blob.size()));
+    }
     if (!usable_)
         return false;
 
@@ -670,8 +744,12 @@ TraceStore::loadCheckpoint(std::uint64_t spec_digest,
                            std::uint64_t record_index,
                            std::uint64_t state_digest)
 {
+    ScopedSpan span("store.ckpt.get", "store");
+    if (span.active())
+        span.arg("index", record_index);
     if (!usable_) {
         ++checkpointMisses_;
+        storeMetrics().ckptMiss.add();
         return std::nullopt;
     }
     std::string path = checkpointPath(spec_digest, config_digest,
@@ -680,6 +758,7 @@ TraceStore::loadCheckpoint(std::uint64_t spec_digest,
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         ++checkpointMisses_;
+        storeMetrics().ckptMiss.add();
         return std::nullopt;
     }
     std::vector<std::uint8_t> blob(
@@ -691,6 +770,7 @@ TraceStore::loadCheckpoint(std::uint64_t spec_digest,
         // Corrupt/truncated/mis-keyed: drop the pair so the caller's
         // cold run rewrites it.
         ++checkpointMisses_;
+        storeMetrics().ckptMiss.add();
         std::error_code ec;
         fs::remove(path, ec);
         fs::remove(checkpointPath(spec_digest, config_digest,
@@ -699,6 +779,7 @@ TraceStore::loadCheckpoint(std::uint64_t spec_digest,
         return std::nullopt;
     }
     ++checkpointHits_;
+    storeMetrics().ckptHit.add();
     touch(path);
     return blob;
 }

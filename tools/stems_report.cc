@@ -29,6 +29,14 @@
  *     --fail-on-regression exits 2 when any component's ops/sec
  *     fell below old * (1 - tolerance); the CI perf gates use
  *     tolerance 0.15.
+ *
+ *   stems_report metrics <metrics.json> [<old-metrics.json>]
+ *       [-o FILE]
+ *     Renders a stems-metrics-v1 snapshot (written by the bench
+ *     --metrics-out flag and `stems_trace run --metrics-out`) as
+ *     markdown: counters, gauges and latency-histogram summaries.
+ *     With a second file, the first is treated as the newer
+ *     snapshot and a delta column is added.
  */
 
 #include <algorithm>
@@ -40,6 +48,7 @@
 #include <string>
 
 #include "analysis/report.hh"
+#include "obs/metrics.hh"
 #include "store/trace_store.hh"
 
 using namespace stems;
@@ -59,6 +68,8 @@ usage()
         "      [--format md|csv] [-o FILE]\n"
         "  stems_report bench <old.json> <new.json>\n"
         "      [--tolerance F] [-o FILE] [--fail-on-regression]\n"
+        "  stems_report metrics <metrics.json> "
+        "[<old-metrics.json>] [-o FILE]\n"
         "\n"
         "  --format md|csv      output format (default: md)\n"
         "  --threshold F        |delta| <= F does not count as a\n"
@@ -288,6 +299,29 @@ cmdBench(const Args &args)
 }
 
 int
+cmdMetrics(const Args &args)
+{
+    if (args.positional.empty() || args.positional.size() > 2)
+        return usage();
+    MetricsSnapshot snap;
+    std::string error;
+    if (!loadMetricsJson(args.positional[0], snap, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    MetricsSnapshot old_snap;
+    bool have_old = args.positional.size() == 2;
+    if (have_old &&
+        !loadMetricsJson(args.positional[1], old_snap, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    return emit(renderMetricsMarkdown(
+                    snap, have_old ? &old_snap : nullptr),
+                args.outPath);
+}
+
+int
 cmdHistory(const Args &args)
 {
     if (!args.positional.empty())
@@ -360,5 +394,7 @@ main(int argc, char **argv)
         return cmdHistory(args);
     if (std::strcmp(argv[1], "bench") == 0)
         return cmdBench(args);
+    if (std::strcmp(argv[1], "metrics") == 0)
+        return cmdMetrics(args);
     return usage();
 }

@@ -10,6 +10,8 @@
  *       Run the Figure 6/8 characterization analyses on a trace.
  *   stems_trace run <trace.trc> <engines> [--jobs N] [--timing]
  *                   [--store DIR] [--batch|--no-batch]
+ *                   [--metrics-out F] [--trace-out F]
+ *                   [--manifest-out F]
  *       Run prefetch engines (comma-separated registry names) over a
  *       trace through the parallel ExperimentDriver and report
  *       coverage and accuracy. By default all cells advance together
@@ -41,6 +43,9 @@
 
 #include "analysis/correlation.hh"
 #include "analysis/coverage.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "sim/driver.hh"
 #include "store/trace_store.hh"
 #include "trace/text_trace.hh"
@@ -64,6 +69,8 @@ usage()
         "  stems_trace analyze <trace.trc>\n"
         "  stems_trace run <trace.trc> <engine[,engine...]> "
         "[--jobs N] [--timing] [--store DIR] [--batch|--no-batch]\n"
+        "              [--metrics-out F] [--trace-out F] "
+        "[--manifest-out F]\n"
         "  stems_trace import <in.txt> <out.trc> [--store DIR] "
         "[--name NAME]\n"
         "  stems_trace export <trace.trc> <out.txt>\n"
@@ -79,6 +86,9 @@ struct ArgScanner
     std::vector<std::string> positional;
     std::string storeDir;
     std::string name;
+    std::string metricsOut;
+    std::string traceOut;
+    std::string manifestOut;
     unsigned jobs = 1;
     bool timing = false;
     bool batch = true;
@@ -103,6 +113,12 @@ struct ArgScanner
                 storeDir = value();
             } else if (arg == "--name") {
                 name = value();
+            } else if (arg == "--metrics-out") {
+                metricsOut = value();
+            } else if (arg == "--trace-out") {
+                traceOut = value();
+            } else if (arg == "--manifest-out") {
+                manifestOut = value();
             } else if (arg == "--jobs" || arg == "-j") {
                 jobs = static_cast<unsigned>(
                     std::strtoul(value(), nullptr, 10));
@@ -314,8 +330,68 @@ cmdRun(int argc, char **argv)
                          args.storeDir.c_str());
         }
     }
+    // Observability sinks: attach the span collector only when a
+    // trace file was requested; metrics/manifest snapshot after the
+    // run. Stdout stays identical with or without any sink.
+    SpanCollector collector;
+    if (!args.traceOut.empty())
+        collector.attach();
+    const std::uint64_t run_start = collector.nowNs();
+
     WorkloadResult r =
         driver.runWorkload(workload, engineSpecs(engines), digest);
+
+    const std::uint64_t run_ns = collector.nowNs() - run_start;
+    collector.detach();
+    if (!args.traceOut.empty()) {
+        std::string error;
+        if (!collector.writeChromeJson(args.traceOut, &error)) {
+            std::fprintf(stderr, "failed to write %s: %s\n",
+                         args.traceOut.c_str(), error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[obs] wrote trace %s (%zu events)\n",
+                     args.traceOut.c_str(), collector.eventCount());
+    }
+    if (!args.metricsOut.empty() || !args.manifestOut.empty()) {
+        MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+        std::string error;
+        if (!args.metricsOut.empty()) {
+            if (!writeMetricsJson(args.metricsOut, snap, &error)) {
+                std::fprintf(stderr, "failed to write %s: %s\n",
+                             args.metricsOut.c_str(), error.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "[obs] wrote metrics %s\n",
+                         args.metricsOut.c_str());
+        }
+        if (!args.manifestOut.empty()) {
+            RunManifest manifest;
+            manifest.tool = "stems_trace run";
+            manifest.host = hostNote();
+            manifest.config = {
+                {"trace", args.positional[0]},
+                {"engines", args.positional[1]},
+                {"jobs", std::to_string(args.jobs)},
+                {"timing", args.timing ? "true" : "false"},
+                {"batch", args.batch ? "true" : "false"},
+                {"store", args.storeDir.empty() ? "(none)"
+                                                : args.storeDir},
+            };
+            manifest.phaseNs = {{"run", run_ns}};
+            manifest.wallNs = run_ns;
+            manifest.metrics = std::move(snap);
+            if (!writeRunManifestJson(args.manifestOut, manifest,
+                                      &error)) {
+                std::fprintf(stderr, "failed to write %s: %s\n",
+                             args.manifestOut.c_str(),
+                             error.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "[obs] wrote manifest %s\n",
+                         args.manifestOut.c_str());
+        }
+    }
 
     std::printf("trace %s: %llu baseline off-chip read misses\n\n",
                 workload.name().c_str(),
