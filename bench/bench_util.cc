@@ -74,6 +74,10 @@ usage(const char *argv0, int status)
         "                     checkpoint every N records instead of\n"
         "                     at relative segment cuts (stable\n"
         "                     boundaries across --records values)\n"
+        "  --speculate        speculative segment-parallel cold\n"
+        "                     execution from stored checkpoints,\n"
+        "                     validated at every boundary (needs\n"
+        "                     --store; same results, bitwise)\n"
         "  --warmup-records N warm up exactly N records instead of\n"
         "                     50%% of the trace (keeps prefixes\n"
         "                     comparable across --records values)\n"
@@ -176,6 +180,8 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
         } else if (arg == "--checkpoint-every") {
             options.checkpointEvery = static_cast<std::size_t>(
                 numberArg(argv[0], "--checkpoint-every", value()));
+        } else if (arg == "--speculate") {
+            options.speculate = true;
         } else if (arg == "--warmup-records") {
             options.warmupRecords = static_cast<std::size_t>(
                 numberArg(argv[0], "--warmup-records", value()));
@@ -217,11 +223,12 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
             options.storeDir = env;
     }
 
-    if ((options.segments > 1 || options.checkpointEvery > 0) &&
+    if ((options.segments > 1 || options.checkpointEvery > 0 ||
+         options.speculate) &&
         options.storeDir.empty()) {
         std::fprintf(stderr,
-                     "%s: --segments/--checkpoint-every need a "
-                     "--store to keep checkpoints in\n",
+                     "%s: --segments/--checkpoint-every/--speculate "
+                     "need a --store to keep checkpoints in\n",
                      argv[0]);
         std::exit(1);
     }
@@ -374,6 +381,7 @@ configureBenchDriver(ExperimentDriver &driver,
     driver.setBatching(options.batch);
     driver.setSegments(options.segments);
     driver.setCheckpointEvery(options.checkpointEvery);
+    driver.setSpeculate(options.speculate);
     driver.setHeartbeatSeconds(options.progressSeconds);
     if (options.storeDir.empty())
         return;
@@ -427,7 +435,9 @@ storeStatsLine(const MetricsSnapshot &snap)
         "baselineSims=%llu baselineHits=%llu "
         "engineSims=%llu resultHits=%llu resultMisses=%llu "
         "batchedSims=%llu resumedSims=%llu "
-        "skippedRecords=%llu checkpointsWritten=%llu",
+        "skippedRecords=%llu checkpointsWritten=%llu "
+        "speculativeSims=%llu specCommits=%llu "
+        "specMispredicts=%llu",
         counter("driver.trace.generated"),
         counter("store.trace.hit"),
         counter("driver.cell.baseline"),
@@ -438,7 +448,10 @@ storeStatsLine(const MetricsSnapshot &snap)
         counter("driver.cell.batched"),
         counter("driver.cell.resumed"),
         counter("ckpt.resume.skipped_records"),
-        counter("ckpt.written"));
+        counter("ckpt.written"),
+        counter("driver.cell.speculative"),
+        counter("ckpt.speculate.commit"),
+        counter("ckpt.speculate.mispredict"));
     return line;
 }
 
@@ -535,6 +548,7 @@ BenchObsSession::finish()
         add("segments", std::to_string(options_.segments));
         add("checkpoint_every",
             std::to_string(options_.checkpointEvery));
+        add("speculate", options_.speculate ? "1" : "0");
         add("warmup_records",
             std::to_string(options_.warmupRecords));
         manifest.phaseNs = phases_;

@@ -2,6 +2,10 @@
 
 #include "common/state_codec.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace stems {
 
 RegionMissOrderBuffer::RegionMissOrderBuffer(std::size_t entries)
@@ -57,8 +61,14 @@ RegionMissOrderBuffer::saveState(StateWriter &w) const
         sw.u32(e.pc16);
         sw.u8(e.delta);
     });
-    w.u64(index_.size());
-    for (const auto &kv : index_) {
+    // Key-sorted: blob bytes must depend only on logical state so
+    // speculative boundary validation can byte-compare checkpoints.
+    std::vector<std::pair<Addr, Position>> entries(index_.begin(),
+                                                   index_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.u64(entries.size());
+    for (const auto &kv : entries) {
         w.u64(kv.first);
         w.u64(kv.second);
     }

@@ -290,8 +290,12 @@ StemsPrefetcher::loadState(StateReader &r)
 namespace stems {
 namespace {
 
+// Bump when STeMS's serialized state or behaviour changes; folded
+// into spec digests so old stored results/checkpoints are orphaned.
+constexpr std::uint32_t kEngineStateVersion = 1;
+
 const EngineRegistrar registerStems(
-    "stems", 30,
+    "stems", 30, kEngineStateVersion,
     [](const SystemConfig &sys, const EngineOptions &opt) {
         StemsParams p = sys.stems;
         if (opt.scientific)

@@ -29,6 +29,8 @@ describeEngineSpec(const std::string &name,
 {
     std::ostringstream os;
     os << "engine=" << name << '\n'
+       << "stateVersion="
+       << EngineRegistry::instance().stateVersion(name) << '\n'
        << "scientific=" << (options.scientific ? 1 : 0) << '\n';
     describeField(os, "lookahead", options.lookahead);
     describeField(os, "bufferEntries", options.bufferEntries);
@@ -48,12 +50,35 @@ EngineRegistry::instance()
 }
 
 bool
-EngineRegistry::add(std::string name, int rank, EngineFactory factory)
+EngineRegistry::add(std::string name, int rank,
+                    std::uint32_t state_version, EngineFactory factory)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_
-        .emplace(std::move(name), Entry{rank, std::move(factory)})
+        .emplace(std::move(name),
+                 Entry{rank, state_version, std::move(factory)})
         .second;
+}
+
+std::uint32_t
+EngineRegistry::stateVersion(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.stateVersion;
+}
+
+std::uint32_t
+EngineRegistry::setStateVersion(const std::string &name,
+                                std::uint32_t version)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return 0;
+    std::uint32_t previous = it->second.stateVersion;
+    it->second.stateVersion = version;
+    return previous;
 }
 
 std::unique_ptr<Prefetcher>

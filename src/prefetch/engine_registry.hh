@@ -17,6 +17,7 @@
 #ifndef STEMS_PREFETCH_ENGINE_REGISTRY_HH
 #define STEMS_PREFETCH_ENGINE_REGISTRY_HH
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -61,10 +62,12 @@ using EngineFactory = std::function<std::unique_ptr<Prefetcher>(
  * Stable, human-readable description of an engine instantiation:
  * the registered name plus every EngineOptions field (unset fields
  * included explicitly, so adding a field changes every description)
- * and an optional probe identity. Two instantiations behave
+ * and an optional probe identity, plus the engine's registered
+ * state version (see EngineRegistry::add). Two instantiations behave
  * identically iff their descriptions (plus the SystemConfig) match,
  * which makes a digest of this string the persistent-cache key for
- * engine results (store/trace_store.hh).
+ * engine results and checkpoints (store/trace_store.hh) — and makes
+ * a state-version bump orphan everything stored under the old code.
  */
 std::string describeEngineSpec(const std::string &name,
                                const EngineOptions &options,
@@ -86,9 +89,30 @@ class EngineRegistry
      * @param rank  enumeration position; names() lists ascending
      *              (rank, name). Builtins use 0-99; use >= 100 for
      *              extensions so the canonical order stays stable.
+     * @param state_version  the engine's kEngineStateVersion: bump it
+     *              whenever a code change alters the engine's
+     *              serialized state or simulated behaviour. It is
+     *              folded into describeEngineSpec(), so a bump
+     *              orphans every stored result and checkpoint keyed
+     *              under the old behaviour instead of resuming from
+     *              stale state.
      * @return false (and no change) when the name is already taken.
      */
-    bool add(std::string name, int rank, EngineFactory factory);
+    bool add(std::string name, int rank, std::uint32_t state_version,
+             EngineFactory factory);
+
+    /**
+     * The registered state version for a name; 0 when unknown.
+     */
+    std::uint32_t stateVersion(const std::string &name) const;
+
+    /**
+     * Test hook: override a registered engine's state version (used
+     * to prove that a version bump orphans stored checkpoints).
+     * No-op when the name is unknown. @return the previous version.
+     */
+    std::uint32_t setStateVersion(const std::string &name,
+                                  std::uint32_t version);
 
     /** Instantiate an engine; null when the name is unknown. */
     std::unique_ptr<Prefetcher>
@@ -107,6 +131,7 @@ class EngineRegistry
     struct Entry
     {
         int rank = 0;
+        std::uint32_t stateVersion = 0;
         EngineFactory factory;
     };
 
@@ -117,9 +142,10 @@ class EngineRegistry
 /** Static-init helper: registers a factory at load time. */
 struct EngineRegistrar
 {
-    EngineRegistrar(const char *name, int rank, EngineFactory factory)
+    EngineRegistrar(const char *name, int rank,
+                    std::uint32_t state_version, EngineFactory factory)
     {
-        EngineRegistry::instance().add(name, rank,
+        EngineRegistry::instance().add(name, rank, state_version,
                                        std::move(factory));
     }
 };

@@ -93,8 +93,12 @@ NaiveHybridPrefetcher::loadState(StateReader &r)
 namespace stems {
 namespace {
 
+// Bump when the hybrid's serialized state or behaviour changes;
+// folded into spec digests so old stored entries are orphaned.
+constexpr std::uint32_t kEngineStateVersion = 1;
+
 const EngineRegistrar registerNaiveHybrid(
-    "tms+sms", 40,
+    "tms+sms", 40, kEngineStateVersion,
     [](const SystemConfig &sys, const EngineOptions &opt) {
         SmsParams sp = sys.sms;
         if (opt.smsUseCounters)

@@ -158,8 +158,12 @@ SmsPrefetcher::loadState(StateReader &r)
 namespace stems {
 namespace {
 
+// Bump when SMS's serialized state or behaviour changes; folded
+// into spec digests so old stored results/checkpoints are orphaned.
+constexpr std::uint32_t kEngineStateVersion = 1;
+
 const EngineRegistrar registerSms(
-    "sms", 20,
+    "sms", 20, kEngineStateVersion,
     [](const SystemConfig &sys, const EngineOptions &opt) {
         SmsParams p = sys.sms;
         if (opt.smsUseCounters)

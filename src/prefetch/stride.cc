@@ -100,8 +100,12 @@ StridePrefetcher::loadState(StateReader &r)
 namespace stems {
 namespace {
 
+// Bump when stride's serialized state or behaviour changes; folded
+// into spec digests so old stored results/checkpoints are orphaned.
+constexpr std::uint32_t kEngineStateVersion = 1;
+
 const EngineRegistrar registerStride(
-    "stride", 0,
+    "stride", 0, kEngineStateVersion,
     [](const SystemConfig &sys, const EngineOptions &) {
         return std::make_unique<StridePrefetcher>(sys.stride);
     });

@@ -1,5 +1,9 @@
 #include "prefetch/tms.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace stems {
 
 TmsPrefetcher::TmsPrefetcher(TmsParams params)
@@ -215,8 +219,14 @@ TmsPrefetcher::saveState(StateWriter &w) const
     w.u64(streamsStarted_);
     buffer_.saveState(
         w, [](StateWriter &sw, const Addr &a) { sw.u64(a); });
-    w.u64(index_.size());
-    for (const auto &kv : index_) {
+    // Key-sorted: blob bytes must depend only on logical state so
+    // speculative boundary validation can byte-compare checkpoints.
+    std::vector<std::pair<Addr, Position>> entries(index_.begin(),
+                                                   index_.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.u64(entries.size());
+    for (const auto &kv : entries) {
         w.u64(kv.first);
         w.u64(kv.second);
     }
@@ -303,8 +313,12 @@ tmsParamsFor(const SystemConfig &sys, const EngineOptions &opt)
 
 namespace {
 
+// Bump when TMS's serialized state or behaviour changes; folded
+// into spec digests so old stored results/checkpoints are orphaned.
+constexpr std::uint32_t kEngineStateVersion = 1;
+
 const EngineRegistrar registerTms(
-    "tms", 10,
+    "tms", 10, kEngineStateVersion,
     [](const SystemConfig &sys, const EngineOptions &opt) {
         return std::make_unique<TmsPrefetcher>(tmsParamsFor(sys, opt));
     });

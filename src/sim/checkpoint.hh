@@ -42,8 +42,17 @@
 
 namespace stems {
 
-/** Current checkpoint blob format version. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/**
+ * Current checkpoint blob format version.
+ *
+ * v2: container serialization is key-canonical (unordered_map state
+ * is emitted key-sorted), making the payload a pure function of
+ * logical simulator state. Speculative segment execution depends on
+ * this: boundary validation byte-compares a live re-executed state
+ * against a stored blob, so two simulators in the same logical state
+ * must always serialize to identical bytes.
+ */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /**
  * Serialize a simulator into a framed checkpoint blob.
@@ -84,6 +93,24 @@ bool checkpointRecordIndex(const std::vector<std::uint8_t> &blob,
 bool decodeCheckpoint(const std::vector<std::uint8_t> &blob,
                       PrefetchSimulator &sim,
                       std::uint64_t *index_out = nullptr);
+
+/**
+ * FNV-1a digest of a valid blob's payload (the serialized simulator
+ * state, excluding the frame header). Two blobs taken at the same
+ * boundary digest equal iff the captured states serialize
+ * identically. @return 0 when the framing is invalid.
+ */
+std::uint64_t checkpointStateDigest(const std::vector<std::uint8_t> &blob);
+
+/**
+ * Byte equality of two valid blobs' payloads — the speculative
+ * boundary-validation predicate. Compares state only (the frame
+ * record index is not part of the comparison, though callers always
+ * compare blobs taken at the same boundary). @return false when
+ * either framing is invalid.
+ */
+bool checkpointStateEquals(const std::vector<std::uint8_t> &a,
+                           const std::vector<std::uint8_t> &b);
 
 } // namespace stems
 

@@ -243,6 +243,30 @@ class ExperimentDriver
     /** Configured heartbeat interval (0 = off). */
     double heartbeatSeconds() const { return heartbeatSeconds_; }
 
+    /**
+     * Speculative segment-parallel cold execution (requires an
+     * attached store). A cold cell with stored interior checkpoints
+     * — from a shorter, stale, different-seed, or cross-warmup run —
+     * splits its trace at those boundaries and runs every segment as
+     * a parallel lane: segment k+1 starts from the stored blob while
+     * segment k re-executes, and each boundary is validated by
+     * byte-comparing the live re-encoded state against the seed
+     * (sim/speculate.hh). Stored state is *distrusted* by design:
+     * unlike the trusted prefix-digest resume of segmented runs,
+     * speculation re-executes every record, trading CPU for
+     * wall-clock (all segments advance concurrently; a mispredicted
+     * boundary rolls back to sequential re-execution of the
+     * suffix). Results are bitwise identical to a continuous run in
+     * both the all-commit and mispredict paths
+     * (tests/speculation_test.cc pins this), so like batching it
+     * joins no cache key. Only boundary states proven correct are
+     * ever written back to the store.
+     */
+    void setSpeculate(bool on) { speculate_ = on; }
+
+    /** Whether speculative execution is enabled. */
+    bool speculate() const { return speculate_; }
+
     /** Baseline simulations actually executed (cache diagnostics). */
     std::uint64_t baselineRuns() const { return baselineRuns_; }
 
@@ -285,6 +309,31 @@ class ExperimentDriver
     checkpointsWritten() const
     {
         return checkpointsWritten_.load();
+    }
+
+    /** Cells executed speculatively (segment-parallel with boundary
+     *  validation) instead of through the normal cold path. */
+    std::uint64_t
+    speculativeCells() const
+    {
+        return speculativeCells_.load();
+    }
+
+    /** Speculative segment boundaries that validated (live state
+     *  byte-matched the stored seed) and committed. */
+    std::uint64_t
+    speculativeCommits() const
+    {
+        return speculativeCommits_.load();
+    }
+
+    /** Speculative boundary mismatches: each one rolled back every
+     *  later segment and re-executed the suffix sequentially from
+     *  validated state (output identity preserved). */
+    std::uint64_t
+    speculativeMispredicts() const
+    {
+        return speculativeMispredicts_.load();
     }
 
     /** Drop the per-workload baseline cache. */
@@ -344,6 +393,7 @@ class ExperimentDriver
     std::uint64_t engineRuns_ = 0;
     std::uint64_t batchedRuns_ = 0;
     bool batching_ = true;
+    bool speculate_ = false;
     unsigned segments_ = 1;
     std::size_t checkpointEvery_ = 0;
     double heartbeatSeconds_ = 0.0;
@@ -351,6 +401,9 @@ class ExperimentDriver
     std::atomic<std::uint64_t> resumedRuns_{0};
     std::atomic<std::uint64_t> resumedRecordsSkipped_{0};
     std::atomic<std::uint64_t> checkpointsWritten_{0};
+    std::atomic<std::uint64_t> speculativeCells_{0};
+    std::atomic<std::uint64_t> speculativeCommits_{0};
+    std::atomic<std::uint64_t> speculativeMispredicts_{0};
 };
 
 } // namespace stems

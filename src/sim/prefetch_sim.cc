@@ -1,5 +1,9 @@
 #include "sim/prefetch_sim.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace stems {
 
 PrefetchSimulator::PrefetchSimulator(const SimParams &params,
@@ -280,8 +284,15 @@ PrefetchSimulator::saveState(StateWriter &w) const
     if (svb_)
         svb_->saveState(w);
     timing_.saveState(w);
-    w.u64(l2PrefetchReady_.size());
-    for (const auto &kv : l2PrefetchReady_) {
+    // Serialized state must be a pure function of logical state:
+    // speculative execution validates boundaries by byte-comparing
+    // blobs, and unordered_map iteration order is history-dependent.
+    std::vector<std::pair<Addr, double>> ready(l2PrefetchReady_.begin(),
+                                               l2PrefetchReady_.end());
+    std::sort(ready.begin(), ready.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.u64(ready.size());
+    for (const auto &kv : ready) {
         w.u64(kv.first);
         w.f64(kv.second);
     }

@@ -1,0 +1,161 @@
+#include "sim/speculate.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+#include "sim/batch_sim.hh"
+#include "sim/checkpoint.hh"
+
+namespace stems {
+
+namespace {
+
+/** Seeds sorted by index, one per index, interior only. */
+std::vector<SpeculationSeed>
+planSeeds(std::vector<SpeculationSeed> seeds, std::size_t trace_size)
+{
+    std::stable_sort(seeds.begin(), seeds.end(),
+                     [](const SpeculationSeed &a,
+                        const SpeculationSeed &b) {
+                         return a.index < b.index;
+                     });
+    std::vector<SpeculationSeed> planned;
+    for (SpeculationSeed &s : seeds) {
+        if (s.index == 0 || s.index >= trace_size)
+            continue; // can't seed a runnable segment
+        if (!planned.empty() && planned.back().index == s.index)
+            continue;
+        planned.push_back(std::move(s));
+    }
+    return planned;
+}
+
+} // namespace
+
+std::optional<SpeculationOutcome>
+runSpeculativeCell(const SimParams &params, std::size_t warmup,
+                   const Trace &trace,
+                   const SpeculationEngineFactory &make_engine,
+                   std::vector<SpeculationSeed> seeds, unsigned jobs)
+{
+    std::vector<SpeculationSeed> planned =
+        planSeeds(std::move(seeds), trace.size());
+
+    // Pre-validate structural decodability into scratch simulators: a
+    // blob from a perturbed engine spec or bit-rot that slipped past
+    // the CRC predicts nothing usable, and dropping it up front keeps
+    // the segment plan fixed once lanes exist.
+    {
+        std::vector<SpeculationSeed> decodable;
+        decodable.reserve(planned.size());
+        for (SpeculationSeed &s : planned) {
+            std::unique_ptr<Prefetcher> probe_engine = make_engine();
+            PrefetchSimulator probe(params, probe_engine.get());
+            if (decodeCheckpoint(s.blob, probe))
+                decodable.push_back(std::move(s));
+        }
+        planned = std::move(decodable);
+    }
+    if (planned.empty())
+        return std::nullopt;
+
+    // Segment k covers [bounds[k], bounds[k+1]).
+    std::vector<std::size_t> bounds;
+    bounds.push_back(0);
+    for (const SpeculationSeed &s : planned)
+        bounds.push_back(s.index);
+    bounds.push_back(trace.size());
+    const std::size_t segments = bounds.size() - 1;
+
+    BatchSimulator batch;
+    std::vector<std::unique_ptr<Prefetcher>> engines;
+    engines.reserve(segments);
+    for (std::size_t k = 0; k < segments; ++k) {
+        engines.push_back(make_engine());
+        batch.addLane(params, engines.back().get(), warmup);
+        batch.setLaneRange(k, bounds[k], bounds[k + 1]);
+        if (k > 0 &&
+            !decodeCheckpoint(planned[k - 1].blob,
+                              batch.simulator(k)))
+            return std::nullopt; // pre-validated; cannot happen
+    }
+
+    // Each lane's live pre-finish end state, captured at its range
+    // end under the checkpoint convention (before record `end`'s
+    // warmup-flip check). Slots are disjoint, so no locking.
+    std::vector<std::vector<std::uint8_t>> end_blobs(segments);
+    batch.setLaneEndCallback([&](std::size_t lane, std::size_t index,
+                                 PrefetchSimulator &sim) {
+        end_blobs[lane] = encodeCheckpoint(sim, index);
+    });
+    batch.runSegments(trace, jobs);
+
+    // Validate left to right: boundary k commits when segment k-1's
+    // live end state byte-matches the seed segment k started from.
+    std::size_t committed = 0;
+    std::size_t mispredict_at = segments; // sentinel: none
+    for (std::size_t k = 1; k < segments; ++k) {
+        if (checkpointStateEquals(end_blobs[k - 1],
+                                  planned[k - 1].blob)) {
+            ++committed;
+        } else {
+            mispredict_at = k;
+            break;
+        }
+    }
+
+    SpeculationOutcome out;
+    out.segments = segments;
+    out.commits = committed;
+    // Committed seed blobs are proven on-path; the caller may persist
+    // them under trusted keys.
+    for (std::size_t k = 1; k <= committed; ++k)
+        out.validated.emplace_back(bounds[k], planned[k - 1].blob);
+
+    if (mispredict_at == segments) {
+        // All-commit: the last lane was built on the true state all
+        // the way through, so its simulator IS the continuous run's
+        // end state (stats accumulated across every committed
+        // segment travel inside the blobs).
+        std::size_t last = segments - 1;
+        out.validated.emplace_back(trace.size(),
+                                   std::move(end_blobs[last]));
+        batch.simulator(last).finish();
+        out.stats = batch.stats(last);
+        out.engine = std::move(engines[last]);
+        return out;
+    }
+
+    // Rollback: segments mispredict_at.. were built on a wrong (or
+    // unluckily stale) state. Segment mispredict_at-1's live end
+    // state is correct by induction, so re-execute the suffix from
+    // it sequentially — this is exactly the continuous run's record
+    // sequence, so output identity is preserved by construction.
+    out.mispredicts = 1;
+    std::size_t resume_lane = mispredict_at - 1;
+    std::size_t resume_at = bounds[mispredict_at];
+    // The live state at the mispredicted boundary is itself a
+    // validated checkpoint — persisting it converts the stale store
+    // entry into one the next run can trust.
+    out.validated.emplace_back(resume_at,
+                               std::move(end_blobs[resume_lane]));
+    PrefetchSimulator &sim = batch.simulator(resume_lane);
+    Counter &steps =
+        MetricsRegistry::instance().counter("batch.record_steps");
+    const MemRecord *records = trace.data();
+    for (std::size_t i = resume_at; i < trace.size(); ++i) {
+        if (i == warmup)
+            sim.setMeasuring(true);
+        sim.step(records[i]);
+    }
+    steps.add(trace.size() - resume_at);
+    out.replayedRecords = trace.size() - resume_at;
+    out.validated.emplace_back(trace.size(),
+                               encodeCheckpoint(sim, trace.size()));
+    sim.finish();
+    out.stats = batch.stats(resume_lane);
+    out.engine = std::move(engines[resume_lane]);
+    return out;
+}
+
+} // namespace stems

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Speculative segment-parallel cold execution.
+ *
+ * A cold cell's trace is inherently sequential — but when a previous
+ * run (shorter, stale, different seed, or prior engine version) left
+ * checkpoints behind, those blobs predict the simulator state at
+ * interior trace indices. runSpeculativeCell() splits the trace at
+ * the predicted boundaries and runs every segment as a parallel
+ * lane: segment 0 starts cold, segment k+1 starts from the stored
+ * blob at its start boundary while segment k re-executes the records
+ * that *produce* that boundary state.
+ *
+ * Validation is a byte comparison: when segment k reaches its end
+ * boundary, its live state is re-encoded (sim/checkpoint.hh, whose
+ * v2 payloads are a pure function of logical state) and compared
+ * against the seed blob segment k+1 started from.
+ *
+ *   - match   -> COMMIT: segment k+1's execution was built on the
+ *     true state, so its results are exactly what a continuous run
+ *     would have produced.
+ *   - mismatch -> ROLLBACK: every segment at or past the mismatch is
+ *     discarded and the suffix re-executes sequentially from the
+ *     last validated live state.
+ *
+ * Either way the output is bitwise identical to continuous
+ * simulation; mis-speculation costs only wall-clock. The commit
+ * argument is inductive: segment 0 is trivially the continuous
+ * prefix, and a committed boundary k proves segment k+1's seed state
+ * equals the continuous state there (byte-equal blobs restore to
+ * behaviourally identical simulators — the save/load round-trip pin
+ * of tests/checkpoint_test.cc), so the last segment of an all-commit
+ * cascade ends in the continuous end state, accumulated SimStats
+ * included.
+ *
+ * The driver (sim/driver.hh `setSpeculate`) feeds this from stored
+ * candidates and never writes speculative state back to the store
+ * until it has been validated here.
+ */
+
+#ifndef STEMS_SIM_SPECULATE_HH
+#define STEMS_SIM_SPECULATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/prefetch_sim.hh"
+
+namespace stems {
+
+/** One stored checkpoint blob predicting the state at an interior
+ *  trace index — the start state of a speculative segment. */
+struct SpeculationSeed
+{
+    std::size_t index = 0;             ///< boundary the blob claims
+    std::vector<std::uint8_t> blob;    ///< framed checkpoint bytes
+};
+
+/** Result of one speculative cell execution. */
+struct SpeculationOutcome
+{
+    /// Final measured statistics — bitwise identical to a continuous
+    /// run of the same cell.
+    SimStats stats;
+    /// The engine whose training produced `stats` (for probes); null
+    /// for engineless (baseline) cells.
+    std::unique_ptr<Prefetcher> engine;
+    std::size_t segments = 0;   ///< parallel lanes dispatched
+    std::size_t commits = 0;    ///< boundaries that validated
+    std::size_t mispredicts = 0; ///< 0 or 1 (first mismatch rolls
+                                 ///< back every later segment)
+    /// Records re-executed sequentially after the rollback (0 on an
+    /// all-commit cascade).
+    std::size_t replayedRecords = 0;
+    /// Boundary blobs proven correct — safe for the caller to
+    /// persist under trusted keys. Always includes the end-of-trace
+    /// pre-finish state; on rollback, also the corrected blob at the
+    /// mispredicted boundary.
+    std::vector<std::pair<std::size_t, std::vector<std::uint8_t>>>
+        validated;
+};
+
+/** Builds one engine instance per segment lane; may return null for
+ *  engineless cells. Called once per lane plus once per seed for
+ *  decode pre-validation, so it must be cheap and deterministic. */
+using SpeculationEngineFactory =
+    std::function<std::unique_ptr<Prefetcher>()>;
+
+/**
+ * Execute one cell speculatively.
+ *
+ * Seeds are sorted, de-duplicated by index, and filtered to interior
+ * indices (0 < index < trace size); a seed whose blob fails framing
+ * or structural decode is dropped (it predicts nothing usable). When
+ * no seed survives — nothing to speculate on — returns nullopt and
+ * the caller falls back to its normal cold path.
+ *
+ * @param params   system configuration of the cell.
+ * @param warmup   warmup boundary (records before it are unmeasured).
+ * @param trace    the full trace; must stay alive through the call.
+ * @param make_engine  per-lane engine factory (see above).
+ * @param seeds    candidate start states (need not be trustworthy).
+ * @param jobs     worker threads for the parallel segment pass.
+ */
+std::optional<SpeculationOutcome>
+runSpeculativeCell(const SimParams &params, std::size_t warmup,
+                   const Trace &trace,
+                   const SpeculationEngineFactory &make_engine,
+                   std::vector<SpeculationSeed> seeds, unsigned jobs);
+
+} // namespace stems
+
+#endif // STEMS_SIM_SPECULATE_HH

@@ -833,6 +833,56 @@ TraceStore::listCheckpointIndices(std::uint64_t spec_digest,
     return indices;
 }
 
+std::vector<StoredCheckpointKey>
+TraceStore::listCheckpoints(std::uint64_t spec_digest,
+                            std::uint64_t config_digest)
+{
+    std::vector<StoredCheckpointKey> keys;
+    if (!usable_)
+        return keys;
+    std::string prefix =
+        hex16(spec_digest) + "-" + hex16(config_digest) + "-";
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(
+             fs::path(dir_) / kCheckpointSubdir, ec)) {
+        if (de.path().extension() != ".ckpt")
+            continue;
+        std::string stem = de.path().stem().string();
+        // Full stem: spec-config-index-state, four hex16 fields.
+        if (stem.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (stem.size() != prefix.size() + 16 + 1 + 16)
+            continue;
+        if (stem[prefix.size() + 16] != '-')
+            continue;
+        char *end = nullptr;
+        std::uint64_t index = std::strtoull(
+            stem.c_str() + prefix.size(), &end, 16);
+        if (end != stem.c_str() + prefix.size() + 16)
+            continue;
+        std::uint64_t state = std::strtoull(
+            stem.c_str() + prefix.size() + 17, &end, 16);
+        if (end != stem.c_str() + stem.size())
+            continue;
+        keys.push_back(StoredCheckpointKey{index, state});
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const StoredCheckpointKey &a,
+                 const StoredCheckpointKey &b) {
+                  return a.index != b.index ? a.index < b.index
+                                            : a.stateDigest <
+                                                  b.stateDigest;
+              });
+    keys.erase(std::unique(keys.begin(), keys.end(),
+                           [](const StoredCheckpointKey &a,
+                              const StoredCheckpointKey &b) {
+                               return a.index == b.index &&
+                                      a.stateDigest == b.stateDigest;
+                           }),
+               keys.end());
+    return keys;
+}
+
 std::uint64_t
 TraceStore::enforceBudget()
 {

@@ -147,6 +147,14 @@ struct StoredCheckpointMeta
     std::uint64_t warmup = 0; ///< warmup boundary of the saving run
 };
 
+/** One stored checkpoint's (index, state) key under a (spec, config)
+ *  pair — what listCheckpoints() parses from entry filenames. */
+struct StoredCheckpointKey
+{
+    std::uint64_t index = 0;       ///< records stepped before save
+    std::uint64_t stateDigest = 0; ///< prefix+warmup digest at save
+};
+
 /** One row of a store listing (`stems_trace cache ls`). */
 struct StoreEntry
 {
@@ -294,6 +302,19 @@ class TraceStore
     std::vector<std::uint64_t>
     listCheckpointIndices(std::uint64_t spec_digest,
                           std::uint64_t config_digest);
+
+    /**
+     * Every stored (record index, state digest) checkpoint key for a
+     * (spec, config) pair, sorted by (index, stateDigest). Unlike
+     * listCheckpointIndices this exposes the state digests, letting
+     * speculative execution enumerate off-key candidates (stale or
+     * foreign-run states) it will validate at segment boundaries
+     * instead of trusting. Malformed filenames are skipped; blob
+     * integrity is still only checked by loadCheckpoint.
+     */
+    std::vector<StoredCheckpointKey>
+    listCheckpoints(std::uint64_t spec_digest,
+                    std::uint64_t config_digest);
 
     /**
      * Remove a checkpoint pair. Used by the driver when a blob

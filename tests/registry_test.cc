@@ -61,10 +61,12 @@ TEST(EngineRegistryTest, MakeBuildsEveryBuiltin)
 TEST(EngineRegistryTest, DuplicateRegistrationRejected)
 {
     EXPECT_FALSE(EngineRegistry::instance().add(
-        "stride", 999, [](const SystemConfig &,
-                          const EngineOptions &) {
+        "stride", 999, 42,
+        [](const SystemConfig &, const EngineOptions &) {
             return std::unique_ptr<Prefetcher>();
         }));
+    // The original registration's state version survives too.
+    EXPECT_EQ(EngineRegistry::instance().stateVersion("stride"), 1u);
     // The original factory survives.
     SystemConfig sys = defaultSystemConfig();
     auto stride = EngineRegistry::instance().make("stride", sys);
@@ -75,11 +77,14 @@ TEST(EngineRegistryTest, DuplicateRegistrationRejected)
 TEST(EngineRegistryTest, RuntimeExtensionEnumeratesAfterBuiltins)
 {
     ASSERT_TRUE(EngineRegistry::instance().add(
-        "test-null-engine", 1000,
+        "test-null-engine", 1000, 7,
         [](const SystemConfig &sys, const EngineOptions &opt) {
             return std::make_unique<TmsPrefetcher>(
                 tmsParamsFor(sys, opt));
         }));
+    EXPECT_EQ(
+        EngineRegistry::instance().stateVersion("test-null-engine"),
+        7u);
     auto names = EngineRegistry::instance().names();
     ASSERT_FALSE(names.empty());
     EXPECT_EQ(names.back(), "test-null-engine");
@@ -87,6 +92,37 @@ TEST(EngineRegistryTest, RuntimeExtensionEnumeratesAfterBuiltins)
     EXPECT_NE(EngineRegistry::instance().make("test-null-engine",
                                               sys),
               nullptr);
+}
+
+TEST(EngineRegistryTest, StateVersionFoldsIntoSpecDescription)
+{
+    // Every builtin's version appears in its spec description, so a
+    // bump changes every result/checkpoint digest derived from it.
+    for (const std::string &name :
+         EngineRegistry::instance().names()) {
+        std::uint32_t v = EngineRegistry::instance().stateVersion(name);
+        std::string spec = describeEngineSpec(name, {});
+        EXPECT_NE(spec.find("stateVersion=" + std::to_string(v) +
+                            "\n"),
+                  std::string::npos)
+            << spec;
+    }
+    EXPECT_EQ(EngineRegistry::instance().stateVersion("no-such"), 0u);
+}
+
+TEST(EngineRegistryTest, StateVersionBumpChangesSpecDescription)
+{
+    std::string before = describeEngineSpec("stems", {});
+    std::uint32_t old_version =
+        EngineRegistry::instance().setStateVersion("stems", 99);
+    std::string bumped = describeEngineSpec("stems", {});
+    EngineRegistry::instance().setStateVersion("stems", old_version);
+    EXPECT_NE(before, bumped);
+    EXPECT_EQ(describeEngineSpec("stems", {}), before);
+    // Unknown names are a no-op.
+    EXPECT_EQ(EngineRegistry::instance().setStateVersion("no-such", 5),
+              0u);
+    EXPECT_EQ(EngineRegistry::instance().stateVersion("no-such"), 0u);
 }
 
 TEST(EngineRegistryTest, TmsOverridesApply)

@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Speculative segment-parallel execution tests (sim/speculate.hh and
+ * the driver's --speculate path).
+ *
+ * The contract under test is adversarial: speculation seeds are
+ * *predictions*, not trusted state — blobs from shorter runs, from
+ * different-seed traces, from other warmup boundaries, from perturbed
+ * engine options, or bit-rotted on disk. Whatever mix of stale and
+ * genuine seeds is offered, the outcome must be bitwise identical to
+ * a continuous run: genuine seeds commit, stale seeds are caught by
+ * the byte-compare at their boundary and rolled back, undecodable
+ * seeds are dropped before any lane exists.
+ *
+ * On top of that sit the driver-level differential pins (speculative
+ * == continuous across {jobs 1, 8} x {batched, unbatched} for every
+ * registered engine), the re-encode byte-identity property that
+ * boundary validation relies on, and the engine state-version
+ * fencing: bumping kEngineStateVersion must orphan every stored
+ * checkpoint of that engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "prefetch/engine_registry.hh"
+#include "sim/checkpoint.hh"
+#include "sim/driver.hh"
+#include "sim/speculate.hh"
+#include "store/trace_store.hh"
+#include "test_util.hh"
+#include "workloads/registry.hh"
+
+namespace stems {
+namespace {
+
+using test::expectSameResults;
+using test::expectSameStats;
+using test::smallConfig;
+
+Trace
+propertyTrace(std::uint64_t seed = 9)
+{
+    auto w = makeWorkload("web-apache");
+    EXPECT_NE(w, nullptr);
+    return w->generate(seed, /*records=*/20000);
+}
+
+SimParams
+timedParams()
+{
+    SystemConfig sys = defaultSystemConfig();
+    SimParams p;
+    p.hierarchy = sys.hierarchy;
+    p.enableTiming = true;
+    p.timing = sys.timing;
+    return p;
+}
+
+std::unique_ptr<Prefetcher>
+makeEngine(const std::string &name,
+           const EngineOptions &options = EngineOptions{})
+{
+    return EngineRegistry::instance().make(
+        name, defaultSystemConfig(), options);
+}
+
+/** Step records [first, last) with the standard warmup flip. */
+void
+stepSpan(PrefetchSimulator &sim, const Trace &trace,
+         std::size_t first, std::size_t last, std::size_t warmup)
+{
+    for (std::size_t i = first; i < last; ++i) {
+        if (i == warmup)
+            sim.setMeasuring(true);
+        sim.step(trace[i]);
+    }
+}
+
+/** Continuous-run reference stats for one engine over `trace`. */
+SimStats
+continuousStats(const std::string &engine, const SimParams &params,
+                const Trace &trace, std::size_t warmup)
+{
+    auto e = makeEngine(engine);
+    PrefetchSimulator sim(params, e.get());
+    sim.setMeasuring(false);
+    stepSpan(sim, trace, 0, trace.size(), warmup);
+    sim.finish();
+    return sim.stats();
+}
+
+/** A genuine checkpoint of `trace` at `index` — simulate the prefix
+ *  with the given engine/options/warmup and encode. */
+std::vector<std::uint8_t>
+prefixBlob(const std::string &engine, const SimParams &params,
+           const Trace &trace, std::size_t index, std::size_t warmup,
+           const EngineOptions &options = EngineOptions{})
+{
+    auto e = makeEngine(engine, options);
+    PrefetchSimulator sim(params, e.get());
+    sim.setMeasuring(false);
+    stepSpan(sim, trace, 0, index, warmup);
+    return encodeCheckpoint(sim, index);
+}
+
+// ---- runSpeculativeCell unit/property tests ----
+
+TEST(Speculation, AllGenuineSeedsCommitAndMatchContinuous)
+{
+    Trace trace = propertyTrace();
+    const std::size_t warmup = trace.size() / 3;
+    SimParams params = timedParams();
+
+    for (const std::string &name :
+         EngineRegistry::instance().names()) {
+        SCOPED_TRACE("engine " + name);
+        SimStats expected =
+            continuousStats(name, params, trace, warmup);
+
+        std::vector<SpeculationSeed> seeds;
+        for (std::size_t idx : {trace.size() / 4, trace.size() / 2,
+                                (trace.size() * 3) / 4})
+            seeds.push_back(
+                {idx, prefixBlob(name, params, trace, idx, warmup)});
+
+        auto make = [&] { return makeEngine(name); };
+        auto out = runSpeculativeCell(params, warmup, trace, make,
+                                      std::move(seeds), 4);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->segments, 4u);
+        EXPECT_EQ(out->commits, 3u);
+        EXPECT_EQ(out->mispredicts, 0u);
+        EXPECT_EQ(out->replayedRecords, 0u);
+        expectSameStats(expected, out->stats);
+    }
+}
+
+TEST(Speculation, StaleSeedMispredictsAndRollsBackIdentically)
+{
+    Trace trace = propertyTrace();
+    Trace other = propertyTrace(/*seed=*/1234); // plausible but wrong
+    const std::size_t warmup = trace.size() / 3;
+    SimParams params = timedParams();
+    const std::string name = "stems";
+    SimStats expected = continuousStats(name, params, trace, warmup);
+
+    const std::size_t good = trace.size() / 4;
+    const std::size_t stale = trace.size() / 2;
+    std::vector<SpeculationSeed> seeds;
+    seeds.push_back(
+        {good, prefixBlob(name, params, trace, good, warmup)});
+    seeds.push_back(
+        {stale, prefixBlob(name, params, other, stale, warmup)});
+
+    auto make = [&] { return makeEngine(name); };
+    auto out = runSpeculativeCell(params, warmup, trace, make,
+                                  std::move(seeds), 4);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->segments, 3u);
+    // The genuine boundary commits; the cross-trace one is caught by
+    // the byte compare and everything after it re-executes.
+    EXPECT_EQ(out->commits, 1u);
+    EXPECT_EQ(out->mispredicts, 1u);
+    EXPECT_EQ(out->replayedRecords, trace.size() - stale);
+    expectSameStats(expected, out->stats);
+}
+
+TEST(Speculation, StaleCheckpointInjectionFuzz)
+{
+    // Seeded-random adversarial battery: every trial mixes genuine
+    // seeds with stale ones (shorter-run prefixes are genuine by
+    // construction — a prefix is a prefix — so staleness is injected
+    // via different-seed traces, different warmup boundaries, and
+    // bit-flipped blobs). The outcome must always be bitwise
+    // identical to the continuous run; mis-speculation may only cost
+    // replayed records.
+    Trace trace = propertyTrace();
+    Trace other = propertyTrace(/*seed=*/77);
+    const std::size_t warmup = trace.size() / 3;
+    const std::size_t other_warmup = (trace.size() * 2) / 3;
+    SimParams params = timedParams();
+    const std::string name = "stems";
+    SimStats expected = continuousStats(name, params, trace, warmup);
+    auto make = [&] { return makeEngine(name); };
+
+    Rng rng(0xBADC0DE);
+    for (int trial = 0; trial < 6; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        const std::size_t nseeds = 1 + rng.below(3);
+        std::vector<SpeculationSeed> seeds;
+        bool all_genuine = true;
+        for (std::size_t s = 0; s < nseeds; ++s) {
+            std::size_t idx =
+                1 + rng.below(static_cast<std::uint32_t>(
+                        trace.size() - 1));
+            switch (rng.below(4)) {
+            case 0: // genuine prefix of this very trace
+                seeds.push_back({idx, prefixBlob(name, params, trace,
+                                                 idx, warmup)});
+                break;
+            case 1: // different-seed trace: plausible alien state
+                seeds.push_back({idx, prefixBlob(name, params, other,
+                                                 idx, warmup)});
+                all_genuine = false;
+                break;
+            case 2: { // same trace, different warmup boundary
+                seeds.push_back(
+                    {idx, prefixBlob(name, params, trace, idx,
+                                     other_warmup)});
+                // Below both warmups the state is identical (still
+                // unmeasured), so this seed is genuinely on-path.
+                if (idx > std::min(warmup, other_warmup))
+                    all_genuine = false;
+                break;
+            }
+            case 3:
+            default: { // bit-rot: CRC must reject, seed dropped
+                auto blob =
+                    prefixBlob(name, params, trace, idx, warmup);
+                blob[blob.size() / 2] ^= 0x40;
+                seeds.push_back({idx, std::move(blob)});
+                break;
+            }
+            }
+        }
+
+        auto out = runSpeculativeCell(params, warmup, trace, make,
+                                      std::move(seeds), 4);
+        if (!out.has_value())
+            continue; // every seed undecodable: normal cold path
+        EXPECT_LE(out->mispredicts, 1u);
+        if (all_genuine) {
+            EXPECT_EQ(out->mispredicts, 0u);
+        }
+        expectSameStats(expected, out->stats);
+    }
+}
+
+TEST(Speculation, PerturbedEngineOptionsNeverCorruptTheResult)
+{
+    // A blob recorded under different engine options either fails
+    // the structural decode (dropped before lanes exist) or decodes
+    // into a state the boundary byte-compare rejects. Both paths
+    // must end bitwise identical to continuous.
+    Trace trace = propertyTrace();
+    const std::size_t warmup = trace.size() / 3;
+    SimParams params = timedParams();
+    const std::string name = "stems";
+    SimStats expected = continuousStats(name, params, trace, warmup);
+
+    EngineOptions perturbed;
+    perturbed.bufferEntries = 64; // non-default RMOB size
+    std::vector<SpeculationSeed> seeds;
+    seeds.push_back({trace.size() / 2,
+                     prefixBlob(name, params, trace, trace.size() / 2,
+                                warmup, perturbed)});
+
+    auto make = [&] { return makeEngine(name); };
+    auto out = runSpeculativeCell(params, warmup, trace, make,
+                                  std::move(seeds), 2);
+    if (out.has_value()) {
+        EXPECT_EQ(out->mispredicts, 1u);
+        expectSameStats(expected, out->stats);
+    }
+    // nullopt (structural rejection) is equally acceptable: the
+    // caller falls back to the plain cold path.
+}
+
+TEST(Speculation, ReencodeRoundTripIsByteIdenticalForEveryEngine)
+{
+    // The property boundary validation rests on: checkpoint payloads
+    // are a pure function of logical state. Decoding a blob into a
+    // fresh simulator and re-encoding must reproduce the bytes
+    // exactly — any hidden iteration-order or history dependence in
+    // a serializer would show up here as a spurious mismatch.
+    Trace trace = propertyTrace();
+    const std::size_t warmup = trace.size() / 3;
+    SimParams params = timedParams();
+
+    for (const std::string &name :
+         EngineRegistry::instance().names()) {
+        SCOPED_TRACE("engine " + name);
+        Rng rng(0x5EED ^ std::hash<std::string>{}(name));
+        for (int trial = 0; trial < 3; ++trial) {
+            std::size_t split =
+                1 + rng.below(static_cast<std::uint32_t>(
+                        trace.size() - 1));
+            SCOPED_TRACE("split " + std::to_string(split));
+            auto blob =
+                prefixBlob(name, params, trace, split, warmup);
+
+            auto e = makeEngine(name);
+            PrefetchSimulator resumed(params, e.get());
+            ASSERT_TRUE(decodeCheckpoint(blob, resumed));
+            auto again = encodeCheckpoint(resumed, split);
+            EXPECT_TRUE(checkpointStateEquals(blob, again));
+            EXPECT_EQ(blob, again);
+        }
+    }
+}
+
+// ---- driver-level differential pins ----
+
+class SpeculativeDriverTest : public test::TempDirTest
+{
+};
+
+TEST_F(SpeculativeDriverTest,
+       SpeculativeMatchesContinuousAcrossJobsAndBatchForEveryEngine)
+{
+    // The acceptance bar: a --speculate re-run over checkpoints left
+    // by a shorter run is bitwise identical to a continuous run,
+    // whatever the jobs count and batching mode, for every engine.
+    std::vector<EngineSpec> engines;
+    for (const std::string &name :
+         EngineRegistry::instance().names())
+        engines.emplace_back(name);
+
+    ExperimentConfig short_cfg = smallConfig(false, 20000);
+    short_cfg.warmupRecords = 8000;
+    ExperimentConfig long_cfg = smallConfig(false, 30000);
+    long_cfg.warmupRecords = 8000;
+
+    // Seed checkpoints with a shorter segmented run.
+    std::string seed_dir = dir_ + "_seed";
+    {
+        ExperimentDriver seeder(short_cfg, 2);
+        seeder.setCheckpointEvery(6000);
+        seeder.setStore(std::make_shared<TraceStore>(seed_dir));
+        seeder.run({"dss-qry17"}, engines);
+        EXPECT_GT(seeder.checkpointsWritten(), 0u);
+    }
+
+    ExperimentDriver reference(long_cfg, 4);
+    auto expected = reference.run({"dss-qry17"}, engines);
+
+    int combo = 0;
+    for (unsigned jobs : {1u, 8u}) {
+        for (bool batch : {true, false}) {
+            SCOPED_TRACE("jobs " + std::to_string(jobs) +
+                         (batch ? " batched" : " unbatched"));
+            // Fresh copy of the seeded store per combo, so every
+            // combo's cells are cold and speculate for real.
+            std::string dir =
+                dir_ + "_combo" + std::to_string(combo++);
+            std::filesystem::copy(
+                seed_dir, dir,
+                std::filesystem::copy_options::recursive);
+            ExperimentDriver speculative(long_cfg, jobs);
+            speculative.setBatching(batch);
+            speculative.setSpeculate(true);
+            speculative.setStore(std::make_shared<TraceStore>(dir));
+            auto results =
+                speculative.run({"dss-qry17"}, engines);
+            EXPECT_GT(speculative.speculativeCells(), 0u);
+            EXPECT_GT(speculative.speculativeCommits(), 0u);
+            // Same trace prefix, same warmup: every stored boundary
+            // predicts the true state, so nothing mispredicts.
+            EXPECT_EQ(speculative.speculativeMispredicts(), 0u);
+            expectSameResults(expected, results);
+            std::filesystem::remove_all(dir);
+        }
+    }
+    std::filesystem::remove_all(seed_dir);
+}
+
+TEST_F(SpeculativeDriverTest,
+       CrossSeedSpeculationMispredictsAndFallsBackIdentically)
+{
+    // Checkpoints from a different-seed sweep share the engine spec
+    // (trace identity is deliberately not part of the checkpoint
+    // key — stale state is the speculation opportunity), so the
+    // speculative run picks them up, detects the mismatch at the
+    // first boundary, and must still produce the continuous result.
+    std::vector<EngineSpec> engines = engineSpecs({"sms"});
+    ExperimentConfig store_cfg = smallConfig(false, 20000);
+    store_cfg.warmupRecords = 8000;
+    store_cfg.seed = 42;
+    ExperimentConfig run_cfg = store_cfg;
+    run_cfg.seed = 777; // different trace, same checkpoint spec
+
+    ExperimentDriver seeder(store_cfg, 2);
+    seeder.setCheckpointEvery(6000);
+    seeder.setStore(std::make_shared<TraceStore>(dir_));
+    seeder.run({"dss-qry17"}, engines);
+    EXPECT_GT(seeder.checkpointsWritten(), 0u);
+
+    ExperimentDriver reference(run_cfg, 2);
+    auto expected = reference.run({"dss-qry17"}, engines);
+
+    ExperimentDriver speculative(run_cfg, 2);
+    speculative.setSpeculate(true);
+    speculative.setStore(std::make_shared<TraceStore>(dir_));
+    auto results = speculative.run({"dss-qry17"}, engines);
+    EXPECT_GT(speculative.speculativeCells(), 0u);
+    EXPECT_EQ(speculative.speculativeCommits(), 0u);
+    EXPECT_GT(speculative.speculativeMispredicts(), 0u);
+    expectSameResults(expected, results);
+}
+
+TEST_F(SpeculativeDriverTest, SpeculationNeedsAStoreAndCandidates)
+{
+    // Without a store, or over an empty one, --speculate is inert:
+    // the run stays continuous and bitwise identical.
+    std::vector<EngineSpec> engines = engineSpecs({"sms"});
+    ExperimentConfig cfg = smallConfig(false, 20000);
+    ExperimentDriver plain(cfg, 2);
+    auto expected = plain.run({"dss-qry17"}, engines);
+
+    ExperimentDriver storeless(cfg, 2);
+    storeless.setSpeculate(true);
+    auto a = storeless.run({"dss-qry17"}, engines);
+    EXPECT_EQ(storeless.speculativeCells(), 0u);
+    expectSameResults(expected, a);
+
+    ExperimentDriver empty_store(cfg, 2);
+    empty_store.setSpeculate(true);
+    empty_store.setStore(std::make_shared<TraceStore>(dir_));
+    auto b = empty_store.run({"dss-qry17"}, engines);
+    EXPECT_EQ(empty_store.speculativeCells(), 0u);
+    expectSameResults(expected, b);
+}
+
+// ---- engine state-version fencing (kEngineStateVersion) ----
+
+/** RAII guard: bump an engine's state version for one test and
+ *  restore it afterwards — the registry is process-global. */
+class ScopedStateVersion
+{
+  public:
+    ScopedStateVersion(const std::string &name, std::uint32_t v)
+        : name_(name),
+          previous_(
+              EngineRegistry::instance().setStateVersion(name, v))
+    {
+    }
+    ~ScopedStateVersion()
+    {
+        EngineRegistry::instance().setStateVersion(name_, previous_);
+    }
+
+  private:
+    std::string name_;
+    std::uint32_t previous_;
+};
+
+TEST_F(SpeculativeDriverTest,
+       EngineStateVersionBumpOrphansStoredCheckpoints)
+{
+    // kEngineStateVersion is folded into every engine's checkpoint
+    // spec digest, so bumping it (a code change that alters the
+    // serialized state) must fence off every stored checkpoint: no
+    // trusted resume, no speculation candidates — yet identical
+    // results via the cold path.
+    std::vector<EngineSpec> engines = engineSpecs({"stems"});
+    ExperimentConfig cfg = smallConfig(false, 20000);
+    cfg.warmupRecords = 8000;
+
+    ExperimentDriver seeder(cfg, 2);
+    seeder.setCheckpointEvery(6000);
+    seeder.setStore(std::make_shared<TraceStore>(dir_));
+    seeder.run({"dss-qry17"}, engines);
+    EXPECT_GT(seeder.checkpointsWritten(), 0u);
+
+    ScopedStateVersion bump(
+        "stems",
+        EngineRegistry::instance().stateVersion("stems") + 1);
+
+    // The spec digest changed, so the extended run finds nothing:
+    // neither the trusted-resume path nor speculation may touch the
+    // old-version blobs.
+    ExperimentConfig long_cfg = smallConfig(false, 30000);
+    long_cfg.warmupRecords = 8000;
+    ExperimentDriver extended(long_cfg, 2);
+    extended.setSpeculate(true);
+    extended.setCheckpointEvery(6000);
+    extended.setStore(std::make_shared<TraceStore>(dir_));
+    auto results = extended.run({"dss-qry17"}, engines);
+    // The fence is per-engine: the *baseline* cell (engineless — no
+    // state version in its spec) still speculates over its stored
+    // boundaries, while the stems cell finds nothing under the
+    // bumped digest and runs cold, with no trusted resume either.
+    EXPECT_EQ(extended.speculativeCells(), 1u);
+    EXPECT_EQ(extended.resumedRuns(), 0u);
+
+    ExperimentDriver reference(long_cfg, 2);
+    auto ref = reference.run({"dss-qry17"}, engines);
+    expectSameResults(ref, results);
+    // (The old-version blobs still exist on disk; they are simply
+    // unreachable from the new spec digest — the orphaning IS the
+    // absence pinned by the counters above.)
+}
+
+} // namespace
+} // namespace stems

@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "sim/checkpoint.hh"
 #include "sim/driver.hh"
@@ -806,6 +808,131 @@ TEST_F(TraceStoreTest, CheckpointsShareTheEvictionBudget)
     // Full gc removes everything, checkpoints included.
     store.evictWithin(0);
     EXPECT_EQ(store.totalBytes(), 0u);
+}
+
+TEST_F(TraceStoreTest, ConcurrentCheckpointWritesAllLand)
+{
+    // Parallel driver tasks persist checkpoints concurrently — both
+    // to distinct keys (different boundaries/states) and, when two
+    // cells share a checkpoint identity, to the same key with the
+    // same bytes. No write may be lost, torn, or cross-wired.
+    TraceStore store(dir_);
+    const std::uint64_t spec = 0x51EC, cfg = 0xC0F;
+    auto shared_blob = sampleCheckpointBlob(500);
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            // Distinct key per thread...
+            std::uint64_t index = 100 * (t + 1);
+            ASSERT_TRUE(store.putCheckpoint(
+                spec, cfg, index, /*state=*/t,
+                sampleCheckpointBlob(index),
+                {"wl", "stems", index, 0}));
+            // ...plus everyone racing on one shared key.
+            ASSERT_TRUE(store.putCheckpoint(
+                spec, cfg, 500, /*state=*/0xABC, shared_blob,
+                {"wl", "stems", 500, 0}));
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    // Every distinct key round-trips byte-for-byte.
+    for (unsigned t = 0; t < 8; ++t) {
+        std::uint64_t index = 100 * (t + 1);
+        auto loaded = store.loadCheckpoint(spec, cfg, index, t);
+        ASSERT_TRUE(loaded.has_value()) << "thread " << t;
+        EXPECT_EQ(*loaded, sampleCheckpointBlob(index));
+    }
+    auto shared = store.loadCheckpoint(spec, cfg, 500, 0xABC);
+    ASSERT_TRUE(shared.has_value());
+    EXPECT_EQ(*shared, shared_blob);
+
+    // The key listing sees all of them, sorted, no duplicates.
+    auto keys = store.listCheckpoints(spec, cfg);
+    ASSERT_EQ(keys.size(), 9u);
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        EXPECT_TRUE(keys[i - 1].index < keys[i].index ||
+                    (keys[i - 1].index == keys[i].index &&
+                     keys[i - 1].stateDigest <
+                         keys[i].stateDigest));
+    }
+}
+
+TEST_F(TraceStoreTest, ListCheckpointsOnMixedStore)
+{
+    // listCheckpoints() is the speculation candidate source: it must
+    // enumerate every well-formed key of the requested identity —
+    // including multiple state digests per index and entries whose
+    // blob is corrupt (integrity is loadCheckpoint's job) — while
+    // skipping foreign identities and malformed filenames.
+    TraceStore store(dir_);
+    const std::uint64_t spec = 0xFEED, cfg = 0xBEEF;
+    ASSERT_TRUE(store.putCheckpoint(spec, cfg, 100, 1,
+                                    sampleCheckpointBlob(100),
+                                    {"wl", "stems", 100, 0}));
+    ASSERT_TRUE(store.putCheckpoint(spec, cfg, 100, 2,
+                                    sampleCheckpointBlob(100),
+                                    {"wl", "stems", 100, 0}));
+    ASSERT_TRUE(store.putCheckpoint(spec, cfg, 50, 9,
+                                    sampleCheckpointBlob(50),
+                                    {"wl", "stems", 50, 0}));
+    // Foreign config and foreign spec: same directory, other runs.
+    ASSERT_TRUE(store.putCheckpoint(spec, 0x0DD, 100, 1,
+                                    sampleCheckpointBlob(100),
+                                    {"wl", "stems", 100, 0}));
+    ASSERT_TRUE(store.putCheckpoint(0x0DD, cfg, 100, 1,
+                                    sampleCheckpointBlob(100),
+                                    {"wl", "stems", 100, 0}));
+
+    // Corrupt one on-identity blob: still *listed* (the filename is
+    // the key), only loadCheckpoint rejects it.
+    {
+        char stem[80];
+        std::snprintf(stem, sizeof(stem),
+                      "%016llx-%016llx-%016llx-%016llx",
+                      static_cast<unsigned long long>(spec),
+                      static_cast<unsigned long long>(cfg), 50ull,
+                      9ull);
+        std::fstream f(dir_ + "/checkpoints/" + stem + ".ckpt",
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(40);
+        f.put('\x7f');
+    }
+
+    // Malformed filenames sharing the identity prefix: skipped.
+    char prefix[40];
+    std::snprintf(prefix, sizeof(prefix), "%016llx-%016llx-",
+                  static_cast<unsigned long long>(spec),
+                  static_cast<unsigned long long>(cfg));
+    for (const std::string &junk :
+         {std::string(prefix) + "junk.ckpt",
+          std::string(prefix) + "0000000000000100.ckpt",
+          std::string(prefix) +
+              "0000000000000100_0000000000000001.ckpt",
+          std::string("garbage.ckpt")}) {
+        std::ofstream(dir_ + "/checkpoints/" + junk) << "x";
+    }
+
+    auto keys = store.listCheckpoints(spec, cfg);
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0].index, 50u);
+    EXPECT_EQ(keys[0].stateDigest, 9u);
+    EXPECT_EQ(keys[1].index, 100u);
+    EXPECT_EQ(keys[1].stateDigest, 1u);
+    EXPECT_EQ(keys[2].index, 100u);
+    EXPECT_EQ(keys[2].stateDigest, 2u);
+
+    // The corrupt entry is listed but not served.
+    EXPECT_FALSE(store.loadCheckpoint(spec, cfg, 50, 9).has_value());
+    EXPECT_TRUE(store.loadCheckpoint(spec, cfg, 100, 1).has_value());
+
+    // Unknown identities stay empty.
+    EXPECT_TRUE(store.listCheckpoints(spec, 0x123).empty());
+    EXPECT_TRUE(store.listCheckpoints(0x123, cfg).empty());
 }
 
 TEST_F(TraceStoreTest, DifferentEngineOptionsAreDifferentResults)

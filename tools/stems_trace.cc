@@ -69,8 +69,8 @@ usage()
         "  stems_trace analyze <trace.trc>\n"
         "  stems_trace run <trace.trc> <engine[,engine...]> "
         "[--jobs N] [--timing] [--store DIR] [--batch|--no-batch]\n"
-        "              [--metrics-out F] [--trace-out F] "
-        "[--manifest-out F]\n"
+        "              [--speculate] [--metrics-out F] "
+        "[--trace-out F] [--manifest-out F]\n"
         "  stems_trace import <in.txt> <out.trc> [--store DIR] "
         "[--name NAME]\n"
         "  stems_trace export <trace.trc> <out.txt>\n"
@@ -92,6 +92,7 @@ struct ArgScanner
     unsigned jobs = 1;
     bool timing = false;
     bool batch = true;
+    bool speculate = false;
     bool ok = true;
 
     ArgScanner(int argc, char **argv, int first)
@@ -128,6 +129,8 @@ struct ArgScanner
                 batch = true;
             } else if (arg == "--no-batch") {
                 batch = false;
+            } else if (arg == "--speculate") {
+                speculate = true;
             } else if (!arg.empty() && arg[0] == '-') {
                 std::fprintf(stderr, "unknown option '%s'\n",
                              arg.c_str());
@@ -317,6 +320,13 @@ cmdRun(int argc, char **argv)
     cfg.enableTiming = args.timing;
     ExperimentDriver driver(cfg, args.jobs);
     driver.setBatching(args.batch);
+    driver.setSpeculate(args.speculate);
+    if (args.speculate && args.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "--speculate needs a store (pass --store DIR "
+                     "or set STEMS_STORE)\n");
+        return 1;
+    }
     if (!args.storeDir.empty()) {
         auto store = std::make_shared<TraceStore>(args.storeDir);
         if (store->usable()) {
@@ -375,6 +385,7 @@ cmdRun(int argc, char **argv)
                 {"jobs", std::to_string(args.jobs)},
                 {"timing", args.timing ? "true" : "false"},
                 {"batch", args.batch ? "true" : "false"},
+                {"speculate", args.speculate ? "true" : "false"},
                 {"store", args.storeDir.empty() ? "(none)"
                                                 : args.storeDir},
             };
