@@ -29,20 +29,20 @@ main(int argc, char **argv)
     counters_on.smsUseCounters = true;
     EngineOptions counters_off;
     counters_off.smsUseCounters = false;
-    const std::vector<EngineSpec> specs = {
-        {"sms", "counters", counters_on},
-        {"sms", "bit vector", counters_off},
-    };
-
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const SweepPlan plan = benchPlan(
+        opts, /*timing=*/false, benchWorkloads(opts),
+        std::vector<PlanEngine>{
+            {"sms", "counters", counters_on},
+            {"sms", "bit vector", counters_off},
+        });
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     Table table({"workload", "mode", "covered", "overpred"});
     double over_counter = 0, over_bitvec = 0, cov_counter = 0,
            cov_bitvec = 0;
     int n = 0;
-    const auto results = driver.run(benchWorkloads(opts), specs);
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         bool first = true;

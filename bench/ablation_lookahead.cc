@@ -24,22 +24,24 @@ main(int argc, char **argv)
     requireNoEngineSelection(opts, "fixed STeMS lookahead sweep");
     std::cout << banner("Ablation: STeMS stream lookahead", opts);
 
-    std::vector<EngineSpec> specs;
+    std::vector<PlanEngine> columns;
     for (unsigned lookahead : {2u, 4u, 8u, 12u, 16u, 24u}) {
         EngineOptions o;
         o.lookahead = lookahead;
-        specs.emplace_back("stems", std::to_string(lookahead), o);
+        columns.push_back(
+            PlanEngine{"stems", std::to_string(lookahead), o});
     }
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
-                            opts.jobs);
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"oltp-db2", "em3d"});
+    const SweepPlan plan = benchPlan(opts, /*timing=*/true,
+                                     workloads, std::move(columns));
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     Table table({"workload", "lookahead", "covered", "overpred",
                  "speedup"});
-    const std::vector<std::string> workloads =
-        benchWorkloads(opts, {"oltp-db2", "em3d"});
-    const auto results = driver.run(workloads, specs);
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         bool first = true;

@@ -25,16 +25,17 @@ main(int argc, char **argv)
     std::cout << banner(
         "Ablation: naive TMS+SMS hybrid vs unified STeMS", opts);
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
-    configureBenchDriver(driver, opts);
-    Table table({"workload", "engine", "covered", "overpred",
-                 "over ratio"});
     const std::vector<std::string> workloads = benchWorkloads(
         opts, {"web-apache", "web-zeus", "oltp-db2",
                "oltp-oracle"});
-    const auto results =
-        driver.run(workloads, engineSpecs({"tms+sms", "stems"}));
+    const SweepPlan plan =
+        benchPlan(opts, /*timing=*/false, workloads,
+                  std::vector<std::string>{"tms+sms", "stems"});
+    ExperimentDriver driver;
+    configureBenchDriver(driver, opts);
+    Table table({"workload", "engine", "covered", "overpred",
+                 "over ratio"});
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         const EngineResult *hybrid = r.find("tms+sms");

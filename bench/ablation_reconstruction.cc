@@ -46,8 +46,13 @@ main(int argc, char **argv)
     std::cout << banner(
         "Ablation: reconstruction displacement distribution", opts);
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    // Probe columns are not plan-serializable: the plan carries the
+    // engine shape (workloads, config, policy) and the probe-bearing
+    // EngineSpecs ride alongside via run(plan, specs).
+    const SweepPlan plan = benchPlan(
+        opts, /*timing=*/false, benchWorkloads(opts),
+        std::vector<std::string>{"stems"});
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     EngineSpec stems_spec("stems");
@@ -56,8 +61,7 @@ main(int argc, char **argv)
 
     Table table({"workload", "placements", "in place", "|d|<=1",
                  "|d|<=2", "dropped"});
-    const auto results =
-        driver.run(benchWorkloads(opts), {stems_spec});
+    const auto results = driver.run(plan, {stems_spec});
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         const EngineResult *e = r.find("stems");

@@ -27,24 +27,25 @@ main(int argc, char **argv)
 
     const std::vector<std::size_t> sizes = {
         16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 384 * 1024};
-    std::vector<EngineSpec> specs;
+    std::vector<PlanEngine> columns;
     for (std::size_t entries : sizes) {
         EngineOptions o;
         o.bufferEntries = entries;
         std::string label = std::to_string(entries / 1024) + "K";
-        specs.emplace_back("stems", "stems " + label, o);
-        specs.emplace_back("tms", "tms " + label, o);
+        columns.push_back(PlanEngine{"stems", "stems " + label, o});
+        columns.push_back(PlanEngine{"tms", "tms " + label, o});
     }
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"em3d", "oltp-db2"});
+    const SweepPlan plan = benchPlan(opts, /*timing=*/false,
+                                     workloads, std::move(columns));
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     Table table({"workload", "entries", "STeMS covered",
                  "TMS covered"});
-    const std::vector<std::string> workloads =
-        benchWorkloads(opts, {"em3d", "oltp-db2"});
-    const auto results = driver.run(workloads, specs);
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         bool first = true;

@@ -23,21 +23,23 @@ main(int argc, char **argv)
     requireNoEngineSelection(opts, "fixed STeMS queue-count sweep");
     std::cout << banner("Ablation: stream-queue count", opts);
 
-    std::vector<EngineSpec> specs;
+    std::vector<PlanEngine> columns;
     for (std::size_t queues : {1u, 2u, 4u, 8u, 16u}) {
         EngineOptions o;
         o.streamQueues = queues;
-        specs.emplace_back("stems", std::to_string(queues), o);
+        columns.push_back(
+            PlanEngine{"stems", std::to_string(queues), o});
     }
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const std::vector<std::string> workloads =
+        benchWorkloads(opts, {"web-apache", "oltp-db2"});
+    const SweepPlan plan = benchPlan(opts, /*timing=*/false,
+                                     workloads, std::move(columns));
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     Table table({"workload", "queues", "covered", "overpred"});
-    const std::vector<std::string> workloads =
-        benchWorkloads(opts, {"web-apache", "oltp-db2"});
-    const auto results = driver.run(workloads, specs);
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         bool first = true;

@@ -90,6 +90,8 @@ usage(const char *argv0, int status)
         "                     (stems-manifest-v1 JSON)\n"
         "  --progress N       heartbeat every N seconds on stderr\n"
         "                     (cells done, record-steps/s)\n"
+        "  --plan-out FILE    write the canonical SweepPlan JSON\n"
+        "                     this invocation runs\n"
         "  --list             list registered workloads/engines\n"
         "  --help             this message\n",
         argv0);
@@ -191,6 +193,8 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
             options.traceOutPath = value();
         } else if (arg == "--manifest-out") {
             options.manifestOutPath = value();
+        } else if (arg == "--plan-out") {
+            options.planOutPath = value();
         } else if (arg == "--progress") {
             const char *v = value();
             char *end = nullptr;
@@ -256,15 +260,53 @@ parseBenchOptions(int argc, char **argv, std::size_t default_records)
     return options;
 }
 
-ExperimentConfig
-benchConfig(const BenchOptions &options, bool enable_timing)
+SweepPlan
+benchPlan(const BenchOptions &options, bool enable_timing,
+          std::vector<std::string> workloads,
+          std::vector<PlanEngine> engines)
 {
-    ExperimentConfig config;
-    config.traceRecords = options.records;
-    config.seed = options.seed;
-    config.enableTiming = enable_timing;
-    config.warmupRecords = options.warmupRecords;
-    return config;
+    SweepPlan plan;
+    plan.workloads = std::move(workloads);
+    plan.engines = std::move(engines);
+    plan.records = options.records;
+    plan.seed = options.seed;
+    plan.warmupRecords = options.warmupRecords;
+    plan.timing = enable_timing;
+    plan.jobs = options.jobs;
+    plan.batch = options.batch;
+    plan.segments = options.segments;
+    plan.checkpointEvery = options.checkpointEvery;
+    plan.speculate = options.speculate;
+    plan.heartbeatSeconds = options.progressSeconds;
+    if (!options.planOutPath.empty()) {
+        std::string json = sweepPlanJson(plan);
+        std::FILE *f = std::fopen(options.planOutPath.c_str(), "w");
+        if (!f || std::fwrite(json.data(), 1, json.size(), f) !=
+                      json.size()) {
+            if (f)
+                std::fclose(f);
+            logError("cannot write plan to '" + options.planOutPath +
+                     "'");
+            std::exit(1);
+        }
+        std::fclose(f);
+        // stderr: bench stdout stays bitwise stable across runs.
+        logInfo("[plan] wrote " + options.planOutPath);
+    }
+    return plan;
+}
+
+SweepPlan
+benchPlan(const BenchOptions &options, bool enable_timing,
+          std::vector<std::string> workloads,
+          const std::vector<std::string> &engine_names)
+{
+    std::vector<PlanEngine> engines;
+    engines.reserve(engine_names.size());
+    for (const std::string &name : engine_names)
+        engines.push_back(PlanEngine{name, std::string(), {}});
+    return benchPlan(options, enable_timing, std::move(workloads),
+                     std::move(engines));
 }
 
 std::vector<std::string>
@@ -378,11 +420,6 @@ void
 configureBenchDriver(ExperimentDriver &driver,
                      const BenchOptions &options)
 {
-    driver.setBatching(options.batch);
-    driver.setSegments(options.segments);
-    driver.setCheckpointEvery(options.checkpointEvery);
-    driver.setSpeculate(options.speculate);
-    driver.setHeartbeatSeconds(options.progressSeconds);
     if (options.storeDir.empty())
         return;
     auto store = std::make_shared<TraceStore>(options.storeDir);

@@ -11,7 +11,7 @@
  *         [--store DIR] [--no-store] [--json FILE]
  *         [--batch] [--no-batch]
  *         [--segments K] [--checkpoint-every N] [--speculate]
- *         [--warmup-records N] [--list] [--help]
+ *         [--warmup-records N] [--plan-out FILE] [--list] [--help]
  *
  * The bare positional `records` argument is the historical interface
  * (e.g. `fig9_streaming_comparison 500000` for a quick run) and keeps
@@ -102,6 +102,10 @@ struct BenchOptions
     std::string manifestOutPath;
     /// Progress-heartbeat interval in seconds (--progress; 0 = off).
     double progressSeconds = 0.0;
+    /// Canonical SweepPlan JSON output path (--plan-out; empty =
+    /// none). Written by benchPlan, so any bench invocation can dump
+    /// the exact plan it runs.
+    std::string planOutPath;
 };
 
 /**
@@ -114,9 +118,27 @@ struct BenchOptions
 BenchOptions parseBenchOptions(int argc, char **argv,
                                std::size_t default_records);
 
-/** ExperimentConfig for the options (Table 1 system). */
-ExperimentConfig benchConfig(const BenchOptions &options,
-                             bool enable_timing);
+/**
+ * THE one place that maps the bench CLI onto a declarative
+ * SweepPlan: trace knobs (records/seed/warmup), timing mode, and
+ * the whole execution policy (jobs/batch/segments/checkpoint/
+ * speculate/heartbeat) come from `options`; the workload and engine
+ * columns are the bench's resolved selections. When --plan-out was
+ * given, the canonical plan JSON is written as a side effect (note
+ * on stderr), so every bench invocation can dump the exact plan it
+ * is about to run. Benches whose engine columns carry non-default
+ * options use the PlanEngine overload; probe columns are not
+ * serializable — such benches still build the plan here and pass
+ * their EngineSpecs to ExperimentDriver::run(plan, specs).
+ */
+SweepPlan benchPlan(const BenchOptions &options, bool enable_timing,
+                    std::vector<std::string> workloads,
+                    std::vector<PlanEngine> engines);
+
+/** benchPlan with default-option engine columns. */
+SweepPlan benchPlan(const BenchOptions &options, bool enable_timing,
+                    std::vector<std::string> workloads,
+                    const std::vector<std::string> &engine_names);
 
 /** The workloads to sweep: the selection, or the whole registry. */
 std::vector<std::string>
@@ -175,10 +197,11 @@ void maybeWritePerf(const BenchOptions &options,
                     double wall_seconds);
 
 /**
- * Apply the execution options to a driver: the batch toggle
- * (--batch/--no-batch) and the persistent TraceStore selected by
- * --store/STEMS_STORE (skipped when the options carry no store
- * directory).
+ * Attach the persistent TraceStore selected by --store/STEMS_STORE
+ * to a driver (no-op when the options carry no store directory;
+ * exits with an error when the directory is unusable). Execution
+ * policy is NOT applied here any more — it travels in the SweepPlan
+ * (benchPlan) and lands via ExperimentDriver::run(plan)/applyPlan.
  */
 void configureBenchDriver(ExperimentDriver &driver,
                           const BenchOptions &options);

@@ -29,8 +29,10 @@ main(int argc, char **argv)
     std::cout << banner("Figure 10: speedup over the stride baseline",
                         opts);
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
-                            opts.jobs);
+    const SweepPlan plan =
+        benchPlan(opts, /*timing=*/true, benchWorkloads(opts),
+                  std::vector<std::string>{"tms", "sms", "stems"});
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     Table table({"workload", "base IPC", "TMS", "SMS", "STeMS"});
@@ -40,8 +42,7 @@ main(int argc, char **argv)
     double log_stems_vs[3] = {}; // vs stride, sms, tms
     int commercial = 0;
 
-    const auto results = driver.run(
-        benchWorkloads(opts), engineSpecs({"tms", "sms", "stems"}));
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         const EngineResult *tms = r.find("tms");

@@ -31,9 +31,12 @@ main(int argc, char **argv)
                         opts);
 
     const std::vector<std::string> workloads = benchWorkloads(opts);
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const SweepPlan plan = benchPlan(opts, /*timing=*/false,
+                                     workloads,
+                                     std::vector<std::string>{});
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
+    driver.applyPlan(plan);
 
     // One analysis per workload, sharded over the pool; each worker
     // writes only its own slot.

@@ -66,9 +66,12 @@ main(int argc, char **argv)
         opts);
 
     const std::vector<std::string> workloads = benchWorkloads(opts);
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const SweepPlan plan = benchPlan(opts, /*timing=*/false,
+                                     workloads,
+                                     std::vector<std::string>{});
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
+    driver.applyPlan(plan);
 
     std::vector<Sequitur::Classification> all(workloads.size());
     std::vector<Sequitur::Classification> trig(workloads.size());

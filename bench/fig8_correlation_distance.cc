@@ -43,9 +43,12 @@ main(int argc, char **argv)
     Table table(headers);
 
     const std::vector<std::string> workloads = benchWorkloads(opts);
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const SweepPlan plan = benchPlan(opts, /*timing=*/false,
+                                     workloads,
+                                     std::vector<std::string>{});
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
+    driver.applyPlan(plan);
 
     std::vector<CorrelationAnalyzer> analyzers(workloads.size());
     driver.forEachTrace(

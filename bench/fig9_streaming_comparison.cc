@@ -31,8 +31,10 @@ main(int argc, char **argv)
 
     const std::vector<std::string> engines =
         benchEngines(opts, {"tms", "sms", "stems"});
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const std::vector<std::string> workloads = benchWorkloads(opts);
+    const SweepPlan plan =
+        benchPlan(opts, /*timing=*/false, workloads, engines);
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
 
     Table table({"workload", "base misses", "engine", "covered",
@@ -40,10 +42,9 @@ main(int argc, char **argv)
     std::vector<double> cov_sum(engines.size(), 0.0);
     std::vector<double> over_sum(engines.size(), 0.0);
     int n = 0;
-    const std::vector<std::string> workloads = benchWorkloads(opts);
     obs.phase("sweep");
     auto t0 = std::chrono::steady_clock::now();
-    const auto results = driver.run(workloads, engineSpecs(engines));
+    const auto results = driver.run(plan);
     double wall_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

@@ -85,6 +85,17 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // No driver sweep here, but --plan-out still documents the
+    // invocation as a plan (one workload, the measured lanes).
+    {
+        std::vector<PlanEngine> columns;
+        for (const LaneSpec &lane : lanes)
+            columns.push_back(
+                PlanEngine{lane.engine, lane.label, lane.options});
+        benchPlan(opts, /*timing=*/false, {workload_name},
+                  std::move(columns));
+    }
+
     // The trace sits in the on-disk v2 store format; every pass
     // below replays it through the mmap decoder, exactly as a cold
     // run replaying a stored trace would.

@@ -109,6 +109,11 @@ main(int argc, char **argv)
 
     const std::string workload_name =
         benchWorkloads(opts, {"oltp-db2"}).front();
+
+    // No driver sweep here either, but --plan-out still documents
+    // the invocation (one workload, the default engine set).
+    benchPlan(opts, /*timing=*/false, {workload_name},
+              std::vector<std::string>{});
     auto workload = makeWorkload(workload_name);
     if (!workload) {
         std::fprintf(stderr, "unknown workload '%s'\n",

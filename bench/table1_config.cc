@@ -50,9 +50,12 @@ main(int argc, char **argv)
 
     // Sampled summaries, generated in parallel through the driver.
     const std::vector<std::string> workloads = benchWorkloads(opts);
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/false),
-                            opts.jobs);
+    const SweepPlan plan = benchPlan(opts, /*timing=*/false,
+                                     workloads,
+                                     std::vector<std::string>{});
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
+    driver.applyPlan(plan);
     std::vector<TraceSummary> summaries(workloads.size());
     driver.forEachTrace(
         workloads,

@@ -129,14 +129,16 @@ main(int argc, char **argv)
                 100.0 * jc.smsOnly / jc.total(),
                 100.0 * jc.neither / jc.total());
 
-    // 2. Run the engines on it by name, through the driver.
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
-                            opts.jobs);
-    configureBenchDriver(driver, opts);
+    // 2. Run the engines on it by name, through the driver. The
+    // registered name drops straight into a SweepPlan like any
+    // built-in workload.
     const std::vector<std::string> engines =
         benchEngines(opts, {"tms", "sms", "stems"});
-    const auto results =
-        driver.run({"kv-store"}, engineSpecs(engines));
+    const SweepPlan plan =
+        benchPlan(opts, /*timing=*/true, {"kv-store"}, engines);
+    ExperimentDriver driver;
+    configureBenchDriver(driver, opts);
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         std::printf("%-8s %10s %10s %12s\n", "engine", "covered",

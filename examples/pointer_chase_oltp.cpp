@@ -85,11 +85,15 @@ main(int argc, char **argv)
     std::printf("pointer chase: 48 chains x 120 dependent hops, "
                 "repeated\n\n");
 
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
-                            opts.jobs);
-    configureBenchDriver(driver, opts);
+    // The workload object is unregistered, so runWorkload takes it
+    // directly; the plan still carries the trace knobs and policy.
     const std::vector<std::string> engines = benchEngines(
         opts, {"stride", "tms", "sms", "stems"});
+    const SweepPlan plan = benchPlan(opts, /*timing=*/true,
+                                     {workload.name()}, engines);
+    ExperimentDriver driver;
+    configureBenchDriver(driver, opts);
+    driver.applyPlan(plan);
     WorkloadResult r =
         driver.runWorkload(workload, engineSpecs(engines));
     maybeWriteJson(opts, {r});

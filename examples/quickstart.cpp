@@ -27,14 +27,16 @@ main(int argc, char **argv)
     const std::vector<std::string> engines =
         benchEngines(opts, {"tms", "sms", "stems"});
 
-    // The driver wires up the Table 1 system, runs the no-prefetch
-    // baseline (miss normalization), the stride baseline (speedup
-    // normalization) and each requested engine, sharding the cells
-    // over a thread pool.
-    ExperimentDriver driver(benchConfig(opts, /*timing=*/true),
-                            opts.jobs);
+    // The plan names the whole sweep (workloads x engines, trace
+    // knobs, execution policy); the driver wires up the Table 1
+    // system, runs the no-prefetch baseline (miss normalization),
+    // the stride baseline (speedup normalization) and each requested
+    // engine, sharding the cells over a thread pool.
+    const SweepPlan plan =
+        benchPlan(opts, /*timing=*/true, workloads, engines);
+    ExperimentDriver driver;
     configureBenchDriver(driver, opts);
-    const auto results = driver.run(workloads, engineSpecs(engines));
+    const auto results = driver.run(plan);
     maybeWriteJson(opts, results);
     for (const WorkloadResult &r : results) {
         std::printf("Workload  : %s (%s)\n", r.workload.c_str(),

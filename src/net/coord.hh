@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sweep coordinator: decomposes a SweepPlan into work units (one
+ * unit = one workload row) and hands them to connected workers over
+ * the net/protocol.hh pull protocol until every unit is complete.
+ *
+ * Single-threaded poll() loop; no driver dependency — the
+ * coordinator never simulates, it only schedules. Workers populate
+ * the shared content-addressed store; the caller (stems_trace
+ * serve) afterwards merges by running the same plan locally over
+ * the warm store, which reproduces the single-process output
+ * bitwise in fixed plan order.
+ *
+ * Fault model: a worker that disconnects mid-unit (crash, kill -9,
+ * network loss) has its unit requeued and handed to the next
+ * requester; because unit execution is idempotent against the store
+ * (re-running writes identical bytes under identical keys), partial
+ * work from the lost worker is either reused or redone, never
+ * corrupted. Workers that break framing or speak the wrong protocol
+ * version are dropped the same way.
+ */
+
+#ifndef STEMS_NET_COORD_HH
+#define STEMS_NET_COORD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket.hh"
+#include "sim/sweep_plan.hh"
+
+namespace stems {
+
+class SweepCoordinator
+{
+  public:
+    explicit SweepCoordinator(const SweepPlan &plan);
+    ~SweepCoordinator();
+
+    SweepCoordinator(const SweepCoordinator &) = delete;
+    SweepCoordinator &operator=(const SweepCoordinator &) = delete;
+
+    /** Bind the service port (0 picks an ephemeral one). */
+    bool listen(std::uint16_t port, std::string *error = nullptr);
+
+    /** The bound port, valid after listen(). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /**
+     * Distribute every unit; returns when all are complete (true)
+     * or when `timeout_seconds` passes without the sweep finishing
+     * (false, *error set; 0 = wait forever). Blocks the calling
+     * thread; safe to run on a dedicated thread in-process.
+     */
+    bool serve(double timeout_seconds = 0.0,
+               std::string *error = nullptr);
+
+    std::uint64_t unitsCompleted() const { return completed_; }
+    std::uint64_t unitsRequeued() const { return requeued_; }
+    std::uint64_t workersSeen() const { return workersSeen_; }
+
+  private:
+    enum class UnitState : std::uint8_t
+    {
+        kPending,
+        kInFlight,
+        kDone
+    };
+
+    enum class ConnState : std::uint8_t
+    {
+        kAwaitHello, ///< accepted, no kMsgHello yet
+        kAwaitAck,   ///< plan sent, no kMsgPlanAck yet
+        kIdle,       ///< ready, no outstanding unit request
+        kParked,     ///< asked for work while none was pending
+        kWorking     ///< owns an in-flight unit
+    };
+
+    struct Conn
+    {
+        std::unique_ptr<FramedConn> io;
+        ConnState state = ConnState::kAwaitHello;
+        std::size_t unit = 0; ///< valid in kWorking
+    };
+
+    bool assignUnit(Conn &conn);
+    void finishConn(Conn &conn);
+    void dropConn(std::size_t index);
+    bool handleFrame(std::size_t index, const Frame &frame);
+    bool allDone() const { return completed_ == units_.size(); }
+
+    SweepPlan plan_;
+    std::string planJson_;
+    std::uint64_t planDigest_ = 0;
+    TcpListener listener_;
+    std::vector<UnitState> units_;
+    std::vector<Conn> conns_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t requeued_ = 0;
+    std::uint64_t workersSeen_ = 0;
+};
+
+} // namespace stems
+
+#endif // STEMS_NET_COORD_HH

@@ -1,0 +1,145 @@
+#include "net/frame.hh"
+
+#include <cstring>
+
+#include "common/crc32.hh"
+
+namespace stems {
+
+namespace {
+
+std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+storeU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), p, p + sizeof(v));
+}
+
+void
+storeU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&v);
+    out.insert(out.end(), p, p + sizeof(v));
+}
+
+/** CRC over type + length + payload (everything but the magic). */
+std::uint32_t
+frameCrc(std::uint32_t type, std::uint64_t length,
+         const std::uint8_t *payload)
+{
+    std::uint32_t crc = crc32Update(0, &type, sizeof(type));
+    crc = crc32Update(crc, &length, sizeof(length));
+    return crc32Update(crc, payload,
+                       static_cast<std::size_t>(length));
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeFrame(std::uint32_t type,
+            const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    storeU32(out, kFrameMagic);
+    storeU32(out, type);
+    storeU64(out, payload.size());
+    storeU32(out, frameCrc(type, payload.size(), payload.data()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+void
+FrameParser::reject(const char *reason)
+{
+    error_ = true;
+    errorText_ = reason;
+    // Drop everything buffered: once framing is lost nothing after
+    // this point can be trusted, and holding bytes would let a bad
+    // peer grow the buffer behind a latched error.
+    buf_.clear();
+    buf_.shrink_to_fit();
+    off_ = 0;
+}
+
+void
+FrameParser::feed(const void *data, std::size_t len)
+{
+    if (error_)
+        return;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+    // Validate the header as soon as it is complete — before any of
+    // the payload has necessarily arrived — so a corrupt magic or an
+    // oversized length is rejected without waiting for (or
+    // buffering toward) a payload that will never be accepted.
+    if (buf_.size() - off_ >= kFrameHeaderBytes) {
+        const std::uint8_t *h = buf_.data() + off_;
+        if (loadU32(h) != kFrameMagic) {
+            reject("bad frame magic");
+            return;
+        }
+        if (loadU64(h + 8) > kMaxFramePayload)
+            reject("oversized frame length");
+    }
+}
+
+bool
+FrameParser::next(Frame &out)
+{
+    if (error_ || buf_.size() - off_ < kFrameHeaderBytes)
+        return false;
+    const std::uint8_t *h = buf_.data() + off_;
+    // feed() validated magic and length for the frame at the front;
+    // frames behind it are validated when they reach the front.
+    const std::uint64_t len = loadU64(h + 8);
+    if (buf_.size() - off_ <
+        kFrameHeaderBytes + static_cast<std::size_t>(len))
+        return false;
+    const std::uint32_t want_crc = loadU32(h + 16);
+    const std::uint8_t *payload = h + kFrameHeaderBytes;
+    if (frameCrc(loadU32(h + 4), len, payload) != want_crc) {
+        reject("frame checksum mismatch");
+        return false;
+    }
+    out.type = loadU32(h + 4);
+    out.payload.assign(payload,
+                       payload + static_cast<std::size_t>(len));
+    off_ += kFrameHeaderBytes + static_cast<std::size_t>(len);
+    if (off_ == buf_.size()) {
+        buf_.clear();
+        off_ = 0;
+    } else if (off_ >= (64u << 10)) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+        off_ = 0;
+    }
+    // Re-validate the header now at the front (feed() only checks
+    // the frame that was at the front when the bytes arrived).
+    if (buf_.size() - off_ >= kFrameHeaderBytes) {
+        const std::uint8_t *nh = buf_.data() + off_;
+        if (loadU32(nh) != kFrameMagic)
+            reject("bad frame magic");
+        else if (loadU64(nh + 8) > kMaxFramePayload)
+            reject("oversized frame length");
+    }
+    return true;
+}
+
+} // namespace stems

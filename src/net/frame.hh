@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Length-prefixed, CRC-framed wire format for the sweep service.
+ *
+ * Every message on a coordinator/worker connection is one frame:
+ *
+ *   offset  0  u32 magic   "SNET"
+ *   offset  4  u32 type    protocol message type (net/protocol.hh)
+ *   offset  8  u64 length  payload bytes that follow the header
+ *   offset 16  u32 crc     CRC-32 (common/crc32.hh) of type,
+ *                          length, and payload — a corrupted type
+ *                          or length is a rejected frame, not a
+ *                          different message
+ *   offset 20  payload
+ *
+ * All fields little-endian, as everywhere else in the codebase. The
+ * parser follows the v2 trace codec's "reject, never mis-decode"
+ * discipline: the header is fully validated — magic, then the length
+ * against kMaxFramePayload — before a single payload byte is
+ * buffered for the frame, so a corrupt or hostile length field can
+ * never drive an allocation; a CRC mismatch rejects the frame. Any
+ * rejection latches the parser into an error state (the connection
+ * is unrecoverable once framing is lost).
+ */
+
+#ifndef STEMS_NET_FRAME_HH
+#define STEMS_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/state_codec.hh"
+
+namespace stems {
+
+/** Frame magic ("SNET" little-endian). */
+inline constexpr std::uint32_t kFrameMagic =
+    stateTag('S', 'N', 'E', 'T');
+
+/** Bytes before the payload: magic + type + length + CRC. */
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/** Hard cap on one frame's payload. The largest real payload is a
+ *  plan JSON (a few KiB); 16 MiB leaves headroom without letting a
+ *  corrupt length field look plausible. */
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/** One decoded frame. */
+struct Frame
+{
+    std::uint32_t type = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Serialize one frame (header + payload), ready to send. */
+std::vector<std::uint8_t> encodeFrame(
+    std::uint32_t type, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental frame decoder. feed() raw received bytes, then drain
+ * complete frames with next(). After any malformed input (bad
+ * magic, oversized length, CRC mismatch) error() latches true,
+ * next() always returns false and further feed()s are ignored — the
+ * caller must drop the connection.
+ */
+class FrameParser
+{
+  public:
+    void feed(const void *data, std::size_t len);
+
+    /** Extract the next complete frame. @return false when no
+     *  complete frame is buffered (or the parser is in error). */
+    bool next(Frame &out);
+
+    bool error() const { return error_; }
+
+    /** Human-readable reason once error() is true. */
+    const std::string &errorText() const { return errorText_; }
+
+    /** Bytes currently buffered (tests assert boundedness). */
+    std::size_t bufferedBytes() const { return buf_.size() - off_; }
+
+  private:
+    void reject(const char *reason);
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t off_ = 0;
+    bool error_ = false;
+    std::string errorText_;
+};
+
+} // namespace stems
+
+#endif // STEMS_NET_FRAME_HH

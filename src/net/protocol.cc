@@ -1,0 +1,139 @@
+#include "net/protocol.hh"
+
+#include "common/state_codec.hh"
+
+namespace stems {
+
+namespace {
+
+constexpr std::uint32_t kHelloTag = stateTag('N', 'H', 'L', 'O');
+constexpr std::uint32_t kPlanTag = stateTag('N', 'P', 'L', 'N');
+constexpr std::uint32_t kPlanAckTag = stateTag('N', 'P', 'A', 'K');
+constexpr std::uint32_t kUnitTag = stateTag('N', 'U', 'N', 'T');
+constexpr std::uint32_t kUnitDoneTag = stateTag('N', 'U', 'D', 'N');
+
+/** Plan JSON is small; anything near the frame cap is hostile. */
+constexpr std::size_t kMaxStringBytes = 4u << 20;
+
+void
+writeString(StateWriter &w, const std::string &s)
+{
+    w.u64(s.size());
+    for (char c : s)
+        w.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string
+readString(StateReader &r, std::size_t limit = kMaxStringBytes)
+{
+    std::uint64_t n = r.u64();
+    if (n > limit) {
+        r.fail();
+        return {};
+    }
+    std::string s;
+    s.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+        s.push_back(static_cast<char>(r.u8()));
+    return r.ok() ? s : std::string();
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeHello(const HelloMsg &msg)
+{
+    StateWriter w;
+    w.tag(kHelloTag);
+    w.u32(msg.version);
+    return w.take();
+}
+
+bool
+decodeHello(const std::vector<std::uint8_t> &bytes, HelloMsg &out)
+{
+    StateReader r(bytes.data(), bytes.size());
+    r.tag(kHelloTag);
+    out.version = r.u32();
+    return r.atEnd();
+}
+
+std::vector<std::uint8_t>
+encodePlanMsg(const PlanMsg &msg)
+{
+    StateWriter w;
+    w.tag(kPlanTag);
+    w.u64(msg.planDigest);
+    writeString(w, msg.planJson);
+    return w.take();
+}
+
+bool
+decodePlanMsg(const std::vector<std::uint8_t> &bytes, PlanMsg &out)
+{
+    StateReader r(bytes.data(), bytes.size());
+    r.tag(kPlanTag);
+    out.planDigest = r.u64();
+    out.planJson = readString(r);
+    return r.atEnd();
+}
+
+std::vector<std::uint8_t>
+encodePlanAck(const PlanAckMsg &msg)
+{
+    StateWriter w;
+    w.tag(kPlanAckTag);
+    w.u64(msg.planDigest);
+    return w.take();
+}
+
+bool
+decodePlanAck(const std::vector<std::uint8_t> &bytes,
+              PlanAckMsg &out)
+{
+    StateReader r(bytes.data(), bytes.size());
+    r.tag(kPlanAckTag);
+    out.planDigest = r.u64();
+    return r.atEnd();
+}
+
+std::vector<std::uint8_t>
+encodeUnit(const UnitMsg &msg)
+{
+    StateWriter w;
+    w.tag(kUnitTag);
+    w.u64(msg.unitIndex);
+    writeString(w, msg.workload);
+    return w.take();
+}
+
+bool
+decodeUnit(const std::vector<std::uint8_t> &bytes, UnitMsg &out)
+{
+    StateReader r(bytes.data(), bytes.size());
+    r.tag(kUnitTag);
+    out.unitIndex = r.u64();
+    out.workload = readString(r, 64u << 10);
+    return r.atEnd();
+}
+
+std::vector<std::uint8_t>
+encodeUnitDone(const UnitDoneMsg &msg)
+{
+    StateWriter w;
+    w.tag(kUnitDoneTag);
+    w.u64(msg.unitIndex);
+    return w.take();
+}
+
+bool
+decodeUnitDone(const std::vector<std::uint8_t> &bytes,
+               UnitDoneMsg &out)
+{
+    StateReader r(bytes.data(), bytes.size());
+    r.tag(kUnitDoneTag);
+    out.unitIndex = r.u64();
+    return r.atEnd();
+}
+
+} // namespace stems

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sweep-service protocol: the messages exchanged between
+ * `stems_trace serve` (coordinator) and `stems_trace worker`.
+ *
+ * The protocol is a pull model over the content-addressed store:
+ * the wire carries only control traffic, the store directory is the
+ * data plane. A worker connects, proves version compatibility
+ * (kHello), receives the full declarative SweepPlan as canonical
+ * JSON plus its digest (kPlan, acknowledged by echoing the digest
+ * in kPlanAck), then loops requesting work units (kRequestUnit ->
+ * kUnit). One unit is one workload of the plan; executing it runs
+ * every cell of that workload's row through the normal driver lane
+ * path, persisting baselines and results into the shared store.
+ * kUnitDone reports completion; when every unit of the plan is
+ * complete the coordinator answers pending requests with kBye.
+ *
+ * Determinism: because workers only ever *populate* the store —
+ * under exactly the keys a single-process sweep would use — the
+ * coordinator's merge is a plain local run of the same plan over
+ * the now-warm store, which makes the distributed result bitwise
+ * identical to the single-process one by construction, regardless
+ * of worker count, scheduling, or mid-sweep worker loss (a lost
+ * unit is requeued; re-execution writes the same bytes).
+ *
+ * Payload encodings use common/state_codec.hh with the same
+ * bounds-checked "reject, never mis-decode" discipline as the
+ * checkpoint codec; the frame layer (net/frame.hh) already
+ * CRC-protects every message.
+ */
+
+#ifndef STEMS_NET_PROTOCOL_HH
+#define STEMS_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stems {
+
+/** Bumped on any wire-visible change; kHello carries it. */
+inline constexpr std::uint32_t kNetProtocolVersion = 1;
+
+/** Frame types (net/frame.hh `type` field). */
+enum NetMsg : std::uint32_t
+{
+    kMsgHello = 1,       ///< worker -> coord: protocol version
+    kMsgPlan = 2,        ///< coord -> worker: plan JSON + digest
+    kMsgPlanAck = 3,     ///< worker -> coord: echoes plan digest
+    kMsgRequestUnit = 4, ///< worker -> coord: give me work
+    kMsgUnit = 5,        ///< coord -> worker: one work unit
+    kMsgUnitDone = 6,    ///< worker -> coord: unit completed
+    kMsgBye = 7,         ///< coord -> worker: sweep finished
+};
+
+/** kMsgHello payload. */
+struct HelloMsg
+{
+    std::uint32_t version = kNetProtocolVersion;
+};
+
+/** kMsgPlan payload: the canonical plan JSON plus its digest
+ *  (store/keys.hh sweepPlanDigest) so the worker can verify the
+ *  text it parsed is the plan the coordinator is running. */
+struct PlanMsg
+{
+    std::uint64_t planDigest = 0;
+    std::string planJson;
+};
+
+/** kMsgPlanAck payload. */
+struct PlanAckMsg
+{
+    std::uint64_t planDigest = 0;
+};
+
+/** kMsgUnit payload: one workload row of the plan. */
+struct UnitMsg
+{
+    std::uint64_t unitIndex = 0;
+    std::string workload;
+};
+
+/** kMsgUnitDone payload. */
+struct UnitDoneMsg
+{
+    std::uint64_t unitIndex = 0;
+};
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg &msg);
+bool decodeHello(const std::vector<std::uint8_t> &bytes,
+                 HelloMsg &out);
+
+std::vector<std::uint8_t> encodePlanMsg(const PlanMsg &msg);
+bool decodePlanMsg(const std::vector<std::uint8_t> &bytes,
+                   PlanMsg &out);
+
+std::vector<std::uint8_t> encodePlanAck(const PlanAckMsg &msg);
+bool decodePlanAck(const std::vector<std::uint8_t> &bytes,
+                   PlanAckMsg &out);
+
+std::vector<std::uint8_t> encodeUnit(const UnitMsg &msg);
+bool decodeUnit(const std::vector<std::uint8_t> &bytes,
+                UnitMsg &out);
+
+std::vector<std::uint8_t> encodeUnitDone(const UnitDoneMsg &msg);
+bool decodeUnitDone(const std::vector<std::uint8_t> &bytes,
+                    UnitDoneMsg &out);
+
+} // namespace stems
+
+#endif // STEMS_NET_PROTOCOL_HH

@@ -1,0 +1,247 @@
+#include "net/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+
+namespace stems {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &text)
+{
+    if (error)
+        *error = text;
+}
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+Counter &
+bytesSent()
+{
+    static Counter &c =
+        MetricsRegistry::instance().counter("net.bytes.sent");
+    return c;
+}
+
+Counter &
+bytesReceived()
+{
+    static Counter &c =
+        MetricsRegistry::instance().counter("net.bytes.received");
+    return c;
+}
+
+} // namespace
+
+TcpListener::~TcpListener() { close(); }
+
+bool
+TcpListener::open(std::uint16_t port, std::string *error)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        setError(error, errnoText("socket"));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, errnoText("bind"));
+        close();
+        return false;
+    }
+    if (::listen(fd_, 16) != 0) {
+        setError(error, errnoText("listen"));
+        close();
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    else
+        port_ = port;
+    return true;
+}
+
+int
+TcpListener::accept()
+{
+    if (fd_ < 0)
+        return -1;
+    int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+        int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    }
+    return conn;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+connectWithRetry(const std::string &host, std::uint16_t port,
+                 double timeout_seconds, std::string *error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        setError(error, "bad host address '" + host + "'");
+        return -1;
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    std::string last = "connect never attempted";
+    for (;;) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            setError(error, errnoText("socket"));
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return fd;
+        }
+        last = errnoText("connect");
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline)
+            break;
+        // The coordinator may simply not be listening yet.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+    }
+    setError(error, last + " (retried " +
+                        std::to_string(timeout_seconds) + "s)");
+    return -1;
+}
+
+bool
+FramedConn::sendFrame(std::uint32_t type,
+                      const std::vector<std::uint8_t> &payload,
+                      std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "send on closed connection");
+        return false;
+    }
+    const std::vector<std::uint8_t> wire =
+        encodeFrame(type, payload);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n = ::send(fd_, wire.data() + sent,
+                           wire.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            setError(error, errnoText("send"));
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    bytesSent().add(wire.size());
+    MetricsRegistry::instance().counter("net.frames.sent").add();
+    return true;
+}
+
+bool
+FramedConn::readAvailable(std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "read on closed connection");
+        return false;
+    }
+    std::uint8_t chunk[64 * 1024];
+    ssize_t n;
+    do {
+        n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+        setError(error, errnoText("recv"));
+        return false;
+    }
+    if (n == 0) {
+        setError(error, "connection closed by peer");
+        return false;
+    }
+    bytesReceived().add(static_cast<std::uint64_t>(n));
+    parser_.feed(chunk, static_cast<std::size_t>(n));
+    if (parser_.error()) {
+        MetricsRegistry::instance()
+            .counter("net.frames.rejected")
+            .add();
+        setError(error, parser_.errorText());
+        return false;
+    }
+    return true;
+}
+
+bool
+FramedConn::nextFrame(Frame &out)
+{
+    if (!parser_.next(out))
+        return false;
+    MetricsRegistry::instance()
+        .counter("net.frames.received")
+        .add();
+    return true;
+}
+
+bool
+FramedConn::recvFrame(Frame &out, std::string *error)
+{
+    for (;;) {
+        if (nextFrame(out))
+            return true;
+        if (parser_.error()) {
+            setError(error, parser_.errorText());
+            return false;
+        }
+        if (!readAvailable(error))
+            return false;
+    }
+}
+
+void
+FramedConn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace stems

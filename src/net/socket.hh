@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal POSIX TCP plumbing for the sweep service: a listener, a
+ * connect-with-retry client helper, and FramedConn — one connection
+ * speaking the net/frame.hh wire format.
+ *
+ * Scope is deliberately small: IPv4, blocking sockets (the
+ * coordinator multiplexes with poll() and reads only sockets poll
+ * reported readable; frames are small enough that blocking writes
+ * cannot deadlock the pull-model protocol), loopback-oriented
+ * defaults. Every byte in or out is counted into the process
+ * metrics registry (net.bytes.*, net.frames.*), so stems_report
+ * metrics shows the wire traffic of a distributed sweep alongside
+ * the store and driver counters.
+ */
+
+#ifndef STEMS_NET_SOCKET_HH
+#define STEMS_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hh"
+
+namespace stems {
+
+/**
+ * Listening TCP socket. Binds on construction-time open(); port 0
+ * picks an ephemeral port, readable afterwards through port() (how
+ * the loopback tests wire workers to an in-process coordinator).
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Bind + listen on 0.0.0.0:`port`. */
+    bool open(std::uint16_t port, std::string *error = nullptr);
+
+    /** Accept one pending connection; -1 when none/failed. */
+    int accept();
+
+    /** The bound port (resolves port-0 binds). */
+    std::uint16_t port() const { return port_; }
+
+    int fd() const { return fd_; }
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/**
+ * Connect to host:port, retrying until `timeout_seconds` elapses
+ * (the worker may start before the coordinator is listening).
+ * @return the connected fd, or -1 with *error set.
+ */
+int connectWithRetry(const std::string &host, std::uint16_t port,
+                     double timeout_seconds,
+                     std::string *error = nullptr);
+
+/**
+ * One framed connection: owns the fd, sends whole frames, and
+ * decodes received bytes through a FrameParser. Receive side is
+ * split so both uses fit: the coordinator calls readAvailable()
+ * once per poll() readiness then drains nextFrame(); the worker
+ * blocks in recvFrame().
+ */
+class FramedConn
+{
+  public:
+    explicit FramedConn(int fd) : fd_(fd) {}
+    ~FramedConn() { close(); }
+
+    FramedConn(const FramedConn &) = delete;
+    FramedConn &operator=(const FramedConn &) = delete;
+
+    /** Send one whole frame (blocking). */
+    bool sendFrame(std::uint32_t type,
+                   const std::vector<std::uint8_t> &payload,
+                   std::string *error = nullptr);
+
+    /**
+     * One recv() into the parser. @return false on EOF, socket
+     * error, or malformed framing (frameError() distinguishes).
+     */
+    bool readAvailable(std::string *error = nullptr);
+
+    /** Drain the next complete frame, if any. */
+    bool nextFrame(Frame &out);
+
+    /** Block until a whole frame arrives (worker side). */
+    bool recvFrame(Frame &out, std::string *error = nullptr);
+
+    /** True once the peer broke the framing protocol. */
+    bool frameError() const { return parser_.error(); }
+
+    const std::string &frameErrorText() const
+    {
+        return parser_.errorText();
+    }
+
+    int fd() const { return fd_; }
+
+    bool closed() const { return fd_ < 0; }
+
+    void close();
+
+  private:
+    int fd_;
+    FrameParser parser_;
+};
+
+} // namespace stems
+
+#endif // STEMS_NET_SOCKET_HH

@@ -1,0 +1,140 @@
+#include "net/worker.hh"
+
+#include <filesystem>
+#include <memory>
+
+#include "net/protocol.hh"
+#include "net/socket.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
+#include "sim/driver.hh"
+#include "store/keys.hh"
+#include "store/trace_store.hh"
+
+namespace stems {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &text)
+{
+    if (error)
+        *error = text;
+}
+
+} // namespace
+
+bool
+runWorker(const WorkerOptions &options, WorkerReport *report,
+          std::string *error)
+{
+    WorkerReport local;
+    WorkerReport &out = report ? *report : local;
+    out = WorkerReport{};
+
+    // The store directory must already exist — it is the shared
+    // data plane the coordinator merges from. Creating a fresh one
+    // here (TraceStore would) means the worker writes results where
+    // no merge will ever look; fail before touching the network.
+    std::error_code ec;
+    if (!std::filesystem::is_directory(options.storeDir, ec)) {
+        setError(error, "no trace store at '" + options.storeDir +
+                            "'");
+        return false;
+    }
+    auto store = std::make_shared<TraceStore>(options.storeDir);
+    if (!store->usable()) {
+        setError(error, "cannot open trace store '" +
+                            options.storeDir + "'");
+        return false;
+    }
+
+    int fd = connectWithRetry(options.host, options.port,
+                              options.connectTimeoutSeconds, error);
+    if (fd < 0)
+        return false;
+    FramedConn conn(fd);
+
+    HelloMsg hello;
+    if (!conn.sendFrame(kMsgHello, encodeHello(hello), error))
+        return false;
+
+    Frame frame;
+    if (!conn.recvFrame(frame, error))
+        return false;
+    PlanMsg plan_msg;
+    if (frame.type != kMsgPlan ||
+        !decodePlanMsg(frame.payload, plan_msg)) {
+        setError(error, "expected plan, got frame type " +
+                            std::to_string(frame.type));
+        return false;
+    }
+    SweepPlan plan;
+    std::string parse_error;
+    if (!parseSweepPlanJson(plan_msg.planJson, plan,
+                            &parse_error)) {
+        setError(error, "bad plan: " + parse_error);
+        return false;
+    }
+    // Round-tripping the parsed plan must land on the digest the
+    // coordinator advertised; anything else means we would execute
+    // (and key the store for) a different sweep than it merges.
+    if (sweepPlanDigest(plan) != plan_msg.planDigest) {
+        setError(error, "plan digest mismatch");
+        return false;
+    }
+    PlanAckMsg ack;
+    ack.planDigest = plan_msg.planDigest;
+    if (!conn.sendFrame(kMsgPlanAck, encodePlanAck(ack), error))
+        return false;
+
+    // One driver for the whole session: policy from the plan, the
+    // shared store attached, baseline cache warm across units.
+    ExperimentDriver driver;
+    driver.applyPlan(plan);
+    driver.setStore(store);
+
+    for (;;) {
+        if (!conn.sendFrame(kMsgRequestUnit, {}, error))
+            return false;
+        if (!conn.recvFrame(frame, error))
+            return false;
+        if (frame.type == kMsgBye)
+            return true;
+        UnitMsg unit;
+        if (frame.type != kMsgUnit ||
+            !decodeUnit(frame.payload, unit)) {
+            setError(error, "expected unit, got frame type " +
+                                std::to_string(frame.type));
+            return false;
+        }
+        if (options.abandonAfterUnits > 0 &&
+            out.unitsCompleted >= options.abandonAfterUnits) {
+            // Vanish mid-unit: the coordinator must requeue it.
+            conn.close();
+            out.abandoned = true;
+            return true;
+        }
+        {
+            ScopedSpan span("worker.unit", "net");
+            span.arg("workload", unit.workload);
+            span.arg("unit", unit.unitIndex);
+            SweepPlan unit_plan = plan;
+            unit_plan.workloads = {unit.workload};
+            // Results go to the store under the same keys a local
+            // sweep would use; the return value is irrelevant here.
+            driver.run(unit_plan);
+        }
+        out.unitsCompleted++;
+        MetricsRegistry::instance()
+            .counter("worker.units.completed")
+            .add();
+        UnitDoneMsg done;
+        done.unitIndex = unit.unitIndex;
+        if (!conn.sendFrame(kMsgUnitDone, encodeUnitDone(done),
+                            error))
+            return false;
+    }
+}
+
+} // namespace stems

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sweep worker: connects to a coordinator (net/coord.hh), receives
+ * the declarative SweepPlan, and executes work units — one workload
+ * row each — through the exact same ExperimentDriver lane path a
+ * local sweep uses, persisting baselines and per-engine results
+ * into the shared content-addressed store. The wire never carries
+ * results; the store is the data plane.
+ *
+ * The worker re-derives the plan digest from the JSON it parsed and
+ * refuses a coordinator whose digest disagrees (a mismatch means
+ * the canonical-JSON contract broke somewhere — running anyway
+ * would poison the store under wrong keys).
+ */
+
+#ifndef STEMS_NET_WORKER_HH
+#define STEMS_NET_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stems {
+
+struct WorkerOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Shared store directory (the data plane). Must exist.
+    std::string storeDir;
+    /// How long to retry the initial connect (the worker may start
+    /// before the coordinator listens).
+    double connectTimeoutSeconds = 10.0;
+    /// Test hook: after completing this many units, vanish without
+    /// a goodbye (simulates kill -9) the moment the next unit
+    /// arrives. 0 = never abandon.
+    unsigned abandonAfterUnits = 0;
+};
+
+struct WorkerReport
+{
+    std::uint64_t unitsCompleted = 0;
+    bool abandoned = false;
+};
+
+/**
+ * Run the worker loop until the coordinator says kMsgBye (or the
+ * abandon hook fires). @return false with *error set on connection,
+ * protocol, store, or plan failures.
+ */
+bool runWorker(const WorkerOptions &options,
+               WorkerReport *report = nullptr,
+               std::string *error = nullptr);
+
+} // namespace stems
+
+#endif // STEMS_NET_WORKER_HH

@@ -6,10 +6,8 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
-#include <iomanip>
 #include <map>
 #include <optional>
-#include <sstream>
 #include <thread>
 
 #include "common/log.hh"
@@ -20,6 +18,7 @@
 #include "sim/batch_sim.hh"
 #include "sim/checkpoint.hh"
 #include "sim/speculate.hh"
+#include "store/keys.hh"
 #include "store/trace_store.hh"
 #include "trace/trace_io.hh"
 #include "workloads/registry.hh"
@@ -138,8 +137,7 @@ specResultDigest(const EngineSpec &spec, bool scientific)
 {
     EngineOptions effective = spec.options;
     effective.scientific = effective.scientific || scientific;
-    return storeDigest(describeEngineSpec(spec.engine, effective,
-                                          spec.probeId));
+    return engineSpecDigest(spec.engine, effective, spec.probeId);
 }
 
 /** One unit of work: a single simulation over one shard's trace. */
@@ -169,6 +167,16 @@ engineSpecs(const std::vector<std::string> &names)
     return specs;
 }
 
+std::vector<EngineSpec>
+planEngineSpecs(const SweepPlan &plan)
+{
+    std::vector<EngineSpec> specs;
+    specs.reserve(plan.engines.size());
+    for (const PlanEngine &e : plan.engines)
+        specs.emplace_back(e.engine, e.label, e.options);
+    return specs;
+}
+
 unsigned
 ExperimentDriver::resolveJobs(unsigned jobs)
 {
@@ -195,33 +203,42 @@ ExperimentDriver::setStore(std::shared_ptr<TraceStore> store)
 {
     store_ = std::move(store);
     if (store_) {
-        // Everything besides the trace itself that determines the
-        // baseline metrics: the modelled system and the warmup split.
-        // (Trace length and seed are part of the trace identity.)
-        std::ostringstream os;
-        os << describeSystem(config_.system) << "\nwarmup="
-           << std::setprecision(17) << config_.warmupFraction;
-        // Appended only when set so stores written before the
-        // absolute-warmup knob existed keep their keys.
-        if (config_.warmupRecords > 0)
-            os << "\nwarmupRecords=" << config_.warmupRecords;
-        configDigest_ = storeDigest(os.str());
-        // Engine results additionally depend on the timing mode (a
-        // functional run's stats carry no cycles) and their on-disk
-        // format version; baselines handle both via in-entry flags.
-        std::ostringstream ros;
-        ros << os.str() << "\ntiming=" << config_.enableTiming
-            << "\nresultv=1";
-        resultConfigDigest_ = storeDigest(ros.str());
-        // Checkpoints exclude warmup here: it joins each entry's
-        // state digest (see driver.hh) so pre-warmup checkpoints are
-        // shareable across warmup settings and record counts.
-        std::ostringstream cs;
-        cs << describeSystem(config_.system)
-           << "\ntiming=" << config_.enableTiming
-           << "\nckptv=" << kCheckpointVersion;
-        ckptConfigDigest_ = storeDigest(cs.str());
+        // The store's key vocabulary lives in store/keys.hh; the
+        // driver only caches the three config-context digests here.
+        configDigest_ = baselineConfigDigest(config_);
+        resultConfigDigest_ = stems::resultConfigDigest(config_);
+        ckptConfigDigest_ = checkpointConfigDigest(config_);
     }
+}
+
+void
+ExperimentDriver::applyPlan(const SweepPlan &plan)
+{
+    ExperimentConfig next = planExperimentConfig(plan);
+    next.system = config_.system;
+    // The name-keyed baseline cache describes the old trace/warmup
+    // configuration; a changed plan would silently serve stale
+    // baselines without this.
+    const bool trace_knobs_changed =
+        next.traceRecords != config_.traceRecords ||
+        next.seed != config_.seed ||
+        next.warmupFraction != config_.warmupFraction ||
+        next.warmupRecords != config_.warmupRecords ||
+        next.enableTiming != config_.enableTiming;
+    config_ = next;
+    if (trace_knobs_changed)
+        clearBaselineCache();
+    jobs_ = resolveJobs(plan.jobs);
+    batching_ = plan.batch;
+    segments_ = plan.segments == 0 ? 1 : plan.segments;
+    checkpointEvery_ =
+        static_cast<std::size_t>(plan.checkpointEvery);
+    speculate_ = plan.speculate;
+    heartbeatSeconds_ =
+        plan.heartbeatSeconds < 0 ? 0.0 : plan.heartbeatSeconds;
+    // Refresh the store-context digests for the new configuration.
+    if (store_)
+        setStore(store_);
 }
 
 Trace
@@ -528,20 +545,12 @@ ExperimentDriver::runCells(
         });
     };
 
-    /** The state digest of a checkpoint at `index`: trace-prefix
-     *  content plus the warmup boundary's effect on that prefix
-     *  ("pending" while it lies at or beyond the index, so the
-     *  prefix state cannot depend on its exact value yet). */
+    // The state digest of a checkpoint (store/keys.hh): trace-prefix
+    // content plus the warmup boundary's effect on that prefix.
     auto ckpt_state_digest = [](std::uint64_t prefix_digest,
                                 std::size_t index,
                                 std::size_t warmup) {
-        std::ostringstream os;
-        os << std::hex << prefix_digest << "|warmup=";
-        if (warmup < index)
-            os << std::dec << warmup;
-        else
-            os << "pending";
-        return storeDigest(os.str());
+        return checkpointStateDigest(prefix_digest, index, warmup);
     };
 
     /** Checkpoint identity of a cell's simulator: the engine spec
@@ -556,8 +565,7 @@ ExperimentDriver::runCells(
         case Cell::kStride: {
             EngineOptions options;
             options.scientific = shard.scientific;
-            return storeDigest(
-                describeEngineSpec("stride", options));
+            return engineSpecDigest("stride", options);
         }
         case Cell::kEngine:
         default: {
@@ -565,8 +573,7 @@ ExperimentDriver::runCells(
             EngineOptions options = spec.options;
             options.scientific =
                 options.scientific || shard.scientific;
-            return storeDigest(
-                describeEngineSpec(spec.engine, options));
+            return engineSpecDigest(spec.engine, options);
         }
         }
     };
@@ -1228,6 +1235,20 @@ ExperimentDriver::run(const std::vector<std::string> &workloads,
         owned.push_back(std::move(w));
     }
     return runCells(ptrs, engines, /*cacheable=*/true);
+}
+
+std::vector<WorkloadResult>
+ExperimentDriver::run(const SweepPlan &plan)
+{
+    return run(plan, planEngineSpecs(plan));
+}
+
+std::vector<WorkloadResult>
+ExperimentDriver::run(const SweepPlan &plan,
+                      const std::vector<EngineSpec> &engines)
+{
+    applyPlan(plan);
+    return run(plan.workloads, engines);
 }
 
 std::vector<WorkloadResult>

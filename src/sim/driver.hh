@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/sweep_plan.hh"
 
 namespace stems {
 
@@ -103,6 +104,9 @@ struct EngineSpec
 std::vector<EngineSpec>
 engineSpecs(const std::vector<std::string> &names);
 
+/** The engine columns a plan describes, as runnable specs. */
+std::vector<EngineSpec> planEngineSpecs(const SweepPlan &plan);
+
 /**
  * The parallel sweep driver. One instance owns a baseline cache tied
  * to its ExperimentConfig; reuse the instance across calls to
@@ -117,6 +121,42 @@ class ExperimentDriver
      */
     explicit ExperimentDriver(ExperimentConfig config,
                               unsigned jobs = 0);
+
+    /** A driver awaiting a plan: Table 1 system, default knobs.
+     *  Attach a store (setStore) and call run(plan). */
+    ExperimentDriver() : ExperimentDriver(ExperimentConfig{}) {}
+
+    /**
+     * THE entry point: execute a declarative SweepPlan — workloads x
+     * engines under the plan's trace, warmup and execution-policy
+     * knobs — and return results merged in the plan's (workload,
+     * engine) order. Equivalent to applyPlan(plan) followed by
+     * run(plan.workloads, planEngineSpecs(plan)); bitwise identical
+     * for any jobs/batch/segments/speculate policy.
+     */
+    std::vector<WorkloadResult> run(const SweepPlan &plan);
+
+    /**
+     * Plan-driven sweep with caller-built engine columns: for probe
+     * and ablation sweeps whose EngineSpecs carry state a plan
+     * cannot serialize (probes). The plan still supplies workloads,
+     * config and execution policy; `engines` replaces the plan's
+     * engine list.
+     */
+    std::vector<WorkloadResult>
+    run(const SweepPlan &plan,
+        const std::vector<EngineSpec> &engines);
+
+    /**
+     * Adopt a plan's configuration without running: trace knobs
+     * (records/seed/warmup/timing), jobs, and the whole execution
+     * policy, refreshed store digests included. The baseline cache
+     * is dropped when the trace/warmup knobs change (cached
+     * baselines would describe the old configuration). Used by
+     * run(plan) and by harnesses that pair a plan with forEachTrace
+     * or runWorkload.
+     */
+    void applyPlan(const SweepPlan &plan);
 
     /** Sweep (workloads x engines) by registered workload name.
      *  Unknown workload names are skipped (no result row). */
@@ -179,6 +219,15 @@ class ExperimentDriver
     {
         return store_;
     }
+
+    // ------------------------------------------------------------
+    // Execution-policy setters. DEPRECATED shims: new code should
+    // describe the whole sweep as a SweepPlan and call run(plan) /
+    // applyPlan(plan) instead of mutating the driver field by
+    // field — a plan can be serialized, diffed, digested and
+    // shipped to a worker; a setter chain cannot. Each setter
+    // remains exactly equivalent to the matching plan field.
+    // ------------------------------------------------------------
 
     /**
      * Enable/disable batched execution (default: enabled). Batched,

@@ -1,0 +1,481 @@
+#include "sim/sweep_plan.hh"
+
+#include <cstdio>
+
+#include "common/mini_json.hh"
+#include "common/state_codec.hh"
+
+namespace stems {
+
+namespace {
+
+constexpr std::uint32_t kPlanTag = stateTag('S', 'W', 'P', 'L');
+constexpr std::uint32_t kPlanEndTag = stateTag('S', 'W', 'P', 'E');
+constexpr std::uint32_t kPlanVersion = 1;
+
+std::string
+u64Token(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** `null` for unset optional engine knobs, so every options object
+ *  carries every key and equal plans have equal bytes. */
+template <typename T>
+std::string
+optToken(const std::optional<T> &v)
+{
+    return v ? u64Token(static_cast<std::uint64_t>(*v)) : "null";
+}
+
+std::string
+optBoolToken(const std::optional<bool> &v)
+{
+    if (!v)
+        return "null";
+    return *v ? "true" : "false";
+}
+
+const char *
+boolToken(bool v)
+{
+    return v ? "true" : "false";
+}
+
+// ---- strict parse helpers -----------------------------------------
+
+bool
+parseFail(std::string *error, const std::string &what)
+{
+    if (error && error->empty())
+        *error = what;
+    return false;
+}
+
+bool
+asU64(const JsonValue &v, std::uint64_t &out)
+{
+    if (v.kind != JsonValue::Kind::kNumber || !v.isInteger)
+        return false;
+    out = v.integer;
+    return true;
+}
+
+bool
+asBool(const JsonValue &v, bool &out)
+{
+    if (v.kind != JsonValue::Kind::kBool)
+        return false;
+    out = v.boolean;
+    return true;
+}
+
+bool
+asDouble(const JsonValue &v, double &out)
+{
+    if (v.kind != JsonValue::Kind::kNumber)
+        return false;
+    out = v.number;
+    return true;
+}
+
+bool
+parseOptions(const JsonValue &v, EngineOptions &options,
+             std::string *error)
+{
+    if (v.kind != JsonValue::Kind::kObject)
+        return parseFail(error, "engine options must be an object");
+    for (const auto &kv : v.members) {
+        const std::string &key = kv.first;
+        const JsonValue &val = kv.second;
+        const bool is_null = val.kind == JsonValue::Kind::kNull;
+        std::uint64_t u = 0;
+        bool b = false;
+        if (key == "buffer_entries") {
+            if (is_null)
+                continue;
+            if (!asU64(val, u))
+                return parseFail(error, "bad buffer_entries");
+            options.bufferEntries = static_cast<std::size_t>(u);
+        } else if (key == "displacement_window") {
+            if (is_null)
+                continue;
+            if (!asU64(val, u))
+                return parseFail(error, "bad displacement_window");
+            options.displacementWindow = static_cast<unsigned>(u);
+        } else if (key == "lookahead") {
+            if (is_null)
+                continue;
+            if (!asU64(val, u))
+                return parseFail(error, "bad lookahead");
+            options.lookahead = static_cast<unsigned>(u);
+        } else if (key == "scientific") {
+            if (!asBool(val, b))
+                return parseFail(error, "bad scientific");
+            options.scientific = b;
+        } else if (key == "sms_use_counters") {
+            if (is_null)
+                continue;
+            if (!asBool(val, b))
+                return parseFail(error, "bad sms_use_counters");
+            options.smsUseCounters = b;
+        } else if (key == "stream_queues") {
+            if (is_null)
+                continue;
+            if (!asU64(val, u))
+                return parseFail(error, "bad stream_queues");
+            options.streamQueues = static_cast<std::size_t>(u);
+        } else {
+            return parseFail(error,
+                             "unknown engine option '" + key + "'");
+        }
+    }
+    return true;
+}
+
+bool
+parseEngine(const JsonValue &v, PlanEngine &engine,
+            std::string *error)
+{
+    if (v.kind != JsonValue::Kind::kObject)
+        return parseFail(error, "engine entry must be an object");
+    bool have_name = false;
+    for (const auto &kv : v.members) {
+        const std::string &key = kv.first;
+        const JsonValue &val = kv.second;
+        if (key == "engine") {
+            if (val.kind != JsonValue::Kind::kString)
+                return parseFail(error, "bad engine name");
+            engine.engine = val.text;
+            have_name = true;
+        } else if (key == "label") {
+            if (val.kind != JsonValue::Kind::kString)
+                return parseFail(error, "bad engine label");
+            engine.label = val.text;
+        } else if (key == "options") {
+            if (!parseOptions(val, engine.options, error))
+                return false;
+        } else {
+            return parseFail(error,
+                             "unknown engine field '" + key + "'");
+        }
+    }
+    if (!have_name || engine.engine.empty())
+        return parseFail(error, "engine entry missing a name");
+    return true;
+}
+
+// ---- binary string helpers ----------------------------------------
+
+void
+writeString(StateWriter &w, const std::string &s)
+{
+    w.u64(s.size());
+    for (char c : s)
+        w.u8(static_cast<std::uint8_t>(c));
+}
+
+std::string
+readString(StateReader &r)
+{
+    // Strings here are short names/labels; cap the announced length
+    // so a corrupt stream cannot force a huge allocation.
+    constexpr std::uint64_t kMaxLen = 1 << 16;
+    std::uint64_t len = r.u64();
+    if (len > kMaxLen) {
+        r.fail();
+        return {};
+    }
+    std::string s;
+    s.reserve(static_cast<std::size_t>(len));
+    for (std::uint64_t i = 0; i < len && r.ok(); ++i)
+        s += static_cast<char>(r.u8());
+    return s;
+}
+
+template <typename T>
+void
+writeOptU64(StateWriter &w, const std::optional<T> &v)
+{
+    w.boolean(v.has_value());
+    w.u64(v ? static_cast<std::uint64_t>(*v) : 0);
+}
+
+void
+writeOptBool(StateWriter &w, const std::optional<bool> &v)
+{
+    w.boolean(v.has_value());
+    w.boolean(v.value_or(false));
+}
+
+} // namespace
+
+std::string
+sweepPlanJson(const SweepPlan &plan)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"batch\": ";
+    out += boolToken(plan.batch);
+    out += ",\n  \"checkpoint_every\": " +
+           u64Token(plan.checkpointEvery);
+    out += ",\n  \"engines\": [";
+    for (std::size_t i = 0; i < plan.engines.size(); ++i) {
+        const PlanEngine &e = plan.engines[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\n";
+        out += "      \"engine\": \"" + jsonEscape(e.engine) +
+               "\",\n";
+        out += "      \"label\": \"" + jsonEscape(e.label) + "\",\n";
+        out += "      \"options\": {\n";
+        out += "        \"buffer_entries\": " +
+               optToken(e.options.bufferEntries) + ",\n";
+        out += "        \"displacement_window\": " +
+               optToken(e.options.displacementWindow) + ",\n";
+        out += "        \"lookahead\": " +
+               optToken(e.options.lookahead) + ",\n";
+        out += std::string("        \"scientific\": ") +
+               boolToken(e.options.scientific) + ",\n";
+        out += "        \"sms_use_counters\": " +
+               optBoolToken(e.options.smsUseCounters) + ",\n";
+        out += "        \"stream_queues\": " +
+               optToken(e.options.streamQueues) + "\n";
+        out += "      }\n";
+        out += "    }";
+    }
+    out += plan.engines.empty() ? "]" : "\n  ]";
+    out += ",\n  \"heartbeat_seconds\": " +
+           jsonDouble(plan.heartbeatSeconds);
+    out += ",\n  \"jobs\": " + u64Token(plan.jobs);
+    out += ",\n  \"records\": " + u64Token(plan.records);
+    out += ",\n  \"schema\": \"";
+    out += kSweepPlanSchema;
+    out += "\"";
+    out += ",\n  \"seed\": " + u64Token(plan.seed);
+    out += ",\n  \"segments\": " + u64Token(plan.segments);
+    out += ",\n  \"speculate\": ";
+    out += boolToken(plan.speculate);
+    out += ",\n  \"timing\": ";
+    out += boolToken(plan.timing);
+    out += ",\n  \"warmup_fraction\": " +
+           jsonDouble(plan.warmupFraction);
+    out += ",\n  \"warmup_records\": " + u64Token(plan.warmupRecords);
+    out += ",\n  \"workloads\": [";
+    for (std::size_t i = 0; i < plan.workloads.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(plan.workloads[i]) + "\"";
+    }
+    out += plan.workloads.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+parseSweepPlanJson(const std::string &text, SweepPlan &plan,
+                   std::string *error)
+{
+    JsonParser parser(text);
+    JsonValue root;
+    if (!parser.parseValue(root))
+        return parseFail(error, "bad JSON: " + parser.error);
+    parser.skipWs();
+    if (parser.p != parser.end)
+        return parseFail(error, "trailing content after plan");
+    if (root.kind != JsonValue::Kind::kObject)
+        return parseFail(error, "plan must be a JSON object");
+
+    SweepPlan out;
+    bool have_schema = false;
+    for (const auto &kv : root.members) {
+        const std::string &key = kv.first;
+        const JsonValue &val = kv.second;
+        std::uint64_t u = 0;
+        if (key == "schema") {
+            if (val.kind != JsonValue::Kind::kString ||
+                val.text != kSweepPlanSchema)
+                return parseFail(error, "unsupported plan schema");
+            have_schema = true;
+        } else if (key == "batch") {
+            if (!asBool(val, out.batch))
+                return parseFail(error, "bad batch");
+        } else if (key == "checkpoint_every") {
+            if (!asU64(val, out.checkpointEvery))
+                return parseFail(error, "bad checkpoint_every");
+        } else if (key == "engines") {
+            if (val.kind != JsonValue::Kind::kArray)
+                return parseFail(error, "engines must be an array");
+            for (const JsonValue &item : val.items) {
+                PlanEngine engine;
+                if (!parseEngine(item, engine, error))
+                    return false;
+                out.engines.push_back(std::move(engine));
+            }
+        } else if (key == "heartbeat_seconds") {
+            if (!asDouble(val, out.heartbeatSeconds))
+                return parseFail(error, "bad heartbeat_seconds");
+        } else if (key == "jobs") {
+            if (!asU64(val, u))
+                return parseFail(error, "bad jobs");
+            out.jobs = static_cast<unsigned>(u);
+        } else if (key == "records") {
+            if (!asU64(val, out.records))
+                return parseFail(error, "bad records");
+        } else if (key == "seed") {
+            if (!asU64(val, out.seed))
+                return parseFail(error, "bad seed");
+        } else if (key == "segments") {
+            if (!asU64(val, u))
+                return parseFail(error, "bad segments");
+            out.segments = static_cast<unsigned>(u);
+        } else if (key == "speculate") {
+            if (!asBool(val, out.speculate))
+                return parseFail(error, "bad speculate");
+        } else if (key == "timing") {
+            if (!asBool(val, out.timing))
+                return parseFail(error, "bad timing");
+        } else if (key == "warmup_fraction") {
+            if (!asDouble(val, out.warmupFraction))
+                return parseFail(error, "bad warmup_fraction");
+        } else if (key == "warmup_records") {
+            if (!asU64(val, out.warmupRecords))
+                return parseFail(error, "bad warmup_records");
+        } else if (key == "workloads") {
+            if (val.kind != JsonValue::Kind::kArray)
+                return parseFail(error, "workloads must be an array");
+            for (const JsonValue &item : val.items) {
+                if (item.kind != JsonValue::Kind::kString)
+                    return parseFail(error,
+                                     "workloads must be strings");
+                out.workloads.push_back(item.text);
+            }
+        } else {
+            return parseFail(error,
+                             "unknown plan field '" + key + "'");
+        }
+    }
+    if (!have_schema)
+        return parseFail(error, "plan is missing the schema tag");
+    plan = std::move(out);
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeSweepPlan(const SweepPlan &plan)
+{
+    StateWriter w;
+    w.tag(kPlanTag);
+    w.u32(kPlanVersion);
+    w.u64(plan.workloads.size());
+    for (const std::string &name : plan.workloads)
+        writeString(w, name);
+    w.u64(plan.engines.size());
+    for (const PlanEngine &e : plan.engines) {
+        writeString(w, e.engine);
+        writeString(w, e.label);
+        w.boolean(e.options.scientific);
+        writeOptU64(w, e.options.lookahead);
+        writeOptU64(w, e.options.bufferEntries);
+        writeOptU64(w, e.options.streamQueues);
+        writeOptBool(w, e.options.smsUseCounters);
+        writeOptU64(w, e.options.displacementWindow);
+    }
+    w.u64(plan.records);
+    w.u64(plan.seed);
+    w.f64(plan.warmupFraction);
+    w.u64(plan.warmupRecords);
+    w.boolean(plan.timing);
+    w.u32(plan.jobs);
+    w.boolean(plan.batch);
+    w.u32(plan.segments);
+    w.u64(plan.checkpointEvery);
+    w.boolean(plan.speculate);
+    w.f64(plan.heartbeatSeconds);
+    w.tag(kPlanEndTag);
+    return w.take();
+}
+
+bool
+decodeSweepPlan(const std::vector<std::uint8_t> &bytes,
+                SweepPlan &plan)
+{
+    StateReader r(bytes.data(), bytes.size());
+    r.tag(kPlanTag);
+    if (r.u32() != kPlanVersion)
+        return false;
+    SweepPlan out;
+    // Corrupt counts fail via the per-element bounds checks (every
+    // element is at least one byte, so a huge count cannot pass),
+    // but bail out early on an obviously impossible one.
+    std::uint64_t n = r.u64();
+    if (n > bytes.size())
+        return false;
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i)
+        out.workloads.push_back(readString(r));
+    n = r.u64();
+    if (n > bytes.size())
+        return false;
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        PlanEngine e;
+        e.engine = readString(r);
+        e.label = readString(r);
+        e.options.scientific = r.boolean();
+        if (r.boolean())
+            e.options.lookahead = static_cast<unsigned>(r.u64());
+        else
+            r.u64();
+        if (r.boolean())
+            e.options.bufferEntries =
+                static_cast<std::size_t>(r.u64());
+        else
+            r.u64();
+        if (r.boolean())
+            e.options.streamQueues =
+                static_cast<std::size_t>(r.u64());
+        else
+            r.u64();
+        if (r.boolean())
+            e.options.smsUseCounters = r.boolean();
+        else
+            r.boolean();
+        if (r.boolean())
+            e.options.displacementWindow =
+                static_cast<unsigned>(r.u64());
+        else
+            r.u64();
+        out.engines.push_back(std::move(e));
+    }
+    out.records = r.u64();
+    out.seed = r.u64();
+    out.warmupFraction = r.f64();
+    out.warmupRecords = r.u64();
+    out.timing = r.boolean();
+    out.jobs = r.u32();
+    out.batch = r.boolean();
+    out.segments = r.u32();
+    out.checkpointEvery = r.u64();
+    out.speculate = r.boolean();
+    out.heartbeatSeconds = r.f64();
+    r.tag(kPlanEndTag);
+    if (!r.atEnd())
+        return false;
+    plan = std::move(out);
+    return true;
+}
+
+ExperimentConfig
+planExperimentConfig(const SweepPlan &plan)
+{
+    ExperimentConfig config;
+    config.traceRecords = static_cast<std::size_t>(plan.records);
+    config.seed = plan.seed;
+    config.warmupFraction = plan.warmupFraction;
+    config.warmupRecords =
+        static_cast<std::size_t>(plan.warmupRecords);
+    config.enableTiming = plan.timing;
+    return config;
+}
+
+} // namespace stems

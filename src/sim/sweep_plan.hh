@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Declarative sweep description: the one value type that configures
+ * an ExperimentDriver run.
+ *
+ * A SweepPlan captures everything the driver's former setter chain
+ * (setBatching/setSegments/setCheckpointEvery/setSpeculate/
+ * setHeartbeatSeconds, plus the ExperimentConfig knobs) expressed —
+ * workloads x engine columns, records/seed/warmup, and the execution
+ * policy — as plain data. Unlike a mutated driver, a plan can be
+ * serialized, diffed, digested and handed to a remote worker: the
+ * distributed sweep service (net/coord.hh, net/worker.hh) ships the
+ * binary form over the wire, and `--plan-out` dumps the canonical
+ * JSON form for any bench invocation.
+ *
+ * Two codecs, both canonical:
+ *  - JSON (sweepPlanJson / parseSweepPlanJson): key-sorted,
+ *    mini_json conventions (`%.17g` doubles, exact u64 integers),
+ *    schema-tagged "stems-sweep-plan-v1". Every field is always
+ *    emitted (unset optional engine knobs as `null`), so two plans
+ *    are equal iff their JSON bytes are equal, and the parser
+ *    rejects unknown fields instead of guessing.
+ *  - binary (encodeSweepPlan / decodeSweepPlan): a state_codec
+ *    field stream framed by 'SWPL'/'SWPE' tags, used as wire
+ *    payload. Reject-never-misdecode like every other codec here.
+ *
+ * The plan's identity in the store's key vocabulary is
+ * sweepPlanDigest() (store/keys.hh): a digest of the canonical JSON,
+ * which coordinator and worker compare before executing anything.
+ *
+ * Deliberately NOT in the plan: the SystemConfig (every harness runs
+ * the paper's Table 1 system; describeSystem() already keys stored
+ * artifacts) and probes (opaque code — probe sweeps construct
+ * EngineSpecs directly and pass them to run(plan, specs)).
+ */
+
+#ifndef STEMS_SIM_SWEEP_PLAN_HH
+#define STEMS_SIM_SWEEP_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prefetch/engine_registry.hh"
+#include "sim/config.hh"
+
+namespace stems {
+
+/// Canonical JSON schema tag (also the digest domain prefix).
+inline constexpr const char *kSweepPlanSchema = "stems-sweep-plan-v1";
+
+/**
+ * One engine column of a plan: a registered engine name, the label
+ * results report it under (empty = the name), and the per-cell
+ * parameter overrides. The serializable subset of EngineSpec.
+ */
+struct PlanEngine
+{
+    std::string engine;
+    std::string label;
+    EngineOptions options;
+};
+
+/** A complete, serializable sweep description. */
+struct SweepPlan
+{
+    /// Registered workload names, in merge order.
+    std::vector<std::string> workloads;
+    /// Engine columns, in merge order.
+    std::vector<PlanEngine> engines;
+
+    /// Records generated per workload trace.
+    std::uint64_t records = 2'000'000;
+    /// Trace-generation seed.
+    std::uint64_t seed = 42;
+    /// Leading warmup fraction (ignored when warmupRecords is set).
+    double warmupFraction = 0.5;
+    /// Absolute warmup override (0 = use the fraction).
+    std::uint64_t warmupRecords = 0;
+    /// Model timing (Figure 10) or run functional-only (Figure 9).
+    bool timing = false;
+
+    // Execution policy. Every knob below is pure strategy: results
+    // are bitwise identical for any setting (the driver tests pin
+    // this), so none of them joins any cache key.
+    /// Worker threads (0 = hardware concurrency).
+    unsigned jobs = 0;
+    /// Batched execution (one trace pass per workload).
+    bool batch = true;
+    /// Segmented execution: segment count (1 = off).
+    unsigned segments = 1;
+    /// Absolute checkpoint interval (0 = off; wins over segments).
+    std::uint64_t checkpointEvery = 0;
+    /// Speculative segment-parallel cold execution.
+    bool speculate = false;
+    /// Progress-heartbeat interval in seconds (0 = off).
+    double heartbeatSeconds = 0.0;
+};
+
+/**
+ * Canonical key-sorted JSON form (trailing newline included). Equal
+ * plans produce equal bytes; parseSweepPlanJson(sweepPlanJson(p))
+ * re-emits the identical bytes (sweep_plan_test.cc pins this).
+ */
+std::string sweepPlanJson(const SweepPlan &plan);
+
+/**
+ * Parse the canonical JSON form. Strict: the schema tag must match,
+ * unknown or type-mismatched fields at any level (plan, engine,
+ * options) are rejected, and trailing garbage is an error.
+ *
+ * @param error  optional; receives a one-line reason on failure.
+ * @return false (plan unspecified) on any error.
+ */
+bool parseSweepPlanJson(const std::string &text, SweepPlan &plan,
+                        std::string *error = nullptr);
+
+/** Binary wire form ('SWPL' state_codec stream). */
+std::vector<std::uint8_t> encodeSweepPlan(const SweepPlan &plan);
+
+/** Decode the binary wire form; false on any structural mismatch. */
+bool decodeSweepPlan(const std::vector<std::uint8_t> &bytes,
+                     SweepPlan &plan);
+
+/**
+ * The ExperimentConfig a plan describes: Table 1 system plus the
+ * plan's trace and warmup knobs.
+ */
+ExperimentConfig planExperimentConfig(const SweepPlan &plan);
+
+} // namespace stems
+
+#endif // STEMS_SIM_SWEEP_PLAN_HH

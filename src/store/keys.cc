@@ -1,0 +1,85 @@
+#include "store/keys.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "sim/checkpoint.hh"
+#include "store/trace_store.hh"
+
+namespace stems {
+
+namespace {
+
+/** The (system, warmup) description shared by the baseline and
+ *  result digests. The warmupRecords line is appended only when set
+ *  so stores written before the absolute-warmup knob existed keep
+ *  their keys. */
+std::string
+describeBaselineConfig(const ExperimentConfig &config)
+{
+    std::ostringstream os;
+    os << describeSystem(config.system) << "\nwarmup="
+       << std::setprecision(17) << config.warmupFraction;
+    if (config.warmupRecords > 0)
+        os << "\nwarmupRecords=" << config.warmupRecords;
+    return os.str();
+}
+
+} // namespace
+
+std::uint64_t
+engineSpecDigest(const std::string &name,
+                 const EngineOptions &options,
+                 const std::string &probe_id)
+{
+    return storeDigest(describeEngineSpec(name, options, probe_id));
+}
+
+std::uint64_t
+baselineConfigDigest(const ExperimentConfig &config)
+{
+    return storeDigest(describeBaselineConfig(config));
+}
+
+std::uint64_t
+resultConfigDigest(const ExperimentConfig &config)
+{
+    // Engine results additionally depend on the timing mode (a
+    // functional run's stats carry no cycles) and their on-disk
+    // format version; baselines handle both via in-entry flags.
+    std::ostringstream os;
+    os << describeBaselineConfig(config)
+       << "\ntiming=" << config.enableTiming << "\nresultv=1";
+    return storeDigest(os.str());
+}
+
+std::uint64_t
+checkpointConfigDigest(const ExperimentConfig &config)
+{
+    std::ostringstream os;
+    os << describeSystem(config.system)
+       << "\ntiming=" << config.enableTiming
+       << "\nckptv=" << kCheckpointVersion;
+    return storeDigest(os.str());
+}
+
+std::uint64_t
+checkpointStateDigest(std::uint64_t prefix_digest, std::size_t index,
+                      std::size_t warmup)
+{
+    std::ostringstream os;
+    os << std::hex << prefix_digest << "|warmup=";
+    if (warmup < index)
+        os << std::dec << warmup;
+    else
+        os << "pending";
+    return storeDigest(os.str());
+}
+
+std::uint64_t
+sweepPlanDigest(const SweepPlan &plan)
+{
+    return storeDigest(sweepPlanJson(plan));
+}
+
+} // namespace stems

@@ -32,6 +32,26 @@
  *       $STEMS_STORE selects the directory).
  *   stems_trace list
  *       List the built-in workloads.
+ *   stems_trace sweep [bench flags] [--plan FILE] [--timing]
+ *       Run a declarative SweepPlan single-process: either built
+ *       from the shared bench flags (--workloads/--engines/
+ *       --records/--seed/--jobs/...) or loaded from a plan JSON
+ *       file (--plan; trace/policy flags are then ignored). With a
+ *       store the sweep replays anything already cached.
+ *   stems_trace serve [bench flags] [--plan FILE] [--timing]
+ *               [--port P] [--serve-timeout S]
+ *       Same plan, distributed: listen for `stems_trace worker`
+ *       processes, hand out one workload per work unit over the
+ *       framed TCP protocol (src/net/), and after every unit has
+ *       completed merge by running the plan locally over the shared
+ *       (now warm) store. Requires a store; stdout is bitwise
+ *       identical to `stems_trace sweep` of the same plan.
+ *   stems_trace worker --store DIR [--port P] [--host H]
+ *               [--connect-timeout S] [--abandon-after N]
+ *       Execute work units for a coordinator, simulating through
+ *       the normal driver lane path into the shared store. The
+ *       store directory must already exist. --abandon-after is a
+ *       test hook: vanish without a goodbye after N units.
  */
 
 #include <cstdio>
@@ -41,12 +61,18 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "analysis/correlation.hh"
 #include "analysis/coverage.hh"
+#include "bench/bench_util.hh"
+#include "net/coord.hh"
+#include "net/worker.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_span.hh"
 #include "sim/driver.hh"
+#include "store/keys.hh"
 #include "store/trace_store.hh"
 #include "trace/text_trace.hh"
 #include "trace/trace_io.hh"
@@ -76,7 +102,13 @@ usage()
         "  stems_trace export <trace.trc> <out.txt>\n"
         "  stems_trace cache ls [--store DIR]\n"
         "  stems_trace cache gc <budget-bytes> [--store DIR]\n"
-        "  stems_trace list\n");
+        "  stems_trace list\n"
+        "  stems_trace sweep [bench flags] [--plan FILE] "
+        "[--timing]\n"
+        "  stems_trace serve [bench flags] [--plan FILE] "
+        "[--timing] [--port P] [--serve-timeout S]\n"
+        "  stems_trace worker --store DIR [--port P] [--host H] "
+        "[--connect-timeout S] [--abandon-after N]\n");
     return 1;
 }
 
@@ -314,13 +346,24 @@ cmdRun(int argc, char **argv)
     }
 
     std::uint64_t digest = traceDigest(t);
+    const std::size_t trace_records = t.size();
     FixedTraceWorkload workload(baseName(args.positional[0]),
                                 std::move(t));
-    ExperimentConfig cfg;
-    cfg.enableTiming = args.timing;
-    ExperimentDriver driver(cfg, args.jobs);
-    driver.setBatching(args.batch);
-    driver.setSpeculate(args.speculate);
+    // Describe the run as a plan (the trace itself is fixed, so
+    // records documents its size and seed is immaterial) and let
+    // applyPlan carry both the config and the execution policy.
+    SweepPlan plan;
+    plan.workloads = {workload.name()};
+    for (const std::string &e : engines)
+        plan.engines.push_back(PlanEngine{e, "", {}});
+    plan.records = trace_records;
+    plan.seed = 0;
+    plan.timing = args.timing;
+    plan.jobs = args.jobs;
+    plan.batch = args.batch;
+    plan.speculate = args.speculate;
+    ExperimentDriver driver;
+    driver.applyPlan(plan);
     if (args.speculate && args.storeDir.empty()) {
         std::fprintf(stderr,
                      "--speculate needs a store (pass --store DIR "
@@ -540,6 +583,294 @@ cmdCache(int argc, char **argv)
     return usage();
 }
 
+// ---- declarative sweeps: sweep / serve / worker ------------------
+
+/**
+ * Service flags peeled off before the shared bench CLI parses the
+ * rest, so `sweep`/`serve` accept every bench flag (--workloads,
+ * --engines, --records, --store, --json, obs sinks, ...) plus the
+ * service-specific ones.
+ */
+struct ServiceArgs
+{
+    std::string planPath;
+    bool timing = false;
+    unsigned port = 0;
+    double serveTimeout = 600.0;
+    std::vector<char *> rest;
+    bool ok = true;
+
+    ServiceArgs(int argc, char **argv)
+    {
+        rest.push_back(argv[0]);
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s wants a value\n",
+                                 arg.c_str());
+                    ok = false;
+                    return "";
+                }
+                return argv[++i];
+            };
+            if (arg == "--plan") {
+                planPath = value();
+            } else if (arg == "--timing") {
+                timing = true;
+            } else if (arg == "--port") {
+                port = static_cast<unsigned>(
+                    std::strtoul(value(), nullptr, 10));
+            } else if (arg == "--serve-timeout") {
+                serveTimeout = std::strtod(value(), nullptr);
+            } else {
+                rest.push_back(argv[i]);
+            }
+        }
+    }
+};
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[4096];
+    std::size_t n;
+    out.clear();
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+/** The plan for sweep/serve: --plan FILE wins; otherwise built from
+ *  the bench flags via the one CLI->plan mapping (benchPlan). */
+bool
+buildServicePlan(const BenchOptions &opts, const ServiceArgs &svc,
+                 SweepPlan &plan)
+{
+    if (!svc.planPath.empty()) {
+        std::string text, parse_error;
+        if (!readWholeFile(svc.planPath, text)) {
+            std::fprintf(stderr, "cannot read plan '%s'\n",
+                         svc.planPath.c_str());
+            return false;
+        }
+        if (!parseSweepPlanJson(text, plan, &parse_error)) {
+            std::fprintf(stderr, "bad plan '%s': %s\n",
+                         svc.planPath.c_str(),
+                         parse_error.c_str());
+            return false;
+        }
+        return true;
+    }
+    plan = benchPlan(opts, svc.timing, benchWorkloads(opts),
+                     benchEngines(opts, {"tms", "sms", "stems"}));
+    return true;
+}
+
+/**
+ * Banner + results shared verbatim by `sweep` and `serve`: both are
+ * derived from the plan and the results only — never from the store
+ * directory, port, or worker count — so distributed stdout is
+ * bitwise identical to single-process stdout.
+ */
+void
+printPlanBanner(const SweepPlan &plan)
+{
+    std::printf("sweep plan %016llx: %zu workload(s) x %zu "
+                "engine(s), %llu records, seed %llu%s\n\n",
+                static_cast<unsigned long long>(
+                    sweepPlanDigest(plan)),
+                plan.workloads.size(), plan.engines.size(),
+                static_cast<unsigned long long>(plan.records),
+                static_cast<unsigned long long>(plan.seed),
+                plan.timing ? ", timing" : "");
+}
+
+void
+printSweepResults(const SweepPlan &plan,
+                  const std::vector<WorkloadResult> &results)
+{
+    for (const WorkloadResult &r : results) {
+        std::printf("%s: %llu baseline off-chip read misses\n",
+                    r.workload.c_str(),
+                    static_cast<unsigned long long>(
+                        r.baselineMisses));
+        std::printf("%-12s %9s %9s %9s%s\n", "engine", "covered",
+                    "uncovered", "overpred",
+                    plan.timing ? "   speedup" : "");
+        for (const EngineResult &e : r.engines) {
+            std::printf("%-12s %8.1f%% %8.1f%% %8.1f%%",
+                        e.engine.c_str(), 100.0 * e.coverage,
+                        100.0 * e.uncovered,
+                        100.0 * e.overprediction);
+            if (plan.timing)
+                std::printf(" %+8.1f%%", 100.0 * (e.speedup - 1.0));
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    ServiceArgs svc(argc, argv);
+    if (!svc.ok)
+        return usage();
+    BenchOptions opts = parseBenchOptions(
+        static_cast<int>(svc.rest.size()), svc.rest.data(),
+        2'000'000);
+    BenchObsSession obs(opts, "stems_trace sweep");
+    SweepPlan plan;
+    if (!buildServicePlan(opts, svc, plan))
+        return 1;
+    printPlanBanner(plan);
+
+    ExperimentDriver driver;
+    configureBenchDriver(driver, opts);
+    const auto results = driver.run(plan);
+    maybeWriteJson(opts, results);
+    printSweepResults(plan, results);
+    reportStoreStats(driver);
+    obs.finish();
+    return 0;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    ServiceArgs svc(argc, argv);
+    if (!svc.ok)
+        return usage();
+    BenchOptions opts = parseBenchOptions(
+        static_cast<int>(svc.rest.size()), svc.rest.data(),
+        2'000'000);
+    BenchObsSession obs(opts, "stems_trace serve");
+    SweepPlan plan;
+    if (!buildServicePlan(opts, svc, plan))
+        return 1;
+    if (opts.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "serve needs a shared store (--store DIR or "
+                     "STEMS_STORE): workers deliver results "
+                     "through it\n");
+        return 1;
+    }
+    printPlanBanner(plan);
+
+    SweepCoordinator coord(plan);
+    std::string error;
+    if (!coord.listen(static_cast<std::uint16_t>(svc.port),
+                      &error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[serve] listening on port %u, %zu work "
+                         "unit(s)\n",
+                 coord.port(), plan.workloads.size());
+    if (!coord.serve(svc.serveTimeout, &error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "[serve] %llu unit(s) completed by %llu worker(s)"
+                 " (%llu requeued); merging from store\n",
+                 static_cast<unsigned long long>(
+                     coord.unitsCompleted()),
+                 static_cast<unsigned long long>(
+                     coord.workersSeen()),
+                 static_cast<unsigned long long>(
+                     coord.unitsRequeued()));
+
+    // Merge: the same plan over the now-warm shared store. Every
+    // cell the workers ran is a store hit, so this reproduces the
+    // single-process output bitwise in fixed plan order.
+    ExperimentDriver driver;
+    configureBenchDriver(driver, opts);
+    const auto results = driver.run(plan);
+    maybeWriteJson(opts, results);
+    printSweepResults(plan, results);
+    reportStoreStats(driver);
+    obs.finish();
+    return 0;
+}
+
+int
+cmdWorker(int argc, char **argv)
+{
+    WorkerOptions w;
+    if (const char *env = std::getenv("STEMS_STORE"))
+        w.storeDir = env;
+    unsigned abandon = 0;
+    bool ok = true;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s wants a value\n",
+                             arg.c_str());
+                ok = false;
+                return "";
+            }
+            return argv[++i];
+        };
+        if (arg == "--store") {
+            w.storeDir = value();
+        } else if (arg == "--port") {
+            w.port = static_cast<std::uint16_t>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--host") {
+            w.host = value();
+        } else if (arg == "--connect-timeout") {
+            w.connectTimeoutSeconds = std::strtod(value(), nullptr);
+        } else if (arg == "--abandon-after") {
+            abandon = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            ok = false;
+        }
+    }
+    w.abandonAfterUnits = abandon;
+    if (!ok || w.port == 0) {
+        std::fprintf(stderr, "worker needs --port P\n");
+        return usage();
+    }
+    if (w.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "worker needs a store (--store DIR or "
+                     "STEMS_STORE)\n");
+        return 1;
+    }
+    // Validate the store directory before touching the network:
+    // a worker pointed at the wrong path would otherwise connect,
+    // take units, and fail them one by one.
+    std::error_code ec;
+    if (!std::filesystem::is_directory(w.storeDir, ec)) {
+        std::fprintf(stderr, "no trace store at '%s'\n",
+                     w.storeDir.c_str());
+        return 1;
+    }
+
+    WorkerReport report;
+    std::string error;
+    if (!runWorker(w, &report, &error)) {
+        std::fprintf(stderr, "worker: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[worker] %llu unit(s) completed%s\n",
+                 static_cast<unsigned long long>(
+                     report.unitsCompleted),
+                 report.abandoned ? " (abandoned)" : "");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -563,5 +894,11 @@ main(int argc, char **argv)
         return cmdExport(argc, argv);
     if (std::strcmp(argv[1], "cache") == 0)
         return cmdCache(argc, argv);
+    if (std::strcmp(argv[1], "sweep") == 0)
+        return cmdSweep(argc, argv);
+    if (std::strcmp(argv[1], "serve") == 0)
+        return cmdServe(argc, argv);
+    if (std::strcmp(argv[1], "worker") == 0)
+        return cmdWorker(argc, argv);
     return usage();
 }
