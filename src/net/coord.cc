@@ -1,7 +1,6 @@
 #include "net/coord.hh"
 
 #include <cerrno>
-#include <chrono>
 #include <poll.h>
 
 #include "net/protocol.hh"
@@ -26,14 +25,52 @@ coordCounter(const char *name)
     return MetricsRegistry::instance().counter(name);
 }
 
+const char *
+unitKindCounter(UnitKind kind)
+{
+    switch (kind) {
+    case UnitKind::kCell:
+        return "net.unit.cell";
+    case UnitKind::kSegment:
+        return "net.unit.segment";
+    case UnitKind::kWorkload:
+    default:
+        return "net.unit.workload";
+    }
+}
+
+std::vector<WorkUnit>
+storelessUnits(const SweepPlan &plan)
+{
+    // Without a store there is no seeding pass, so segment
+    // granularity degrades to the finest storeless decomposition
+    // (cells). Purely a scheduling matter: results are identical at
+    // any granularity.
+    SweepPlan local = plan;
+    if (local.unitGranularity == UnitGranularity::kSegment)
+        local.unitGranularity = UnitGranularity::kCell;
+    return decomposeSweepPlan(local, nullptr);
+}
+
 } // namespace
 
 SweepCoordinator::SweepCoordinator(const SweepPlan &plan)
+    : SweepCoordinator(plan, storelessUnits(plan))
+{
+}
+
+SweepCoordinator::SweepCoordinator(const SweepPlan &plan,
+                                   std::vector<WorkUnit> units)
     : plan_(plan),
       planJson_(sweepPlanJson(plan)),
-      planDigest_(sweepPlanDigest(plan)),
-      units_(plan.workloads.size(), UnitState::kPending)
+      planDigest_(sweepPlanDigest(plan))
 {
+    units_.reserve(units.size());
+    for (WorkUnit &work : units) {
+        Unit unit;
+        unit.work = std::move(work);
+        units_.push_back(std::move(unit));
+    }
 }
 
 SweepCoordinator::~SweepCoordinator() = default;
@@ -45,26 +82,60 @@ SweepCoordinator::listen(std::uint16_t port, std::string *error)
 }
 
 bool
+SweepCoordinator::unitAssignable(std::size_t index) const
+{
+    const Unit &unit = units_[index];
+    if (unit.state != UnitState::kPending)
+        return false;
+    const std::int64_t dep = unit.work.dependsOn;
+    return dep < 0 ||
+           units_[static_cast<std::size_t>(dep)].state ==
+               UnitState::kDone;
+}
+
+bool
 SweepCoordinator::assignUnit(Conn &conn)
 {
-    // Lowest pending index first: deterministic hand-out order (the
-    // results themselves are order-independent, but predictable
-    // scheduling keeps logs and tests readable).
+    // Lowest assignable index first: deterministic hand-out order
+    // (the results themselves are order-independent, but
+    // predictable scheduling keeps logs and tests readable), and
+    // segment chains advance front-to-back so dependents unblock as
+    // early as possible.
     for (std::size_t i = 0; i < units_.size(); ++i) {
-        if (units_[i] != UnitState::kPending)
+        if (!unitAssignable(i))
             continue;
+        const WorkUnit &work = units_[i].work;
         UnitMsg msg;
         msg.unitIndex = i;
-        msg.workload = plan_.workloads[i];
+        msg.workload = work.workload;
+        msg.kind = work.kind;
+        msg.column = work.column;
+        msg.segBegin = work.segBegin;
+        msg.segEnd = work.segEnd;
+        msg.finalSegment = work.finalSegment;
+        // Prefetch hint: the next pending unit with a *different*
+        // workload — its trace can be materialized into the store
+        // while this unit simulates.
+        for (std::size_t j = 0; j < units_.size(); ++j) {
+            if (j == i ||
+                units_[j].state != UnitState::kPending ||
+                units_[j].work.workload == work.workload)
+                continue;
+            msg.prefetchWorkload = units_[j].work.workload;
+            break;
+        }
         if (!conn.io->sendFrame(kMsgUnit, encodeUnit(msg)))
             return false;
-        units_[i] = UnitState::kInFlight;
+        units_[i].state = UnitState::kInFlight;
+        units_[i].session = conn.session;
+        units_[i].assignedAt = std::chrono::steady_clock::now();
         conn.state = ConnState::kWorking;
         conn.unit = i;
         coordCounter("coord.units.assigned").add();
+        coordCounter(unitKindCounter(work.kind)).add();
         return true;
     }
-    return false; // nothing pending
+    return false; // nothing assignable
 }
 
 /** Graceful end-of-sweep: kBye then close (not a failure path). */
@@ -77,7 +148,8 @@ SweepCoordinator::finishConn(Conn &conn)
     conn.io->close();
 }
 
-/** Abrupt loss: requeue the conn's unit and close. */
+/** Abrupt loss: reserve the conn's unit for a session reconnect
+ *  (or requeue it outright when resume is disabled) and close. */
 void
 SweepCoordinator::dropConn(std::size_t index)
 {
@@ -85,21 +157,88 @@ SweepCoordinator::dropConn(std::size_t index)
     if (conn.io->closed())
         return;
     if (conn.state == ConnState::kWorking &&
-        units_[conn.unit] == UnitState::kInFlight) {
-        units_[conn.unit] = UnitState::kPending;
-        requeued_++;
-        coordCounter("coord.units.requeued").add();
-        // A parked worker can take over the requeued unit at once.
-        for (Conn &other : conns_) {
-            if (&other != &conn && !other.io->closed() &&
-                other.state == ConnState::kParked) {
-                if (assignUnit(other))
-                    break;
-            }
+        units_[conn.unit].state == UnitState::kInFlight &&
+        units_[conn.unit].session == conn.session) {
+        Unit &unit = units_[conn.unit];
+        if (resumeGraceSeconds_ > 0.0 && conn.session != 0) {
+            unit.state = UnitState::kResumable;
+            unit.resumableAt = std::chrono::steady_clock::now();
+        } else {
+            unit.state = UnitState::kPending;
+            unit.session = 0;
+            requeued_++;
+            coordCounter("coord.units.requeued").add();
         }
     }
     conn.io->close();
     coordCounter("coord.workers.disconnected").add();
+    // A parked worker can take over anything now assignable.
+    pumpParked();
+}
+
+void
+SweepCoordinator::pumpParked()
+{
+    for (Conn &conn : conns_) {
+        if (conn.io->closed() || conn.state != ConnState::kParked)
+            continue;
+        conn.state = ConnState::kIdle;
+        if (!assignUnit(conn))
+            conn.state = ConnState::kParked;
+    }
+}
+
+void
+SweepCoordinator::expireUnits()
+{
+    const auto now = std::chrono::steady_clock::now();
+    const auto grace = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(resumeGraceSeconds_));
+    const auto unit_limit = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(unitTimeoutSeconds_));
+    bool changed = false;
+
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        Unit &unit = units_[i];
+        if (unit.state == UnitState::kResumable &&
+            now - unit.resumableAt >= grace) {
+            // The session never came back: give the unit away.
+            unit.state = UnitState::kPending;
+            unit.session = 0;
+            requeued_++;
+            coordCounter("coord.units.requeued").add();
+            changed = true;
+        } else if (unit.state == UnitState::kInFlight &&
+                   unitTimeoutSeconds_ > 0.0 &&
+                   now - unit.assignedAt >= unit_limit) {
+            // Slow-worker watchdog: one hung worker must not stall
+            // the sweep. Drop the connection (if it is still
+            // around) and requeue; a late kUnitDone from the
+            // zombie for an already-redone unit is ignored by the
+            // duplicate-done path.
+            for (Conn &conn : conns_) {
+                if (!conn.io->closed() &&
+                    conn.state == ConnState::kWorking &&
+                    conn.unit == i &&
+                    conn.session == unit.session) {
+                    conn.io->close();
+                    coordCounter("coord.workers.disconnected")
+                        .add();
+                    break;
+                }
+            }
+            unit.state = UnitState::kPending;
+            unit.session = 0;
+            requeued_++;
+            coordCounter("coord.units.requeued").add();
+            coordCounter("coord.units.watchdog").add();
+            changed = true;
+        }
+    }
+    if (changed)
+        pumpParked();
 }
 
 /** @return false when the connection must be dropped. */
@@ -111,12 +250,21 @@ SweepCoordinator::handleFrame(std::size_t index, const Frame &frame)
     case kMsgHello: {
         HelloMsg hello;
         if (conn.state != ConnState::kAwaitHello ||
-            !decodeHello(frame.payload, hello) ||
-            hello.version != kNetProtocolVersion)
+            !decodeHello(frame.payload, hello))
             return false;
+        if (hello.version != kNetProtocolVersion) {
+            // Clean cross-version rejection: an old (or newer) peer
+            // gets a definite kBye instead of a dead socket, so it
+            // reports a refusal rather than hanging in a retry.
+            finishConn(conn);
+            return true;
+        }
+        conn.session =
+            hello.sessionId != 0 ? hello.sessionId : nextSession_++;
         PlanMsg plan_msg;
         plan_msg.planDigest = planDigest_;
         plan_msg.planJson = planJson_;
+        plan_msg.sessionId = conn.session;
         if (!conn.io->sendFrame(kMsgPlan, encodePlanMsg(plan_msg)))
             return false;
         conn.state = ConnState::kAwaitAck;
@@ -131,6 +279,30 @@ SweepCoordinator::handleFrame(std::size_t index, const Frame &frame)
         conn.state = ConnState::kIdle;
         return true;
     }
+    case kMsgResume: {
+        ResumeMsg resume;
+        if (conn.state != ConnState::kIdle ||
+            !decodeResume(frame.payload, resume))
+            return false;
+        Unit *unit = resume.unitIndex < units_.size()
+                         ? &units_[resume.unitIndex]
+                         : nullptr;
+        ResumeAckMsg ack;
+        ack.unitIndex = resume.unitIndex;
+        if (unit && unit->state == UnitState::kResumable &&
+            unit->session == resume.sessionId &&
+            resume.sessionId == conn.session) {
+            unit->state = UnitState::kInFlight;
+            unit->assignedAt = std::chrono::steady_clock::now();
+            conn.state = ConnState::kWorking;
+            conn.unit = static_cast<std::size_t>(resume.unitIndex);
+            ack.accepted = true;
+            resumed_++;
+            coordCounter("net.unit.resumed").add();
+        }
+        return conn.io->sendFrame(kMsgResumeAck,
+                                  encodeResumeAck(ack));
+    }
     case kMsgRequestUnit: {
         if (conn.state != ConnState::kIdle)
             return false;
@@ -144,16 +316,28 @@ SweepCoordinator::handleFrame(std::size_t index, const Frame &frame)
     }
     case kMsgUnitDone: {
         UnitDoneMsg done;
-        if (conn.state != ConnState::kWorking ||
-            !decodeUnitDone(frame.payload, done) ||
-            done.unitIndex != conn.unit ||
-            units_[conn.unit] != UnitState::kInFlight)
+        if (!decodeUnitDone(frame.payload, done))
             return false;
-        units_[conn.unit] = UnitState::kDone;
-        completed_++;
-        coordCounter("coord.units.completed").add();
-        conn.state = ConnState::kIdle;
-        return true;
+        if (conn.state == ConnState::kWorking &&
+            done.unitIndex == conn.unit &&
+            units_[conn.unit].state == UnitState::kInFlight &&
+            units_[conn.unit].session == conn.session) {
+            units_[conn.unit].state = UnitState::kDone;
+            completed_++;
+            coordCounter("coord.units.completed").add();
+            conn.state = ConnState::kIdle;
+            // Completion may unblock segment-chain dependents.
+            pumpParked();
+            return true;
+        }
+        // Duplicate completion for a unit that is already done
+        // (retransmit after a resume, or a worker hook sending
+        // kUnitDone twice): idempotent, ignore.
+        if (done.unitIndex < units_.size() &&
+            units_[static_cast<std::size_t>(done.unitIndex)]
+                    .state == UnitState::kDone)
+            return true;
+        return false;
     }
     default:
         return false;
@@ -189,6 +373,9 @@ SweepCoordinator::serve(double timeout_seconds, std::string *error)
                 dropConn(i);
             return false;
         }
+        expireUnits();
+        if (allDone())
+            break;
 
         std::vector<pollfd> fds;
         fds.push_back({listener_.fd(), POLLIN, 0});

@@ -35,12 +35,31 @@
 #ifndef STEMS_SIM_CHECKPOINT_HH
 #define STEMS_SIM_CHECKPOINT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "sim/prefetch_sim.hh"
 
 namespace stems {
+
+/**
+ * Checkpoint boundaries over a trace of `trace_size` records under
+ * the segments/checkpoint-every policy: ascending multiples of
+ * `checkpoint_every` below the trace end (absolute indices, stable
+ * across record counts, which is what lets an extended re-run find a
+ * shorter run's checkpoints), or — when `checkpoint_every` is 0 —
+ * `segments` equal cuts; plus the trace end itself so a follow-up
+ * run can extend from the full prefix. Empty for an empty trace.
+ *
+ * THE boundary schedule: the driver's segmented execution and the
+ * distributed coordinator's segment-unit decomposition
+ * (net/units.hh) both call this, so a segment unit's endpoints
+ * provably sit on the indices workers checkpoint at.
+ */
+std::vector<std::size_t> checkpointBounds(std::size_t trace_size,
+                                          std::size_t checkpoint_every,
+                                          unsigned segments);
 
 /**
  * Current checkpoint blob format version.

@@ -11,7 +11,10 @@ namespace {
 
 constexpr std::uint32_t kPlanTag = stateTag('S', 'W', 'P', 'L');
 constexpr std::uint32_t kPlanEndTag = stateTag('S', 'W', 'P', 'E');
-constexpr std::uint32_t kPlanVersion = 1;
+// v2 added unit_granularity; v1 streams are rejected (the service
+// already rejects cross-version peers at the Hello stage, so a
+// version skew here means something worse than an old binary).
+constexpr std::uint32_t kPlanVersion = 2;
 
 std::string
 u64Token(std::uint64_t v)
@@ -213,6 +216,34 @@ writeOptBool(StateWriter &w, const std::optional<bool> &v)
 
 } // namespace
 
+const char *
+unitGranularityName(UnitGranularity granularity)
+{
+    switch (granularity) {
+    case UnitGranularity::kCell:
+        return "cell";
+    case UnitGranularity::kSegment:
+        return "segment";
+    case UnitGranularity::kWorkload:
+    default:
+        return "workload";
+    }
+}
+
+bool
+parseUnitGranularity(const std::string &text, UnitGranularity &out)
+{
+    if (text == "workload")
+        out = UnitGranularity::kWorkload;
+    else if (text == "cell")
+        out = UnitGranularity::kCell;
+    else if (text == "segment")
+        out = UnitGranularity::kSegment;
+    else
+        return false;
+    return true;
+}
+
 std::string
 sweepPlanJson(const SweepPlan &plan)
 {
@@ -260,6 +291,9 @@ sweepPlanJson(const SweepPlan &plan)
     out += boolToken(plan.speculate);
     out += ",\n  \"timing\": ";
     out += boolToken(plan.timing);
+    out += ",\n  \"unit_granularity\": \"";
+    out += unitGranularityName(plan.unitGranularity);
+    out += "\"";
     out += ",\n  \"warmup_fraction\": " +
            jsonDouble(plan.warmupFraction);
     out += ",\n  \"warmup_records\": " + u64Token(plan.warmupRecords);
@@ -336,6 +370,11 @@ parseSweepPlanJson(const std::string &text, SweepPlan &plan,
         } else if (key == "timing") {
             if (!asBool(val, out.timing))
                 return parseFail(error, "bad timing");
+        } else if (key == "unit_granularity") {
+            if (val.kind != JsonValue::Kind::kString ||
+                !parseUnitGranularity(val.text,
+                                      out.unitGranularity))
+                return parseFail(error, "bad unit_granularity");
         } else if (key == "warmup_fraction") {
             if (!asDouble(val, out.warmupFraction))
                 return parseFail(error, "bad warmup_fraction");
@@ -393,6 +432,7 @@ encodeSweepPlan(const SweepPlan &plan)
     w.u64(plan.checkpointEvery);
     w.boolean(plan.speculate);
     w.f64(plan.heartbeatSeconds);
+    w.u8(static_cast<std::uint8_t>(plan.unitGranularity));
     w.tag(kPlanEndTag);
     return w.take();
 }
@@ -458,6 +498,11 @@ decodeSweepPlan(const std::vector<std::uint8_t> &bytes,
     out.checkpointEvery = r.u64();
     out.speculate = r.boolean();
     out.heartbeatSeconds = r.f64();
+    const std::uint8_t granularity = r.u8();
+    if (granularity >
+        static_cast<std::uint8_t>(UnitGranularity::kSegment))
+        return false;
+    out.unitGranularity = static_cast<UnitGranularity>(granularity);
     r.tag(kPlanEndTag);
     if (!r.atEnd())
         return false;

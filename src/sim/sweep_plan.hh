@@ -61,6 +61,28 @@ struct PlanEngine
     EngineOptions options;
 };
 
+/**
+ * Work-unit granularity for the distributed sweep service: how the
+ * coordinator (net/coord.hh) decomposes this plan into units. Pure
+ * scheduling policy — results are bitwise identical for any
+ * setting — but part of the plan (and thus the digest) so every
+ * worker agrees on the unit numbering the wire messages reference.
+ */
+enum class UnitGranularity : std::uint8_t
+{
+    kWorkload = 0, ///< one unit = one workload row (the default)
+    kCell = 1,     ///< one unit = one (workload, engine column) cell
+    kSegment = 2,  ///< one unit = one checkpoint-delimited slice of
+                   ///< a cell, per the segments/checkpointEvery policy
+};
+
+/** Canonical lower-case name ("workload" | "cell" | "segment"). */
+const char *unitGranularityName(UnitGranularity granularity);
+
+/** Parse a canonical granularity name; false on anything else. */
+bool parseUnitGranularity(const std::string &text,
+                          UnitGranularity &out);
+
 /** A complete, serializable sweep description. */
 struct SweepPlan
 {
@@ -95,6 +117,8 @@ struct SweepPlan
     bool speculate = false;
     /// Progress-heartbeat interval in seconds (0 = off).
     double heartbeatSeconds = 0.0;
+    /// Distributed work-unit decomposition (net/units.hh).
+    UnitGranularity unitGranularity = UnitGranularity::kWorkload;
 };
 
 /**

@@ -15,9 +15,11 @@
 #include <filesystem>
 #include <thread>
 
+#include "common/state_codec.hh"
 #include "net/coord.hh"
 #include "net/frame.hh"
 #include "net/protocol.hh"
+#include "net/socket.hh"
 #include "net/worker.hh"
 #include "obs/metrics.hh"
 #include "sim/driver.hh"
@@ -184,39 +186,92 @@ TEST(Frame, FuzzedStreamsNeverMisdecode)
 
 // ---- protocol payloads -------------------------------------------
 
+UnitMsg
+sampleUnit()
+{
+    UnitMsg unit;
+    unit.unitIndex = 3;
+    unit.workload = "oltp-db2";
+    unit.kind = UnitKind::kSegment;
+    unit.column = 1;
+    unit.segBegin = 10'000;
+    unit.segEnd = 20'000;
+    unit.finalSegment = true;
+    unit.prefetchWorkload = "web-apache";
+    return unit;
+}
+
 TEST(Protocol, PayloadsRoundTrip)
 {
     HelloMsg hello;
+    hello.sessionId = 0x77;
     HelloMsg hello2;
     ASSERT_TRUE(decodeHello(encodeHello(hello), hello2));
     EXPECT_EQ(hello2.version, kNetProtocolVersion);
+    EXPECT_EQ(hello2.sessionId, 0x77u);
 
-    PlanMsg plan{0x1234567890abcdefULL, "{\"k\": 1}\n"};
+    PlanMsg plan;
+    plan.planDigest = 0x1234567890abcdefULL;
+    plan.planJson = "{\"k\": 1}\n";
+    plan.sessionId = 9;
     PlanMsg plan2;
     ASSERT_TRUE(decodePlanMsg(encodePlanMsg(plan), plan2));
     EXPECT_EQ(plan2.planDigest, plan.planDigest);
     EXPECT_EQ(plan2.planJson, plan.planJson);
+    EXPECT_EQ(plan2.sessionId, 9u);
 
     PlanAckMsg ack{42};
     PlanAckMsg ack2;
     ASSERT_TRUE(decodePlanAck(encodePlanAck(ack), ack2));
     EXPECT_EQ(ack2.planDigest, 42u);
 
-    UnitMsg unit{3, "oltp-db2"};
+    const UnitMsg unit = sampleUnit();
     UnitMsg unit2;
     ASSERT_TRUE(decodeUnit(encodeUnit(unit), unit2));
     EXPECT_EQ(unit2.unitIndex, 3u);
     EXPECT_EQ(unit2.workload, "oltp-db2");
+    EXPECT_EQ(unit2.kind, UnitKind::kSegment);
+    EXPECT_EQ(unit2.column, 1);
+    EXPECT_EQ(unit2.segBegin, 10'000u);
+    EXPECT_EQ(unit2.segEnd, 20'000u);
+    EXPECT_TRUE(unit2.finalSegment);
+    EXPECT_EQ(unit2.prefetchWorkload, "web-apache");
+
+    // The baseline column (-1) survives the biased encoding.
+    UnitMsg baseline = sampleUnit();
+    baseline.column = -1;
+    UnitMsg baseline2;
+    ASSERT_TRUE(decodeUnit(encodeUnit(baseline), baseline2));
+    EXPECT_EQ(baseline2.column, -1);
 
     UnitDoneMsg done{3};
     UnitDoneMsg done2;
     ASSERT_TRUE(decodeUnitDone(encodeUnitDone(done), done2));
     EXPECT_EQ(done2.unitIndex, 3u);
+
+    ResumeMsg resume;
+    resume.sessionId = 5;
+    resume.unitIndex = 12;
+    resume.lastCheckpointIndex = 30'000;
+    ResumeMsg resume2;
+    ASSERT_TRUE(decodeResume(encodeResume(resume), resume2));
+    EXPECT_EQ(resume2.sessionId, 5u);
+    EXPECT_EQ(resume2.unitIndex, 12u);
+    EXPECT_EQ(resume2.lastCheckpointIndex, 30'000u);
+
+    ResumeAckMsg verdict;
+    verdict.unitIndex = 12;
+    verdict.accepted = true;
+    ResumeAckMsg verdict2;
+    ASSERT_TRUE(
+        decodeResumeAck(encodeResumeAck(verdict), verdict2));
+    EXPECT_EQ(verdict2.unitIndex, 12u);
+    EXPECT_TRUE(verdict2.accepted);
 }
 
 TEST(Protocol, RejectsTruncationAndWrongTags)
 {
-    const auto unit = encodeUnit(UnitMsg{1, "web-apache"});
+    const auto unit = encodeUnit(sampleUnit());
     UnitMsg out;
     for (std::size_t cut = 0; cut < unit.size(); ++cut)
         EXPECT_FALSE(decodeUnit(
@@ -224,12 +279,159 @@ TEST(Protocol, RejectsTruncationAndWrongTags)
                                       unit.begin() + cut),
             out))
             << "cut " << cut;
-    // A different message's bytes are not a unit.
+    ResumeMsg resume_in;
+    const auto resume = encodeResume(resume_in);
+    ResumeMsg resume_out;
+    for (std::size_t cut = 0; cut < resume.size(); ++cut)
+        EXPECT_FALSE(decodeResume(
+            std::vector<std::uint8_t>(resume.begin(),
+                                      resume.begin() + cut),
+            resume_out))
+            << "cut " << cut;
+    // A different message's bytes are not a unit (or a resume).
     HelloMsg hello;
     EXPECT_FALSE(decodeUnit(encodeHello(hello), out));
+    EXPECT_FALSE(decodeResume(encodeUnit(sampleUnit()),
+                              resume_out));
     UnitDoneMsg done_out;
-    EXPECT_FALSE(decodeUnitDone(encodeUnit(UnitMsg{1, "x"}),
+    EXPECT_FALSE(decodeUnitDone(encodeUnit(sampleUnit()),
                                 done_out));
+    ResumeAckMsg verdict_out;
+    EXPECT_FALSE(decodeResumeAck(encodeUnitDone(UnitDoneMsg{1}),
+                                 verdict_out));
+}
+
+TEST(Protocol, V1ShortHelloStillDecodes)
+{
+    // The v1 Hello stopped after the version word. Decoding it —
+    // rather than rejecting — is what lets a v2 coordinator read an
+    // old peer's greeting and refuse it with a polite kMsgBye
+    // instead of slamming the socket mid-handshake.
+    StateWriter w;
+    w.tag(stateTag('N', 'H', 'L', 'O'));
+    w.u32(1);
+    HelloMsg out;
+    ASSERT_TRUE(decodeHello(w.take(), out));
+    EXPECT_EQ(out.version, 1u);
+    EXPECT_EQ(out.sessionId, 0u);
+}
+
+TEST(Protocol, ByteFlipFuzzNeverMisdecodes)
+{
+    // Reject-never-misdecode, payload layer: flip bytes in every
+    // message type's canonical encoding. Any mutation the decoder
+    // accepts must re-encode to exactly the mutated bytes — i.e.
+    // acceptance means the bytes really are some valid message, not
+    // a misreading of a corrupted one. (The frame CRC below this
+    // layer catches wire corruption; this pins the codec's own
+    // honesty against anything that slips through.)
+    struct Case
+    {
+        const char *name;
+        std::vector<std::uint8_t> clean;
+        std::function<bool(const std::vector<std::uint8_t> &,
+                           std::vector<std::uint8_t> &)>
+            recode;
+    };
+    HelloMsg hello;
+    hello.sessionId = 3;
+    PlanMsg plan;
+    plan.planDigest = 0xfeedULL;
+    plan.planJson = "{\"records\": 1000}\n";
+    plan.sessionId = 2;
+    ResumeMsg resume;
+    resume.sessionId = 4;
+    resume.unitIndex = 7;
+    resume.lastCheckpointIndex = 123;
+    ResumeAckMsg verdict;
+    verdict.unitIndex = 7;
+    verdict.accepted = true;
+    std::vector<Case> cases;
+    cases.push_back(
+        {"hello", encodeHello(hello),
+         [](const std::vector<std::uint8_t> &in,
+            std::vector<std::uint8_t> &again) {
+             HelloMsg m;
+             if (!decodeHello(in, m))
+                 return false;
+             again = encodeHello(m);
+             return true;
+         }});
+    cases.push_back(
+        {"plan", encodePlanMsg(plan),
+         [](const std::vector<std::uint8_t> &in,
+            std::vector<std::uint8_t> &again) {
+             PlanMsg m;
+             if (!decodePlanMsg(in, m))
+                 return false;
+             again = encodePlanMsg(m);
+             return true;
+         }});
+    cases.push_back(
+        {"unit", encodeUnit(sampleUnit()),
+         [](const std::vector<std::uint8_t> &in,
+            std::vector<std::uint8_t> &again) {
+             UnitMsg m;
+             if (!decodeUnit(in, m))
+                 return false;
+             again = encodeUnit(m);
+             return true;
+         }});
+    cases.push_back(
+        {"resume", encodeResume(resume),
+         [](const std::vector<std::uint8_t> &in,
+            std::vector<std::uint8_t> &again) {
+             ResumeMsg m;
+             if (!decodeResume(in, m))
+                 return false;
+             again = encodeResume(m);
+             return true;
+         }});
+    cases.push_back(
+        {"resume-ack", encodeResumeAck(verdict),
+         [](const std::vector<std::uint8_t> &in,
+            std::vector<std::uint8_t> &again) {
+             ResumeAckMsg m;
+             if (!decodeResumeAck(in, m))
+                 return false;
+             again = encodeResumeAck(m);
+             return true;
+         }});
+
+    std::uint64_t state = 0x2545f4914f6cdd1dULL;
+    auto next_rand = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (const Case &c : cases) {
+        // Exhaustive single-byte flips plus random multi-flips.
+        for (std::size_t at = 0; at < c.clean.size(); ++at) {
+            for (std::uint8_t bit = 0; bit < 8; ++bit) {
+                auto fuzzed = c.clean;
+                fuzzed[at] ^= static_cast<std::uint8_t>(1u << bit);
+                std::vector<std::uint8_t> again;
+                if (c.recode(fuzzed, again)) {
+                    EXPECT_EQ(again, fuzzed)
+                        << c.name << " byte " << at << " bit "
+                        << int(bit);
+                }
+            }
+        }
+        for (int round = 0; round < 200; ++round) {
+            auto fuzzed = c.clean;
+            const int flips = 1 + static_cast<int>(next_rand() % 4);
+            for (int i = 0; i < flips; ++i)
+                fuzzed[next_rand() % fuzzed.size()] ^=
+                    static_cast<std::uint8_t>(next_rand() % 255 +
+                                              1);
+            std::vector<std::uint8_t> again;
+            if (c.recode(fuzzed, again)) {
+                EXPECT_EQ(again, fuzzed) << c.name;
+            }
+        }
+    }
 }
 
 // ---- loopback coordinator/worker sweeps --------------------------
@@ -364,6 +566,104 @@ TEST_F(NetSweepTest, WorkerRefusesMissingStore)
     std::string error;
     EXPECT_FALSE(runWorker(worker, nullptr, &error));
     EXPECT_NE(error.find("store"), std::string::npos) << error;
+}
+
+// ---- cross-version handshakes ------------------------------------
+
+TEST_F(NetSweepTest, OldWorkerHelloIsRefusedWithCleanBye)
+{
+    // A v1 peer greets with the short Hello form. The v2
+    // coordinator must read it, answer kMsgBye, and close — a clean
+    // refusal the old peer can report, never a hang or a
+    // mid-handshake reset.
+    const SweepPlan plan = smallPlan({"oltp-db2"});
+    SweepCoordinator coord(plan);
+    std::string error;
+    ASSERT_TRUE(coord.listen(0, &error)) << error;
+
+    bool got_bye = false;
+    bool peer_done = false;
+    std::thread peer([&] {
+        int fd = connectWithRetry("127.0.0.1", coord.port(), 5.0);
+        ASSERT_GE(fd, 0);
+        FramedConn conn(fd);
+        StateWriter w;
+        w.tag(stateTag('N', 'H', 'L', 'O'));
+        w.u32(1); // protocol version 1, pre-sessionId layout
+        ASSERT_TRUE(conn.sendFrame(kMsgHello, w.take()));
+        Frame frame;
+        if (conn.recvFrame(frame))
+            got_bye = frame.type == kMsgBye;
+        // EOF follows: the coordinator closed after the Bye.
+        Frame extra;
+        EXPECT_FALSE(conn.recvFrame(extra));
+        peer_done = true;
+    });
+    // No unit ever completes, so serve() must exit on its own
+    // timeout — proving the refused peer did not wedge the loop.
+    EXPECT_FALSE(coord.serve(2.0, &error));
+    peer.join();
+    EXPECT_TRUE(peer_done);
+    EXPECT_TRUE(got_bye);
+    EXPECT_EQ(coord.unitsCompleted(), 0u);
+}
+
+TEST_F(NetSweepTest, FutureVersionHelloIsRefusedWithCleanBye)
+{
+    const SweepPlan plan = smallPlan({"oltp-db2"});
+    SweepCoordinator coord(plan);
+    std::string error;
+    ASSERT_TRUE(coord.listen(0, &error)) << error;
+
+    bool got_bye = false;
+    std::thread peer([&] {
+        int fd = connectWithRetry("127.0.0.1", coord.port(), 5.0);
+        ASSERT_GE(fd, 0);
+        FramedConn conn(fd);
+        HelloMsg hello;
+        hello.version = kNetProtocolVersion + 7;
+        ASSERT_TRUE(conn.sendFrame(kMsgHello, encodeHello(hello)));
+        Frame frame;
+        if (conn.recvFrame(frame))
+            got_bye = frame.type == kMsgBye;
+    });
+    EXPECT_FALSE(coord.serve(2.0, &error));
+    peer.join();
+    EXPECT_TRUE(got_bye);
+}
+
+TEST_F(NetSweepTest, OldCoordinatorClosingOnHelloFailsCleanlyNoHang)
+{
+    // The inverse skew: a v1 coordinator cannot decode the longer
+    // v2 Hello, so the best a worker can observe is a dropped
+    // connection at the handshake stage. The worker must surface
+    // that as a bounded, clean failure — not reconnect forever and
+    // not hang.
+    std::filesystem::create_directories(dir_);
+    TraceStore seed(dir_); // materialize a usable store directory
+
+    TcpListener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open(0, &error)) << error;
+    std::thread old_coord([&] {
+        int fd = -1;
+        while (fd < 0)
+            fd = listener.accept();
+        FramedConn conn(fd);
+        // Read the greeting (an old decoder would reject it), then
+        // slam the door the way a failed v1 handshake does.
+        conn.readAvailable();
+        conn.close();
+    });
+
+    WorkerOptions worker;
+    worker.storeDir = dir_;
+    worker.port = listener.port();
+    worker.connectTimeoutSeconds = 2.0;
+    std::string worker_error;
+    EXPECT_FALSE(runWorker(worker, nullptr, &worker_error));
+    EXPECT_FALSE(worker_error.empty());
+    old_coord.join();
 }
 
 } // namespace

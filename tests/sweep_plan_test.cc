@@ -44,6 +44,7 @@ fullPlan()
     plan.checkpointEvery = 5'000;
     plan.speculate = true;
     plan.heartbeatSeconds = 1.5;
+    plan.unitGranularity = UnitGranularity::kSegment;
     return plan;
 }
 
@@ -78,7 +79,7 @@ TEST(SweepPlanJson, DigestIsPinned)
     plan.records = 100'000;
     const std::uint64_t digest = sweepPlanDigest(plan);
     EXPECT_EQ(digest, sweepPlanDigest(plan)) << "digest unstable";
-    EXPECT_EQ(digest, UINT64_C(0xf8a1e4be0cb763f8));
+    EXPECT_EQ(digest, UINT64_C(0x9f13b28ff370d1a0));
 }
 
 TEST(SweepPlanJson, RejectsUnknownFields)
@@ -120,6 +121,37 @@ TEST(SweepPlanJson, RejectsSchemaDriftAndTrailingContent)
     EXPECT_FALSE(parseSweepPlanJson(base + "x", out));
     EXPECT_FALSE(parseSweepPlanJson("", out));
     EXPECT_FALSE(parseSweepPlanJson("[]", out));
+}
+
+TEST(SweepPlanJson, GranularityRoundTripsAndRejectsUnknownNames)
+{
+    SweepPlan plan;
+    for (UnitGranularity g :
+         {UnitGranularity::kWorkload, UnitGranularity::kCell,
+          UnitGranularity::kSegment}) {
+        plan.unitGranularity = g;
+        SweepPlan reparsed;
+        std::string error;
+        ASSERT_TRUE(parseSweepPlanJson(sweepPlanJson(plan),
+                                       reparsed, &error))
+            << error;
+        EXPECT_EQ(reparsed.unitGranularity, g);
+
+        UnitGranularity parsed;
+        ASSERT_TRUE(
+            parseUnitGranularity(unitGranularityName(g), parsed));
+        EXPECT_EQ(parsed, g);
+    }
+
+    std::string doctored = sweepPlanJson(plan);
+    const std::string name = "\"segment\"";
+    doctored.replace(doctored.find(name), name.size(),
+                     "\"per-epoch\"");
+    SweepPlan out;
+    EXPECT_FALSE(parseSweepPlanJson(doctored, out));
+
+    UnitGranularity parsed;
+    EXPECT_FALSE(parseUnitGranularity("per-epoch", parsed));
 }
 
 TEST(SweepPlanBinary, RoundTripsExactly)

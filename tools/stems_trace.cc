@@ -39,19 +39,33 @@
  *       file (--plan; trace/policy flags are then ignored). With a
  *       store the sweep replays anything already cached.
  *   stems_trace serve [bench flags] [--plan FILE] [--timing]
- *               [--port P] [--serve-timeout S]
+ *               [--port P] [--serve-timeout S] [--resume-grace S]
+ *               [--unit-timeout S]
  *       Same plan, distributed: listen for `stems_trace worker`
- *       processes, hand out one workload per work unit over the
- *       framed TCP protocol (src/net/), and after every unit has
- *       completed merge by running the plan locally over the shared
- *       (now warm) store. Requires a store; stdout is bitwise
- *       identical to `stems_trace sweep` of the same plan.
+ *       processes, hand out work units — whole workload rows,
+ *       (workload, engine) cells, or checkpoint segments of a cell
+ *       per --unit-granularity — over the framed TCP protocol
+ *       (src/net/), and after every unit has completed merge by
+ *       running the plan locally over the shared (now warm) store.
+ *       A dropped worker's unit stays reserved --resume-grace
+ *       seconds for a reconnect-resume before it is requeued; the
+ *       slow-worker watchdog requeues any unit held in flight past
+ *       --unit-timeout (default: the serve timeout). Requires a
+ *       store; stdout is bitwise identical to `stems_trace sweep`
+ *       of the same plan.
  *   stems_trace worker --store DIR [--port P] [--host H]
- *               [--connect-timeout S] [--abandon-after N]
+ *               [--connect-timeout S] [--reconnects N]
+ *               [--no-prefetch] [--metrics-out FILE]
+ *               [--abandon-after N] [--drop-after N]
+ *               [--drop-stall S] [--dup-done]
  *       Execute work units for a coordinator, simulating through
  *       the normal driver lane path into the shared store. The
- *       store directory must already exist. --abandon-after is a
- *       test hook: vanish without a goodbye after N units.
+ *       store directory must already exist. Fault hooks for tests
+ *       and CI: --abandon-after vanishes without a goodbye after N
+ *       units; --drop-after drops the connection once while holding
+ *       a unit (stalling --drop-stall seconds), then reconnects and
+ *       resumes it from the last committed checkpoint; --dup-done
+ *       sends every completion twice.
  */
 
 #include <cstdio>
@@ -106,9 +120,12 @@ usage()
         "  stems_trace sweep [bench flags] [--plan FILE] "
         "[--timing]\n"
         "  stems_trace serve [bench flags] [--plan FILE] "
-        "[--timing] [--port P] [--serve-timeout S]\n"
+        "[--timing] [--port P] [--serve-timeout S] "
+        "[--resume-grace S] [--unit-timeout S]\n"
         "  stems_trace worker --store DIR [--port P] [--host H] "
-        "[--connect-timeout S] [--abandon-after N]\n");
+        "[--connect-timeout S] [--reconnects N] [--no-prefetch] "
+        "[--metrics-out FILE] [--abandon-after N] "
+        "[--drop-after N] [--drop-stall S] [--dup-done]\n");
     return 1;
 }
 
@@ -597,6 +614,14 @@ struct ServiceArgs
     bool timing = false;
     unsigned port = 0;
     double serveTimeout = 600.0;
+    /// How long a dropped session's unit stays reserved for a
+    /// kResume before it is requeued.
+    double resumeGrace = 5.0;
+    /// Slow-worker watchdog: requeue a unit held in flight longer
+    /// than this. Negative = derive from --serve-timeout (a unit
+    /// held past the whole serve window can only time the sweep
+    /// out, so the watchdog reclaims it first).
+    double unitTimeout = -1.0;
     std::vector<char *> rest;
     bool ok = true;
 
@@ -623,6 +648,10 @@ struct ServiceArgs
                     std::strtoul(value(), nullptr, 10));
             } else if (arg == "--serve-timeout") {
                 serveTimeout = std::strtod(value(), nullptr);
+            } else if (arg == "--resume-grace") {
+                resumeGrace = std::strtod(value(), nullptr);
+            } else if (arg == "--unit-timeout") {
+                unitTimeout = std::strtod(value(), nullptr);
             } else {
                 rest.push_back(argv[i]);
             }
@@ -763,29 +792,55 @@ cmdServe(int argc, char **argv)
     }
     printPlanBanner(plan);
 
-    SweepCoordinator coord(plan);
+    // Decompose up front: at segment granularity this is the
+    // seeding pass — traces land in the store and the unit
+    // boundaries come off the real trace lengths. The same store
+    // the workers and the merge use, so stale contents only ever
+    // cost scheduling freedom, never correctness.
+    auto store = std::make_shared<TraceStore>(opts.storeDir);
     std::string error;
+    if (!store->usable()) {
+        std::fprintf(stderr, "serve: cannot open store '%s'\n",
+                     opts.storeDir.c_str());
+        return 1;
+    }
+    std::vector<WorkUnit> units =
+        decomposeSweepPlan(plan, store.get(), &error);
+    if (units.empty() && !plan.workloads.empty()) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+
+    SweepCoordinator coord(plan, std::move(units));
+    coord.setResumeGraceSeconds(svc.resumeGrace);
+    coord.setUnitTimeoutSeconds(
+        svc.unitTimeout >= 0.0 ? svc.unitTimeout
+                               : svc.serveTimeout);
     if (!coord.listen(static_cast<std::uint16_t>(svc.port),
                       &error)) {
         std::fprintf(stderr, "serve: %s\n", error.c_str());
         return 1;
     }
-    std::fprintf(stderr, "[serve] listening on port %u, %zu work "
+    std::fprintf(stderr, "[serve] listening on port %u, %zu %s "
                          "unit(s)\n",
-                 coord.port(), plan.workloads.size());
+                 coord.port(), coord.unitCount(),
+                 unitGranularityName(plan.unitGranularity));
     if (!coord.serve(svc.serveTimeout, &error)) {
         std::fprintf(stderr, "serve: %s\n", error.c_str());
         return 1;
     }
     std::fprintf(stderr,
                  "[serve] %llu unit(s) completed by %llu worker(s)"
-                 " (%llu requeued); merging from store\n",
+                 " (%llu requeued) (%llu resumed); merging from "
+                 "store\n",
                  static_cast<unsigned long long>(
                      coord.unitsCompleted()),
                  static_cast<unsigned long long>(
                      coord.workersSeen()),
                  static_cast<unsigned long long>(
-                     coord.unitsRequeued()));
+                     coord.unitsRequeued()),
+                 static_cast<unsigned long long>(
+                     coord.unitsResumed()));
 
     // Merge: the same plan over the now-warm shared store. Every
     // cell the workers ran is a store hit, so this reproduces the
@@ -807,6 +862,7 @@ cmdWorker(int argc, char **argv)
     if (const char *env = std::getenv("STEMS_STORE"))
         w.storeDir = env;
     unsigned abandon = 0;
+    std::string metrics_out;
     bool ok = true;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -831,6 +887,21 @@ cmdWorker(int argc, char **argv)
         } else if (arg == "--abandon-after") {
             abandon = static_cast<unsigned>(
                 std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--drop-after") {
+            w.dropAfterUnits = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--drop-stall") {
+            w.reconnectStallSeconds =
+                std::strtod(value(), nullptr);
+        } else if (arg == "--dup-done") {
+            w.duplicateUnitDone = true;
+        } else if (arg == "--reconnects") {
+            w.maxReconnects = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--no-prefetch") {
+            w.prefetchTraces = false;
+        } else if (arg == "--metrics-out") {
+            metrics_out = value();
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
@@ -860,13 +931,32 @@ cmdWorker(int argc, char **argv)
 
     WorkerReport report;
     std::string error;
-    if (!runWorker(w, &report, &error)) {
+    const bool worker_ok = runWorker(w, &report, &error);
+    if (!metrics_out.empty()) {
+        // Written on failure too: a faulted worker's counters
+        // (units completed before the fault, resume bookkeeping)
+        // are exactly what a post-mortem wants.
+        std::string obs_error;
+        if (!writeMetricsJson(metrics_out,
+                              MetricsRegistry::instance()
+                                  .snapshot(),
+                              &obs_error))
+            std::fprintf(stderr, "worker: %s\n",
+                         obs_error.c_str());
+    }
+    if (!worker_ok) {
         std::fprintf(stderr, "worker: %s\n", error.c_str());
         return 1;
     }
-    std::fprintf(stderr, "[worker] %llu unit(s) completed%s\n",
+    std::fprintf(stderr,
+                 "[worker] %llu unit(s) completed "
+                 "(%llu resumed, %llu reconnect(s))%s\n",
                  static_cast<unsigned long long>(
                      report.unitsCompleted),
+                 static_cast<unsigned long long>(
+                     report.unitsResumed),
+                 static_cast<unsigned long long>(
+                     report.reconnects),
                  report.abandoned ? " (abandoned)" : "");
     return 0;
 }
